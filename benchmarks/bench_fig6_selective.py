@@ -1,0 +1,35 @@
+"""Figure 6: speedups with the selective algorithm (10-cycle reconfig).
+
+Paper shape: 2-27% speedups with just 2 PFUs; 4 PFUs recover most of the
+unlimited-PFU headroom; no configuration thrashing.
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import fig6_selective
+from repro.utils.tables import format_table
+
+
+def test_fig6_selective_speedups(benchmark):
+    headers, rows = benchmark(fig6_selective)
+    write_result(
+        "fig6_selective.txt",
+        "Figure 6 — selective algorithm speedups\n" + format_table(headers, rows),
+    )
+    by_name = {row[0]: row for row in rows}
+
+    for name, row in by_name.items():
+        two, four, unlimited = row[2], row[3], row[4]
+        # selective never loses to the baseline
+        assert two >= 0.999, f"{name}: selective/2 PFUs slowed down"
+        # more PFUs never hurt
+        assert four >= two - 1e-9, f"{name}: 4 PFUs worse than 2"
+        assert unlimited >= four - 1e-9, f"{name}: unlimited worse than 4"
+
+    # the media kernels see solid gains with only 2 PFUs (paper: up to 27%)
+    assert max(row[2] for row in rows) > 1.15
+    # 4 PFUs recover most of the unlimited gain on average (paper §5.2)
+    ratios = [
+        (row[3] - 1) / (row[4] - 1) for row in rows if row[4] > 1.02
+    ]
+    assert sum(ratios) / len(ratios) > 0.55

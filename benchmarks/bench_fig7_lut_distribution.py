@@ -1,0 +1,29 @@
+"""Figure 7: LUT-cost distribution of the selected extended instructions.
+
+Paper shape: instructions chosen by the selective algorithm are small —
+"quite a few need very little hardware", the histogram is dominated by
+the low buckets, and the most area-intensive instruction needs 105 LUTs
+(all comfortably under 150).
+"""
+
+from conftest import write_result
+
+from repro.harness.figures import fig7_area
+
+
+def test_fig7_lut_distribution(benchmark):
+    dist = benchmark(fig7_area)
+    lines = [
+        "Figure 7 — LUT cost distribution (selective, 4 PFUs, 8 benchmarks)",
+        dist.render(),
+        f"max LUTs: {dist.max_luts}  (paper: 105)",
+        f"instructions mapped: {len(dist.costs)}",
+    ]
+    write_result("fig7_lut_distribution.txt", "\n".join(lines))
+
+    assert dist.costs, "no extended instructions selected"
+    # §5/§6: typically fewer than 150 LUTs; the paper's max was 105.
+    assert dist.max_luts < 150
+    # the distribution is dominated by small instructions
+    small = sum(1 for c in dist.costs if c <= 60)
+    assert small >= len(dist.costs) / 2

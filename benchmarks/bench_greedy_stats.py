@@ -1,0 +1,57 @@
+"""§4.1 text claims: the greedy algorithm identifies "between 6 and 43
+distinct extended instructions, and sequence lengths range from 2 to 8
+instructions".
+
+Our synthetic kernels are smaller than full MediaBench applications, so
+the distinct-configuration counts sit at the lower end of the paper's
+range; the length range must match.
+"""
+
+from conftest import write_result
+
+from repro.extinst.extraction import ExtractionParams
+from repro.harness.figures import greedy_stats
+from repro.harness.runner import get_lab
+from repro.extinst import greedy_select
+from repro.utils.tables import format_table
+
+
+def test_greedy_statistics(benchmark):
+    headers, rows = benchmark(greedy_stats)
+    write_result(
+        "greedy_stats.txt",
+        "Greedy selection statistics (§4.1)\n" + format_table(headers, rows),
+    )
+    for row in rows:
+        name, configs, sites, min_len, max_len = row
+        assert configs >= 3, f"{name}: too few distinct configs"
+        assert min_len >= 2, f"{name}: sequences must have >= 2 instructions"
+        assert max_len <= 8, f"{name}: sequences must have <= 8 instructions"
+    assert max(row[3 + 1] for row in rows) >= 6  # some app reaches length >= 6
+
+
+def test_bitwidth_threshold_ablation(benchmark):
+    """Design-choice ablation: the 18-bit operand-width filter (§4).
+
+    Tightening the threshold must monotonically shrink (or keep) the set
+    of candidate configurations.
+    """
+    lab = get_lab("gsm_encode")
+
+    def sweep():
+        return {
+            width: greedy_select(
+                lab.profile, ExtractionParams(width_threshold=width)
+            ).n_configs
+            for width in (8, 12, 18, 32)
+        }
+
+    counts = benchmark(sweep)
+    write_result(
+        "ablation_bitwidth.txt",
+        "Distinct greedy configs vs bitwidth threshold (gsm_encode)\n"
+        + "\n".join(f"  width<={w:2d}: {c}" for w, c in counts.items()),
+    )
+    widths = sorted(counts)
+    for a, b in zip(widths, widths[1:]):
+        assert counts[a] <= counts[b], "narrower threshold admitted more configs"

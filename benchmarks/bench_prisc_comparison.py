@@ -1,0 +1,74 @@
+"""§7's claim: "All of the above fine-grained architectures were evaluated
+on simple, in-order-issue, single-issue processors. The impact of PFUs on
+a superscalar processor's performance is different from that on a simple
+processor, and our work has quantified these differences."
+
+We quantify it the same way: run the selective T1000 experiment on a
+PRISC-class machine (single-issue, minimal window — effectively in-order)
+and on the paper's 4-wide out-of-order core. Folding a dependent chain
+saves the same *instructions* on both, but the wide OoO core was already
+hiding part of the chain latency, so relative PFU gains are larger on the
+simple machine — exactly why the paper's superscalar evaluation is the
+more stringent test.
+"""
+
+from conftest import write_result
+
+from repro.harness.runner import get_lab
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator
+from repro.utils.tables import format_table
+
+WORKLOADS = ("gsm_encode", "gsm_decode", "epic", "mpeg2_decode")
+
+#: a PRISC-class core: single-issue, tiny window (in-order in effect)
+SIMPLE = dict(
+    fetch_width=1, decode_width=1, issue_width=1, commit_width=1, ruu_size=2
+)
+
+
+def _timed(program, machine, defs=None):
+    trace = FunctionalSimulator(program, ext_defs=defs).run(
+        collect_trace=True
+    ).trace
+    return OoOSimulator(program, machine, ext_defs=defs).simulate(trace)
+
+
+def test_simple_vs_superscalar_pfu_impact(benchmark):
+    def sweep():
+        rows = []
+        for name in WORKLOADS:
+            lab = get_lab(name)
+            rewritten, defs = lab.rewritten("selective", 2)
+
+            wide_base = lab.baseline()
+            wide_pfu = lab.run("selective", 2, 10)
+
+            simple_base = _timed(lab.program, MachineConfig(**SIMPLE))
+            simple_pfu = _timed(
+                rewritten,
+                MachineConfig(n_pfus=2, reconfig_latency=10, **SIMPLE),
+                defs,
+            )
+            rows.append([
+                name,
+                simple_base.cycles / simple_pfu.cycles,
+                wide_base.cycles / wide_pfu.stats.cycles,
+            ])
+        return rows
+
+    rows = benchmark(sweep)
+    write_result(
+        "prisc_comparison.txt",
+        "Selective 2-PFU speedup: PRISC-class single-issue vs 4-wide OoO\n"
+        + format_table(
+            ["workload", "single-issue in-order", "4-wide out-of-order"], rows
+        ),
+    )
+    for name, simple, wide in rows:
+        assert simple > 1.0 and wide > 1.0
+    # §7: on average the simple machine benefits at least as much — the
+    # OoO core already tolerates part of each chain's latency.
+    avg_simple = sum(r[1] for r in rows) / len(rows)
+    avg_wide = sum(r[2] for r in rows) / len(rows)
+    assert avg_simple >= avg_wide * 0.95

@@ -1,0 +1,20 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one of the paper's evaluation artefacts,
+prints it (visible with ``pytest -s``), writes it under
+``benchmarks/results/``, and asserts the paper's qualitative *shape*
+(who wins, by roughly what factor) — absolute cycle counts depend on the
+synthetic substrate and are recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n{text}")

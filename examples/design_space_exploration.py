@@ -1,0 +1,48 @@
+"""Design-space exploration: how many PFUs, and how fast must
+reconfiguration be?
+
+Reproduces the paper's §5.2 sensitivity analysis for one workload
+(gsm_encode by default): a grid over PFU count x reconfiguration latency
+under the selective algorithm, plus the greedy algorithm's behaviour for
+contrast (the thrashing of Figure 2).
+
+Run with: ``python examples/design_space_exploration.py [workload]``
+"""
+
+import sys
+
+from repro.harness.runner import WorkloadLab
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gsm_encode"
+    lab = WorkloadLab(name, scale=1)
+    base = lab.baseline()
+    print(f"{name}: baseline {base.cycles} cycles, IPC {base.ipc:.2f}\n")
+
+    pfu_counts = (1, 2, 4, 8, None)
+    latencies = (0, 10, 100, 500)
+
+    rows = []
+    for n_pfus in pfu_counts:
+        label = "unlimited" if n_pfus is None else str(n_pfus)
+        row: list[object] = [label]
+        for lat in latencies:
+            result = lab.run("selective", n_pfus, lat)
+            row.append(result.speedup)
+        rows.append(row)
+    print("selective algorithm: speedup by PFU count (rows) and "
+          "reconfiguration latency (columns)")
+    print(format_table(["PFUs"] + [f"{lat}cy" for lat in latencies], rows))
+
+    print("\ngreedy algorithm at 2 PFUs (the Figure 2 pathology):")
+    rows = []
+    for lat in latencies:
+        result = lab.run("greedy", 2, lat)
+        rows.append([f"{lat}cy", result.speedup, result.stats.pfu_misses])
+    print(format_table(["reconfig", "speedup", "reconfigurations"], rows))
+
+
+if __name__ == "__main__":
+    main()

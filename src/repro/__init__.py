@@ -1,0 +1,17 @@
+"""repro — reproduction of "Augmenting Modern Superscalar Architectures
+with Configurable Extended Instructions" (Zhou & Martonosi, IPPS 2000).
+
+Public API highlights (see README for a tour):
+
+- :func:`repro.asm.assemble` / :class:`repro.asm.AsmBuilder` — build programs.
+- :class:`repro.sim.FunctionalSimulator` — execute and trace programs.
+- :class:`repro.sim.ooo.OoOSimulator` / :class:`repro.sim.ooo.MachineConfig`
+  — the T1000 timing model with PFUs.
+- :mod:`repro.extinst` — extended-instruction extraction, the greedy and
+  selective selection algorithms, and the program rewriter.
+- :mod:`repro.hwcost` — Xilinx-XC4000-style LUT cost estimation.
+- :mod:`repro.workloads` — the eight synthetic MediaBench-like kernels.
+- :mod:`repro.harness` — experiment drivers reproducing the paper's figures.
+"""
+
+__version__ = "1.0.0"

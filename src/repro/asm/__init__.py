@@ -1,0 +1,17 @@
+"""Two-pass assembler for the T1000 ISA.
+
+Source format is classic MIPS-style assembly with ``.data``/``.text``
+sections, ``.word``/``.half``/``.byte``/``.space``/``.align`` directives,
+``#`` comments, and a useful set of pseudo-instructions (``li``, ``la``,
+``move``, ``not``, ``neg``, ``b``, ``blt``/``bgt``/``ble``/``bge``,
+``subi``/``subiu``).
+
+Use :func:`assemble` for source text, or :class:`AsmBuilder` to generate
+source programmatically (the synthetic workloads do this).
+"""
+
+from repro.asm.assembler import assemble
+from repro.asm.builder import AsmBuilder
+from repro.asm.disassembler import disassemble_program
+
+__all__ = ["assemble", "AsmBuilder", "disassemble_program"]

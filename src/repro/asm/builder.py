@@ -1,0 +1,112 @@
+"""Programmatic assembly generation.
+
+The synthetic workloads construct their kernels through this builder: it
+accumulates source text with automatic unique-label allocation and a
+counted-loop helper, then hands the result to the normal assembler, so
+generated programs go through exactly the same front end as hand-written
+ones.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
+
+from repro.asm.assembler import assemble
+from repro.program.program import Program
+
+
+class AsmBuilder:
+    """Accumulates assembly source text."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._data_lines: list[str] = []
+        self._text_lines: list[str] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # data segment
+
+    def word(self, label: str, values: Sequence[int] | int) -> str:
+        """Emit ``label: .word values``; returns the label for convenience."""
+        if isinstance(values, int):
+            values = [values]
+        self._data_lines.append(f"{label}: .word " + ", ".join(map(str, values)))
+        return label
+
+    def half(self, label: str, values: Sequence[int]) -> str:
+        self._data_lines.append(f"{label}: .half " + ", ".join(map(str, values)))
+        return label
+
+    def byte(self, label: str, values: Sequence[int]) -> str:
+        self._data_lines.append(f"{label}: .byte " + ", ".join(map(str, values)))
+        return label
+
+    def space(self, label: str, nbytes: int, align: int = 4) -> str:
+        """Reserve ``nbytes`` zeroed bytes at ``label``."""
+        self._data_lines.append(f".align {max(0, align.bit_length() - 1)}")
+        self._data_lines.append(f"{label}: .space {nbytes}")
+        return label
+
+    # ------------------------------------------------------------------
+    # text segment
+
+    def ins(self, *lines: str) -> None:
+        """Emit one or more instruction lines."""
+        for line in lines:
+            self._text_lines.append(f"    {line}")
+
+    def label(self, name: str) -> str:
+        self._text_lines.append(f"{name}:")
+        return name
+
+    def fresh(self, prefix: str = "L") -> str:
+        """Allocate a unique label name."""
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def comment(self, text: str) -> None:
+        self._text_lines.append(f"    # {text}")
+
+    @contextmanager
+    def counted_loop(self, counter_reg: str, count: int | str) -> Iterator[str]:
+        """A down-counting loop running ``count`` times.
+
+        ``count`` may be an integer or a register holding the trip count.
+        The loop body must not clobber ``counter_reg``. Yields the loop's
+        head label.
+        """
+        head = self.fresh("loop")
+        if isinstance(count, int):
+            self.ins(f"li {counter_reg}, {count}")
+        elif count != counter_reg:
+            self.ins(f"move {counter_reg}, {count}")
+        self.label(head)
+        yield head
+        self.ins(f"addiu {counter_reg}, {counter_reg}, -1")
+        self.ins(f"bgtz {counter_reg}, {head}")
+
+    # ------------------------------------------------------------------
+
+    def source(self) -> str:
+        """The accumulated assembly source."""
+        parts: list[str] = []
+        if self._data_lines:
+            parts.append(".data")
+            parts.extend(self._data_lines)
+        parts.append(".text")
+        parts.extend(self._text_lines)
+        return "\n".join(parts) + "\n"
+
+    def build(self) -> Program:
+        """Assemble the accumulated source into a Program."""
+        return assemble(self.source(), name=self.name)
+
+
+def build_program(name: str, data: Iterable[str], text: Iterable[str]) -> Program:
+    """One-shot helper: assemble from raw data/text line iterables."""
+    builder = AsmBuilder(name)
+    builder._data_lines.extend(data)
+    builder._text_lines.extend(f"    {line}" for line in text)
+    return builder.build()

@@ -1,0 +1,42 @@
+"""Disassembly: binary words back to assembly text.
+
+Mainly a debugging/verification aid: encode/disassemble round-trips are
+part of the test suite's evidence that the encoder is self-consistent.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import TEXT_BASE, decode, encode
+from repro.program.program import Program
+
+
+def encode_program(program: Program) -> list[int]:
+    """Encode every text instruction, resolving symbolic targets."""
+    words: list[int] = []
+    for index, instr in enumerate(program.text):
+        numeric: int | None = None
+        if instr.target is not None:
+            target_index = program.target_index(instr)
+            if instr.is_branch:
+                numeric = target_index - (index + 1)  # words past next instr
+            else:
+                numeric = (TEXT_BASE + 4 * target_index) >> 2
+        words.append(encode(instr, numeric))
+    return words
+
+
+def disassemble_program(words: list[int], base: int = TEXT_BASE) -> str:
+    """Disassemble encoded words into annotated assembly text."""
+    lines: list[str] = []
+    for index, word in enumerate(words):
+        instr, numeric = decode(word)
+        pc = base + 4 * index
+        text = instr.render()
+        if numeric is not None:
+            if instr.is_branch:
+                target = pc + 4 + 4 * numeric
+            else:
+                target = numeric << 2
+            text = f"{text.rstrip()} <{target:#x}>".replace(" None", "")
+        lines.append(f"{pc:#010x}: {word:08x}  {text}")
+    return "\n".join(lines)

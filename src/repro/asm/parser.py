@@ -1,0 +1,95 @@
+"""Line-level parsing for the assembler: tokenizing operands, labels and
+directives. The grammar is simple enough that regexes per operand shape
+are clearer than a separate lexer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\((?P<base>\$[A-Za-z0-9]+)\)$")
+
+
+@dataclass
+class SourceLine:
+    """One significant source line after comment stripping."""
+
+    lineno: int
+    labels: list[str] = field(default_factory=list)
+    mnemonic: str | None = None       # instruction or directive (with dot)
+    operands: list[str] = field(default_factory=list)
+
+
+def strip_comment(line: str) -> str:
+    """Remove ``#`` and ``;`` comments (no string literals in this ASM)."""
+    for ch in "#;":
+        pos = line.find(ch)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def split_operands(text: str) -> list[str]:
+    """Split an operand list on commas, trimming whitespace."""
+    if not text.strip():
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def parse_line(raw: str, lineno: int) -> SourceLine | None:
+    """Parse one raw source line. Returns ``None`` for blank lines."""
+    text = strip_comment(raw)
+    if not text:
+        return None
+    out = SourceLine(lineno=lineno)
+    # Leading labels: "name:" possibly repeated.
+    while True:
+        match = re.match(r"^([A-Za-z_][A-Za-z0-9_.$]*)\s*:\s*", text)
+        if not match:
+            break
+        label = match.group(1)
+        if not _LABEL_RE.match(label):
+            raise AssemblerError(f"invalid label {label!r}", lineno)
+        out.labels.append(label)
+        text = text[match.end():]
+    if text:
+        parts = text.split(None, 1)
+        out.mnemonic = parts[0].lower()
+        out.operands = split_operands(parts[1]) if len(parts) > 1 else []
+    return out
+
+
+def parse_int(text: str, lineno: int | None = None) -> int:
+    """Parse a decimal/hex/binary/char integer literal."""
+    text = text.strip()
+    neg = text.startswith("-")
+    if neg:
+        text = text[1:].strip()
+    try:
+        if text.lower().startswith("0x"):
+            value = int(text, 16)
+        elif text.lower().startswith("0b"):
+            value = int(text, 2)
+        elif len(text) == 3 and text[0] == "'" and text[2] == "'":
+            value = ord(text[1])
+        else:
+            value = int(text, 10)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", lineno) from None
+    return -value if neg else value
+
+
+def parse_mem_operand(text: str, lineno: int | None = None) -> tuple[str, str]:
+    """Parse ``offset($base)`` into ``(offset_text, base_reg_text)``.
+
+    The offset may be empty (meaning 0), a number, or a data symbol.
+    """
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(f"bad memory operand {text!r}", lineno)
+    off = match.group("off").strip() or "0"
+    return off, match.group("base")

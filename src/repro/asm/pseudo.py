@@ -1,0 +1,152 @@
+"""Pseudo-instruction expansion.
+
+Each expander returns a list of real :class:`Instruction` objects. The
+assembler's scratch register is ``$at`` (register 1), as on MIPS; user
+code that uses ``$at`` across a pseudo-branch is on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import reg_num
+from repro.utils.bitops import to_u32
+
+AT = 1
+ZERO = 0
+
+Expander = Callable[[list[str], "OperandParser"], list[Instruction]]
+
+
+class OperandParser:
+    """Callbacks the expanders need from the assembler (symbol lookup etc.)."""
+
+    def __init__(self, resolve_symbol, parse_imm, lineno: int | None):
+        self.resolve_symbol = resolve_symbol
+        self.parse_imm = parse_imm
+        self.lineno = lineno
+
+    def reg(self, text: str) -> int:
+        return reg_num(text)
+
+    def imm_or_symbol(self, text: str) -> int:
+        """An integer literal or a data-symbol address."""
+        text = text.strip()
+        addr = self.resolve_symbol(text)
+        if addr is not None:
+            return addr
+        return self.parse_imm(text)
+
+
+def expand_load_immediate(rt: int, value: int) -> list[Instruction]:
+    """Materialise a 32-bit constant into ``rt`` (1 or 2 instructions)."""
+    value = to_u32(value)
+    signed = value - 0x1_0000_0000 if value & 0x8000_0000 else value
+    if -(1 << 15) <= signed < (1 << 15):
+        return [Instruction(Opcode.ADDIU, rt=rt, rs=ZERO, imm=signed)]
+    if 0 <= value < (1 << 16):
+        return [Instruction(Opcode.ORI, rt=rt, rs=ZERO, imm=value)]
+    hi, lo = value >> 16, value & 0xFFFF
+    out = [Instruction(Opcode.LUI, rt=rt, imm=hi)]
+    if lo:
+        out.append(Instruction(Opcode.ORI, rt=rt, rs=rt, imm=lo))
+    return out
+
+
+def _need(ops: list[str], n: int, name: str, lineno: int | None) -> None:
+    if len(ops) != n:
+        raise AssemblerError(f"{name} expects {n} operands, got {len(ops)}", lineno)
+
+
+def _li(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "li", p.lineno)
+    return expand_load_immediate(p.reg(ops[0]), p.imm_or_symbol(ops[1]))
+
+
+def _la(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "la", p.lineno)
+    addr = p.resolve_symbol(ops[1].strip())
+    if addr is None:
+        raise AssemblerError(f"la: unknown symbol {ops[1]!r}", p.lineno)
+    return expand_load_immediate(p.reg(ops[0]), addr)
+
+
+def _move(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "move", p.lineno)
+    return [Instruction(Opcode.ADDU, rd=p.reg(ops[0]), rs=p.reg(ops[1]), rt=ZERO)]
+
+
+def _not(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "not", p.lineno)
+    return [Instruction(Opcode.NOR, rd=p.reg(ops[0]), rs=p.reg(ops[1]), rt=ZERO)]
+
+
+def _neg(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "neg", p.lineno)
+    return [Instruction(Opcode.SUBU, rd=p.reg(ops[0]), rs=ZERO, rt=p.reg(ops[1]))]
+
+
+def _b(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 1, "b", p.lineno)
+    return [Instruction(Opcode.BEQ, rs=ZERO, rt=ZERO, target=ops[0])]
+
+
+def _beqz(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "beqz", p.lineno)
+    return [Instruction(Opcode.BEQ, rs=p.reg(ops[0]), rt=ZERO, target=ops[1])]
+
+
+def _bnez(ops: list[str], p: OperandParser) -> list[Instruction]:
+    _need(ops, 2, "bnez", p.lineno)
+    return [Instruction(Opcode.BNE, rs=p.reg(ops[0]), rt=ZERO, target=ops[1])]
+
+
+def _cmp_branch(slt_op: Opcode, swap: bool, br: Opcode, name: str) -> Expander:
+    """blt/bge/bgt/ble and unsigned variants via slt + branch on $at."""
+
+    def expand(ops: list[str], p: OperandParser) -> list[Instruction]:
+        _need(ops, 3, name, p.lineno)
+        a, b = p.reg(ops[0]), p.reg(ops[1])
+        if swap:
+            a, b = b, a
+        return [
+            Instruction(slt_op, rd=AT, rs=a, rt=b),
+            Instruction(br, rs=AT, rt=ZERO, target=ops[2]),
+        ]
+
+    return expand
+
+
+def _subi(op: Opcode, name: str) -> Expander:
+    def expand(ops: list[str], p: OperandParser) -> list[Instruction]:
+        _need(ops, 3, name, p.lineno)
+        return [
+            Instruction(
+                op, rt=p.reg(ops[0]), rs=p.reg(ops[1]), imm=-p.parse_imm(ops[2])
+            )
+        ]
+
+    return expand
+
+
+PSEUDO_OPS: dict[str, Expander] = {
+    "li": _li,
+    "la": _la,
+    "move": _move,
+    "not": _not,
+    "neg": _neg,
+    "b": _b,
+    "beqz": _beqz,
+    "bnez": _bnez,
+    "blt": _cmp_branch(Opcode.SLT, False, Opcode.BNE, "blt"),
+    "bge": _cmp_branch(Opcode.SLT, False, Opcode.BEQ, "bge"),
+    "bgt": _cmp_branch(Opcode.SLT, True, Opcode.BNE, "bgt"),
+    "ble": _cmp_branch(Opcode.SLT, True, Opcode.BEQ, "ble"),
+    "bltu": _cmp_branch(Opcode.SLTU, False, Opcode.BNE, "bltu"),
+    "bgeu": _cmp_branch(Opcode.SLTU, False, Opcode.BEQ, "bgeu"),
+    "subi": _subi(Opcode.ADDI, "subi"),
+    "subiu": _subi(Opcode.ADDIU, "subiu"),
+}

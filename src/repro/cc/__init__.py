@@ -1,0 +1,28 @@
+"""minic — a small C-like compiler targeting the T1000 ISA.
+
+The paper's toolflow operates on *compiled* binaries: "an extended
+instruction is created at compile time by converting an appropriate
+instruction sequence in the compiled code" (§2.1). This package provides
+that front end, so kernels can be written in a C subset instead of
+assembly, and the extraction machinery sees realistic compiler output.
+
+Supported language (see :mod:`repro.cc.parser` for the grammar):
+
+- types: ``int`` (32-bit) scalars and global one-dimensional arrays;
+- functions with parameters and return values, recursion allowed;
+- statements: declarations with initialisers, assignment (incl. array
+  element), ``if``/``else``, ``while``, ``for``, ``return``, blocks;
+- expressions: full C operator set over ints (arithmetic, shifts,
+  comparisons, bitwise, logical with short-circuit), unary ``- ~ !``,
+  array indexing, and calls.
+
+Use :func:`compile_source` to produce a ready-to-run
+:class:`~repro.program.program.Program` (execution starts at ``main``;
+returning from ``main`` halts with the result in ``$v0``).
+"""
+
+from repro.cc.compiler import compile_source
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+
+__all__ = ["compile_source", "tokenize", "parse"]

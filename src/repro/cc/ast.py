@@ -1,0 +1,137 @@
+"""AST node definitions for minic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class; every node records its source line for diagnostics."""
+
+    line: int
+
+
+# ---------------------------------------------------------------------- expr
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp(Node):
+    op: str          # "-", "~", "!"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str          # C binary operator
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple["Expr", ...]
+
+
+Expr = IntLit | Var | Index | UnOp | BinOp | Call
+
+
+# ---------------------------------------------------------------------- stmt
+
+
+@dataclass(frozen=True)
+class Declare(Node):
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    target: Var | Index
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: Expr
+    then: "Block"
+    orelse: "Block | None"
+
+
+@dataclass(frozen=True)
+class While(Node):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    statements: tuple["Stmt", ...]
+
+
+Stmt = Declare | Assign | ExprStmt | If | While | For | Return | Block
+
+
+# ------------------------------------------------------------------ toplevel
+
+
+@dataclass(frozen=True)
+class GlobalVar(Node):
+    name: str
+    size: int | None          # None = scalar; int = array length
+    init: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    name: str
+    params: tuple[str, ...]
+    body: Block
+    returns_value: bool = True
+
+
+@dataclass(frozen=True)
+class TranslationUnit(Node):
+    globals: tuple[GlobalVar, ...] = field(default=())
+    functions: tuple[FuncDef, ...] = field(default=())
+
+    def function(self, name: str) -> FuncDef | None:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,399 @@
+"""Code generation: minic AST -> T1000 assembly.
+
+A deliberately straightforward one-pass generator in the style of an
+unoptimising C compiler (the paper's toolchain compiled MediaBench with
+ordinary compilers):
+
+- expression evaluation on a register stack ``$t0..$t7`` (expressions
+  nesting deeper than 8 temporaries are rejected);
+- locals and parameters live in the stack frame, addressed off ``$sp``;
+- arguments pass in ``$a0-$a3``, results in ``$v0``;
+- recursion works: ``$ra`` and live temporaries are saved around calls.
+
+The generated code is exactly the kind of input the extended-instruction
+extractor targets: dependent ALU chains with memory and control around
+them.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder
+from repro.cc import ast
+from repro.cc.lexer import CompileError
+
+_TEMPS = [f"$t{i}" for i in range(8)]
+_ARG_REGS = ["$a0", "$a1", "$a2", "$a3"]
+
+_SIMPLE_BINOPS = {
+    "+": "addu", "-": "subu", "&": "and", "|": "or", "^": "xor",
+    "<<": "sllv", ">>": "srav", "*": "mul", "/": "div", "%": "rem",
+}
+
+
+class _FuncContext:
+    def __init__(self, fn: ast.FuncDef, n_slots: int):
+        self.fn = fn
+        self.n_slots = n_slots
+        # frame: [locals (n_slots words)] [saved $ra] -> frame_size bytes
+        self.frame_size = 4 * n_slots + 4
+        self.ra_offset = 4 * n_slots
+        self.scopes: list[dict[str, int]] = [{}]
+        self.next_slot = 0
+        self.depth = 0          # expression temp-stack depth
+        self.epilogue_label = ""
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, line: int) -> int:
+        if name in self.scopes[-1]:
+            raise CompileError(f"redeclaration of {name!r}", line)
+        if self.next_slot >= self.n_slots:
+            raise CompileError("internal: local slot overflow", line)
+        slot = self.next_slot
+        self.next_slot += 1
+        self.scopes[-1][name] = slot
+        return slot
+
+    def lookup(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+def _count_locals(node) -> int:
+    """Total Declare statements in a function body (slots never reused)."""
+    if isinstance(node, ast.Declare):
+        return 1
+    total = 0
+    if isinstance(node, ast.Block):
+        total += sum(_count_locals(s) for s in node.statements)
+    elif isinstance(node, ast.If):
+        total += _count_locals(node.then)
+        if node.orelse:
+            total += _count_locals(node.orelse)
+    elif isinstance(node, ast.While):
+        total += _count_locals(node.body)
+    elif isinstance(node, ast.For):
+        for part in (node.init, node.step):
+            if part is not None:
+                total += _count_locals(part)
+        total += _count_locals(node.body)
+    return total
+
+
+class CodeGenerator:
+    """Generates a complete program from a translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit, name: str = "minic"):
+        self.unit = unit
+        self.b = AsmBuilder(name)
+        self._functions = {fn.name: fn for fn in unit.functions}
+        self._globals: dict[str, ast.GlobalVar] = {
+            g.name: g for g in unit.globals
+        }
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> AsmBuilder:
+        if "main" not in self._functions:
+            raise CompileError("no main() function", self.unit.line)
+        for g in self.unit.globals:
+            size = g.size or 1
+            values = list(g.init) + [0] * (size - len(g.init))
+            self.b.word(f"g_{g.name}", values)
+
+        # entry stub: call main, halt with its result in $v0
+        self.b.label("main")
+        self.b.ins("jal fn_main", "halt")
+        for fn in self.unit.functions:
+            self._function(fn)
+        return self.b
+
+    # ------------------------------------------------------------------
+
+    def _function(self, fn: ast.FuncDef) -> None:
+        if len(fn.params) > len(_ARG_REGS):
+            raise CompileError(
+                f"{fn.name}: at most {len(_ARG_REGS)} parameters", fn.line
+            )
+        ctx = _FuncContext(fn, _count_locals(fn.body) + len(fn.params))
+        ctx.epilogue_label = self.b.fresh(f"ret_{fn.name}")
+        b = self.b
+        b.label(f"fn_{fn.name}")
+        b.ins(f"addiu $sp, $sp, {-ctx.frame_size}")
+        b.ins(f"sw $ra, {ctx.ra_offset}($sp)")
+        for i, param in enumerate(fn.params):
+            slot = ctx.declare(param, fn.line)
+            b.ins(f"sw {_ARG_REGS[i]}, {4 * slot}($sp)")
+        self._block(ctx, fn.body, new_scope=False)
+        b.ins("li $v0, 0")          # fall-off-the-end default return
+        b.label(ctx.epilogue_label)
+        b.ins(f"lw $ra, {ctx.ra_offset}($sp)")
+        b.ins(f"addiu $sp, $sp, {ctx.frame_size}")
+        b.ins("jr $ra")
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _block(self, ctx: _FuncContext, block: ast.Block,
+               new_scope: bool = True) -> None:
+        if new_scope:
+            ctx.push_scope()
+        for stmt in block.statements:
+            self._statement(ctx, stmt)
+        if new_scope:
+            ctx.pop_scope()
+
+    def _statement(self, ctx: _FuncContext, stmt: ast.Stmt) -> None:
+        b = self.b
+        if isinstance(stmt, ast.Block):
+            self._block(ctx, stmt)
+        elif isinstance(stmt, ast.Declare):
+            slot = ctx.declare(stmt.name, stmt.line)
+            if stmt.init is not None:
+                reg = self._expr(ctx, stmt.init)
+                b.ins(f"sw {reg}, {4 * slot}($sp)")
+                self._pop(ctx)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(ctx, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(ctx, stmt.expr)
+            self._pop(ctx)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self._expr(ctx, stmt.value)
+                b.ins(f"move $v0, {reg}")
+                self._pop(ctx)
+            b.ins(f"b {ctx.epilogue_label}")
+        elif isinstance(stmt, ast.If):
+            self._if(ctx, stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(ctx, stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(ctx, stmt)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {stmt!r}", stmt.line)
+
+    def _assign(self, ctx: _FuncContext, stmt: ast.Assign) -> None:
+        b = self.b
+        value_reg = self._expr(ctx, stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            slot = ctx.lookup(target.name)
+            if slot is not None:
+                b.ins(f"sw {value_reg}, {4 * slot}($sp)")
+            else:
+                g = self._global_or_fail(target.name, target.line, scalar=True)
+                b.ins(f"la $t8, g_{g.name}", f"sw {value_reg}, 0($t8)")
+        else:
+            g = self._global_or_fail(target.array, target.line, scalar=False)
+            index_reg = self._expr(ctx, target.index)
+            b.ins(
+                f"sll $t8, {index_reg}, 2",
+                f"la $t9, g_{g.name}",
+                "addu $t8, $t8, $t9",
+                f"sw {value_reg}, 0($t8)",
+            )
+            self._pop(ctx)
+        self._pop(ctx)
+
+    def _if(self, ctx: _FuncContext, stmt: ast.If) -> None:
+        b = self.b
+        else_label = b.fresh("else")
+        end_label = b.fresh("endif")
+        cond = self._expr(ctx, stmt.cond)
+        b.ins(f"beq {cond}, $zero, {else_label if stmt.orelse else end_label}")
+        self._pop(ctx)
+        self._block(ctx, stmt.then)
+        if stmt.orelse:
+            b.ins(f"b {end_label}")
+            b.label(else_label)
+            self._block(ctx, stmt.orelse)
+        b.label(end_label)
+
+    def _while(self, ctx: _FuncContext, stmt: ast.While) -> None:
+        b = self.b
+        head = b.fresh("while")
+        end = b.fresh("endwhile")
+        b.label(head)
+        cond = self._expr(ctx, stmt.cond)
+        b.ins(f"beq {cond}, $zero, {end}")
+        self._pop(ctx)
+        self._block(ctx, stmt.body)
+        b.ins(f"b {head}")
+        b.label(end)
+
+    def _for(self, ctx: _FuncContext, stmt: ast.For) -> None:
+        b = self.b
+        ctx.push_scope()            # for-init declarations scope
+        if stmt.init is not None:
+            self._statement(ctx, stmt.init)
+        head = b.fresh("for")
+        end = b.fresh("endfor")
+        b.label(head)
+        if stmt.cond is not None:
+            cond = self._expr(ctx, stmt.cond)
+            b.ins(f"beq {cond}, $zero, {end}")
+            self._pop(ctx)
+        self._block(ctx, stmt.body)
+        if stmt.step is not None:
+            self._statement(ctx, stmt.step)
+        b.ins(f"b {head}")
+        b.label(end)
+        ctx.pop_scope()
+
+    # ------------------------------------------------------------------
+    # expressions (register-stack discipline)
+
+    def _push(self, ctx: _FuncContext, line: int) -> str:
+        if ctx.depth >= len(_TEMPS):
+            raise CompileError(
+                "expression too deeply nested (8 temporaries)", line
+            )
+        reg = _TEMPS[ctx.depth]
+        ctx.depth += 1
+        return reg
+
+    def _pop(self, ctx: _FuncContext) -> None:
+        assert ctx.depth > 0
+        ctx.depth -= 1
+
+    def _expr(self, ctx: _FuncContext, expr: ast.Expr) -> str:
+        """Generate code leaving the value in the returned temp register
+        (pushed on the expression stack)."""
+        b = self.b
+        if isinstance(expr, ast.IntLit):
+            reg = self._push(ctx, expr.line)
+            b.ins(f"li {reg}, {expr.value}")
+            return reg
+        if isinstance(expr, ast.Var):
+            reg = self._push(ctx, expr.line)
+            slot = ctx.lookup(expr.name)
+            if slot is not None:
+                b.ins(f"lw {reg}, {4 * slot}($sp)")
+            else:
+                g = self._global_or_fail(expr.name, expr.line, scalar=True)
+                b.ins(f"la $t8, g_{g.name}", f"lw {reg}, 0($t8)")
+            return reg
+        if isinstance(expr, ast.Index):
+            g = self._global_or_fail(expr.array, expr.line, scalar=False)
+            index_reg = self._expr(ctx, expr.index)
+            b.ins(
+                f"sll $t8, {index_reg}, 2",
+                f"la $t9, g_{g.name}",
+                "addu $t8, $t8, $t9",
+                f"lw {index_reg}, 0($t8)",
+            )
+            return index_reg
+        if isinstance(expr, ast.UnOp):
+            return self._unop(ctx, expr)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(ctx, expr)
+        if isinstance(expr, ast.Call):
+            return self._call(ctx, expr)
+        raise CompileError(f"unknown expression {expr!r}", expr.line)
+
+    def _unop(self, ctx: _FuncContext, expr: ast.UnOp) -> str:
+        b = self.b
+        reg = self._expr(ctx, expr.operand)
+        if expr.op == "-":
+            b.ins(f"subu {reg}, $zero, {reg}")
+        elif expr.op == "~":
+            b.ins(f"nor {reg}, {reg}, $zero")
+        else:  # "!"
+            b.ins(f"sltiu {reg}, {reg}, 1")
+        return reg
+
+    def _binop(self, ctx: _FuncContext, expr: ast.BinOp) -> str:
+        b = self.b
+        if expr.op in ("&&", "||"):
+            return self._short_circuit(ctx, expr)
+        left = self._expr(ctx, expr.left)
+        right = self._expr(ctx, expr.right)
+        op = expr.op
+        if op in _SIMPLE_BINOPS:
+            b.ins(f"{_SIMPLE_BINOPS[op]} {left}, {left}, {right}")
+        elif op == "<":
+            b.ins(f"slt {left}, {left}, {right}")
+        elif op == ">":
+            b.ins(f"slt {left}, {right}, {left}")
+        elif op == "<=":
+            b.ins(f"slt {left}, {right}, {left}", f"xori {left}, {left}, 1")
+        elif op == ">=":
+            b.ins(f"slt {left}, {left}, {right}", f"xori {left}, {left}, 1")
+        elif op == "==":
+            b.ins(f"xor {left}, {left}, {right}", f"sltiu {left}, {left}, 1")
+        elif op == "!=":
+            b.ins(f"xor {left}, {left}, {right}",
+                  f"sltu {left}, $zero, {left}")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown operator {op!r}", expr.line)
+        self._pop(ctx)
+        return left
+
+    def _short_circuit(self, ctx: _FuncContext, expr: ast.BinOp) -> str:
+        b = self.b
+        done = b.fresh("sc")
+        left = self._expr(ctx, expr.left)
+        b.ins(f"sltu {left}, $zero, {left}")      # normalise to 0/1
+        if expr.op == "&&":
+            b.ins(f"beq {left}, $zero, {done}")
+        else:
+            b.ins(f"bne {left}, $zero, {done}")
+        right = self._expr(ctx, expr.right)
+        b.ins(f"sltu {right}, $zero, {right}",
+              f"move {left}, {right}")
+        self._pop(ctx)
+        b.label(done)
+        return left
+
+    def _call(self, ctx: _FuncContext, expr: ast.Call) -> str:
+        b = self.b
+        fn = self._functions.get(expr.name)
+        if fn is None:
+            raise CompileError(f"call to undefined function {expr.name!r}",
+                               expr.line)
+        if len(expr.args) != len(fn.params):
+            raise CompileError(
+                f"{expr.name} expects {len(fn.params)} arguments, "
+                f"got {len(expr.args)}", expr.line,
+            )
+        live = ctx.depth
+        # evaluate arguments onto the temp stack
+        for arg in expr.args:
+            self._expr(ctx, arg)
+        # save live temps (pre-call values) below $sp, then marshal args
+        save_bytes = 4 * live
+        if save_bytes:
+            b.ins(f"addiu $sp, $sp, {-save_bytes}")
+            for i in range(live):
+                b.ins(f"sw {_TEMPS[i]}, {4 * i}($sp)")
+        for i in range(len(expr.args)):
+            b.ins(f"move {_ARG_REGS[i]}, {_TEMPS[live + i]}")
+        b.ins(f"jal fn_{expr.name}")
+        if save_bytes:
+            for i in range(live):
+                b.ins(f"lw {_TEMPS[i]}, {4 * i}($sp)")
+            b.ins(f"addiu $sp, $sp, {save_bytes}")
+        for _ in expr.args:
+            self._pop(ctx)
+        reg = self._push(ctx, expr.line)
+        b.ins(f"move {reg}, $v0")
+        return reg
+
+    # ------------------------------------------------------------------
+
+    def _global_or_fail(self, name: str, line: int, scalar: bool):
+        g = self._globals.get(name)
+        if g is None:
+            raise CompileError(f"undefined variable {name!r}", line)
+        if scalar and g.size is not None and g.size > 1:
+            raise CompileError(f"{name!r} is an array (missing index?)", line)
+        if not scalar and g.size is None:
+            raise CompileError(f"{name!r} is a scalar (unexpected index)", line)
+        return g

@@ -1,0 +1,37 @@
+"""The minic compiler driver."""
+
+from __future__ import annotations
+
+from repro.cc.codegen import CodeGenerator
+from repro.cc.parser import parse
+from repro.program.program import Program
+
+
+def compile_source(
+    source: str, name: str = "minic", optimize: bool = False
+) -> Program:
+    """Compile minic source to a validated, runnable :class:`Program`.
+
+    Execution begins at ``main`` (the label, which calls ``fn_main``);
+    returning from ``main`` halts the machine with the return value in
+    ``$v0``. Globals are visible as data symbols named ``g_<name>``.
+    With ``optimize=True`` the :mod:`repro.opt` pass pipeline (copy
+    propagation, store-to-load forwarding, dead-code elimination) cleans
+    up the naive codegen output.
+    """
+    unit = parse(source)
+    builder = CodeGenerator(unit, name=name).generate()
+    program = builder.build()
+    if optimize:
+        from repro.opt import optimize_program
+
+        program, _ = optimize_program(program)
+    return program
+
+
+def compile_and_run(source: str, name: str = "minic", **run_kwargs):
+    """Compile and functionally execute; returns the ExecutionResult."""
+    from repro.sim.functional import FunctionalSimulator
+
+    program = compile_source(source, name=name)
+    return FunctionalSimulator(program).run(**run_kwargs)

@@ -1,0 +1,98 @@
+"""Tokenizer for the minic language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class CompileError(ReproError):
+    """Raised for any minic front-end error."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+KEYWORDS = {"int", "void", "if", "else", "while", "for", "return"}
+
+# multi-character operators, longest first
+_OPERATORS = [
+    "<<=", ">>=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "int" | "ident" | "kw" | "op" | "eof"
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        assert self.kind == "int"
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    i, line = 0, 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i + 1
+            if ch == "0" and j < n and source[j] in "xX":
+                j += 1
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            tokens.append(Token("int", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(
+                Token("kw" if text in KEYWORDS else "ident", text, line)
+            )
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

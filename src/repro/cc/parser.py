@@ -1,0 +1,321 @@
+"""Recursive-descent parser for minic.
+
+Grammar (C subset)::
+
+    unit      := (global | funcdef)*
+    global    := "int" ident ("[" int "]")? ("=" init)? ";"
+    init      := int | "{" int ("," int)* "}"
+    funcdef   := ("int" | "void") ident "(" params? ")" block
+    params    := "int" ident ("," "int" ident)*
+    block     := "{" stmt* "}"
+    stmt      := "int" ident ("=" expr)? ";"
+               | lvalue assignop expr ";"
+               | lvalue ("++" | "--") ";"
+               | "if" "(" expr ")" block ("else" (block | ifstmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "return" expr? ";"
+               | expr ";"
+               | block
+    expr      := C expression grammar: ?: excluded; "||" down to primary
+"""
+
+from __future__ import annotations
+
+from repro.cc import ast
+from repro.cc.lexer import CompileError, Token, tokenize
+
+# binary operator precedence (higher binds tighter); matches C
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tok
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.tok
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {self.tok.text!r}", self.tok.line
+            )
+        return tok
+
+    def peek_op(self, text: str) -> bool:
+        return self.tok.kind == "op" and self.tok.text == text
+
+    # ------------------------------------------------------------------
+    # toplevel
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        line = self.tok.line
+        globals_: list[ast.GlobalVar] = []
+        functions: list[ast.FuncDef] = []
+        while self.tok.kind != "eof":
+            kw = self.expect("kw")
+            if kw.text not in ("int", "void"):
+                raise CompileError(f"expected declaration, got {kw.text!r}",
+                                   kw.line)
+            name = self.expect("ident")
+            if self.peek_op("("):
+                functions.append(
+                    self._funcdef(name.text, kw.text == "int", kw.line)
+                )
+            else:
+                if kw.text == "void":
+                    raise CompileError("void variables not allowed", kw.line)
+                globals_.append(self._global(name.text, kw.line))
+        return ast.TranslationUnit(
+            line=line, globals=tuple(globals_), functions=tuple(functions)
+        )
+
+    def _global(self, name: str, line: int) -> ast.GlobalVar:
+        size: int | None = None
+        infer_size = False
+        if self.accept("op", "["):
+            if self.accept("op", "]"):
+                infer_size = True   # int a[] = {...}
+            else:
+                size = self.expect("int").value
+                self.expect("op", "]")
+                if size <= 0:
+                    raise CompileError("array size must be positive", line)
+        init: tuple[int, ...] = ()
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [self._signed_int()]
+                while self.accept("op", ","):
+                    values.append(self._signed_int())
+                self.expect("op", "}")
+                init = tuple(values)
+                if size is None:
+                    size = len(init)
+                if len(init) > size:
+                    raise CompileError("too many initialisers", line)
+            else:
+                init = (self._signed_int(),)
+        if infer_size and size is None:
+            raise CompileError("array with [] needs an initialiser", line)
+        self.expect("op", ";")
+        return ast.GlobalVar(line=line, name=name, size=size, init=init)
+
+    def _signed_int(self) -> int:
+        neg = self.accept("op", "-") is not None
+        value = self.expect("int").value
+        return -value if neg else value
+
+    def _funcdef(self, name: str, returns_value: bool, line: int) -> ast.FuncDef:
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.peek_op(")"):
+            if self.accept("kw", "void") is None:
+                while True:
+                    self.expect("kw", "int")
+                    params.append(self.expect("ident").text)
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = self._block()
+        return ast.FuncDef(
+            line=line, name=name, params=tuple(params), body=body,
+            returns_value=returns_value,
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _block(self) -> ast.Block:
+        start = self.expect("op", "{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                raise CompileError("unterminated block", start.line)
+            statements.append(self._statement())
+        return ast.Block(line=start.line, statements=tuple(statements))
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.tok
+        if tok.kind == "op" and tok.text == "{":
+            return self._block()
+        if tok.kind == "kw":
+            if tok.text == "int":
+                stmt = self._declaration()
+                self.expect("op", ";")
+                return stmt
+            if tok.text == "if":
+                return self._if()
+            if tok.text == "while":
+                return self._while()
+            if tok.text == "for":
+                return self._for()
+            if tok.text == "return":
+                self.advance()
+                value = None if self.peek_op(";") else self._expr()
+                self.expect("op", ";")
+                return ast.Return(line=tok.line, value=value)
+        stmt = self._simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def _declaration(self) -> ast.Declare:
+        line = self.expect("kw", "int").line
+        name = self.expect("ident").text
+        init = self._expr() if self.accept("op", "=") else None
+        return ast.Declare(line=line, name=name, init=init)
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression."""
+        line = self.tok.line
+        expr = self._expr()
+        if isinstance(expr, (ast.Var, ast.Index)):
+            for op in _ASSIGN_OPS:
+                if self.peek_op(op):
+                    self.advance()
+                    value = self._expr()
+                    if op != "=":
+                        value = ast.BinOp(
+                            line=line, op=op[:-1], left=expr, right=value
+                        )
+                    return ast.Assign(line=line, target=expr, value=value)
+            if self.peek_op("++") or self.peek_op("--"):
+                op = self.advance().text
+                one = ast.IntLit(line=line, value=1)
+                return ast.Assign(
+                    line=line,
+                    target=expr,
+                    value=ast.BinOp(line=line, op=op[0], left=expr, right=one),
+                )
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def _if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then = self._block()
+        orelse: ast.Block | None = None
+        if self.accept("kw", "else"):
+            if self.tok.kind == "kw" and self.tok.text == "if":
+                nested = self._if()
+                orelse = ast.Block(line=nested.line, statements=(nested,))
+            else:
+                orelse = self._block()
+        return ast.If(line=line, cond=cond, then=then, orelse=orelse)
+
+    def _while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        return ast.While(line=line, cond=cond, body=self._block())
+
+    def _for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self.peek_op(";"):
+            if self.tok.kind == "kw" and self.tok.text == "int":
+                init = self._declaration()
+            else:
+                init = self._simple_statement()
+        self.expect("op", ";")
+        cond = None if self.peek_op(";") else self._expr()
+        self.expect("op", ";")
+        step: ast.Stmt | None = None
+        if not self.peek_op(")"):
+            step = self._simple_statement()
+        self.expect("op", ")")
+        return ast.For(line=line, init=init, cond=cond, step=step,
+                       body=self._block())
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.tok.kind == "op" and self.tok.text in ops:
+            # don't confuse "x = ..." handled by statements; '=' is not here
+            op = self.advance()
+            right = self._binary(level + 1)
+            left = ast.BinOp(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "op" and tok.text in ("-", "~", "!"):
+            self.advance()
+            return ast.UnOp(line=tok.line, op=tok.text, operand=self._unary())
+        if tok.kind == "op" and tok.text == "+":
+            self.advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            inner = self._expr()
+            self.expect("op", ")")
+            return inner
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.peek_op(")"):
+                    args.append(self._expr())
+                    while self.accept("op", ","):
+                        args.append(self._expr())
+                self.expect("op", ")")
+                return ast.Call(line=tok.line, name=tok.text, args=tuple(args))
+            if self.accept("op", "["):
+                index = self._expr()
+                self.expect("op", "]")
+                return ast.Index(line=tok.line, array=tok.text, index=index)
+            return ast.Var(line=tok.line, name=tok.text)
+        raise CompileError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse minic source into a translation unit."""
+    return _Parser(tokenize(source)).parse_unit()

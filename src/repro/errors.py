@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised for syntactic or semantic errors in assembly source.
+
+    Carries an optional source line number for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded/decoded as 32 bits."""
+
+
+class SimulationError(ReproError):
+    """Raised for runtime faults during simulation (bad PC, misalignment)."""
+
+
+class MemoryFault(SimulationError):
+    """Raised on access to an unmapped or misaligned memory address."""
+
+    def __init__(self, message: str, address: int | None = None):
+        self.address = address
+        super().__init__(message)
+
+
+class InvalidProgramError(ReproError):
+    """Raised when a Program violates a structural invariant (e.g. an
+    undefined label, a branch out of range, or a malformed basic block)."""
+
+
+class ExtInstError(ReproError):
+    """Raised when an extended-instruction definition or rewrite is invalid
+    (constraint violation, failed semantic-equivalence validation, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid machine/experiment configuration values."""

@@ -1,0 +1,48 @@
+"""Extended-instruction machinery — the paper's primary contribution.
+
+Pipeline:
+
+1. :mod:`repro.profiling` profiles the program (execution counts, operand
+   bitwidths) — the paper's ``sim_profile``-based tool.
+2. :mod:`repro.extinst.extraction` mines *maximal candidate sequences*
+   from basic-block dataflow graphs under the §4 constraints: candidate
+   (narrow ALU) operations only, at most two register inputs, one output,
+   intermediate values dead outside the sequence.
+3. Either :func:`repro.extinst.greedy.greedy_select` (§4: take everything)
+   or :func:`repro.extinst.selective.selective_select` (§5: the gain
+   threshold + per-loop subsequence-matrix algorithm) picks which
+   sequences become PFU configurations.
+4. :mod:`repro.extinst.rewriter` rewrites the program, replacing each
+   chosen occurrence with a single ``ext`` instruction, and emits the
+   ``conf -> ExtInstDef`` table both simulators consume.
+5. :mod:`repro.extinst.validate` checks semantic equivalence of the
+   rewritten program against the original.
+"""
+
+from repro.extinst.extdef import ExtInstDef, ExtOp, OperandRef
+from repro.extinst.extraction import (
+    CandidateSequence,
+    ExtractionParams,
+    extract_candidate_sequences,
+)
+from repro.extinst.greedy import greedy_select
+from repro.extinst.rewriter import apply_selection
+from repro.extinst.selection import RewriteSite, Selection
+from repro.extinst.selective import SelectiveParams, selective_select
+from repro.extinst.validate import validate_equivalence
+
+__all__ = [
+    "ExtInstDef",
+    "ExtOp",
+    "OperandRef",
+    "CandidateSequence",
+    "ExtractionParams",
+    "extract_candidate_sequences",
+    "greedy_select",
+    "selective_select",
+    "SelectiveParams",
+    "Selection",
+    "RewriteSite",
+    "apply_selection",
+    "validate_equivalence",
+]

@@ -1,0 +1,174 @@
+"""Extended-instruction definitions (PFU configurations).
+
+An :class:`ExtInstDef` is the dataflow function a PFU gets configured to
+compute: a small DAG of ALU operations over at most two register inputs
+(the register-file port constraint of §2) producing one output. Immediate
+values from the original code are baked into the configuration.
+
+Two instruction sequences that perform the same operation "share an
+identical PFU configuration" (§5.1, Figure 3) — identity is structural:
+:attr:`ExtInstDef.key` canonicalises the DAG (opcodes, operand wiring,
+immediates) independent of which architectural registers the original
+code used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ExtInstError
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import alu_eval, has_alu_semantics
+
+#: Operand reference inside an ExtInstDef:
+#: ``("in", 0|1)`` — external input slot; ``("node", j)`` — output of node j;
+#: ``("imm", v)`` — baked-in immediate; ``("zero",)`` — the constant 0.
+OperandRef = Union[tuple[str, int], tuple[str]]
+
+
+@dataclass(frozen=True)
+class ExtOp:
+    """One operation node. ``b`` is None for LUI (its immediate is in ``a``
+    position semantics; see alu_eval) — in practice both operands are
+    always present as refs."""
+
+    op: Opcode
+    a: OperandRef
+    b: OperandRef
+
+    def __post_init__(self) -> None:
+        if not has_alu_semantics(self.op):
+            raise ExtInstError(f"{self.op} cannot be part of an extended instruction")
+        for ref in (self.a, self.b):
+            if ref[0] not in ("in", "node", "imm", "zero"):
+                raise ExtInstError(f"bad operand reference {ref!r}")
+
+
+@dataclass(frozen=True)
+class ExtInstDef:
+    """A PFU configuration: a topologically ordered operation DAG.
+
+    The value of the last node is the instruction's result. ``n_inputs``
+    is the number of external register operands (1 or 2).
+    """
+
+    nodes: tuple[ExtOp, ...]
+    n_inputs: int
+    name: str = ""
+    latency: int = 1
+
+    #: The T1000 encoding provides two register read ports (§2); wider
+    #: definitions (up to 4 inputs) exist only for design-space analysis
+    #: (the register-port ablation) and cannot be rewritten into programs
+    #: — the rewriter enforces the architectural limit.
+    MAX_ANALYSIS_INPUTS = 4
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ExtInstError("extended instruction needs at least one node")
+        if not 1 <= self.n_inputs <= self.MAX_ANALYSIS_INPUTS:
+            raise ExtInstError(
+                f"extended instructions take 1-{self.MAX_ANALYSIS_INPUTS} "
+                f"inputs, got {self.n_inputs}"
+            )
+        for j, node in enumerate(self.nodes):
+            for ref in (node.a, node.b):
+                if ref[0] == "node" and not 0 <= ref[1] < j:
+                    raise ExtInstError(
+                        f"node {j} references node {ref[1]} out of topo order"
+                    )
+                if ref[0] == "in" and not 0 <= ref[1] < self.n_inputs:
+                    raise ExtInstError(f"node {j} references input {ref[1]}")
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def key(self) -> tuple:
+        """Canonical structural identity (register-name independent)."""
+        return tuple(
+            (node.op.value, node.a, node.b) for node in self.nodes
+        ) + (self.n_inputs,)
+
+    def evaluate(self, a: int, b: int = 0, *rest: int) -> int:
+        """Interpret the DAG on input values ``a`` (slot 0) and ``b`` (slot 1).
+
+        Shares :func:`alu_eval` with the functional simulator, so a folded
+        sequence computes exactly what the original instructions did.
+        Extra slots (analysis-only wide definitions) follow positionally.
+        """
+        inputs = (a, b, *rest)
+        values: list[int] = []
+        for node in self.nodes:
+            operands = []
+            for ref in (node.a, node.b):
+                kind = ref[0]
+                if kind == "in":
+                    operands.append(inputs[ref[1]])
+                elif kind == "node":
+                    operands.append(values[ref[1]])
+                elif kind == "imm":
+                    operands.append(ref[1] & 0xFFFF_FFFF)
+                else:  # zero
+                    operands.append(0)
+            values.append(alu_eval(node.op, operands[0], operands[1]))
+        return values[-1]
+
+    @property
+    def depth(self) -> int:
+        """Critical-path length in operation nodes.
+
+        The base out-of-order machine needs at least ``depth`` cycles to
+        execute the sequence (each node is a 1-cycle ALU op); a PFU does it
+        in one. The per-execution cycle gain is therefore ``depth - 1``
+        (§2.1's example: 3 dependent ops, 3 cycles -> 1 cycle, saving 2).
+        """
+        depths = []
+        for node in self.nodes:
+            d = 1
+            for ref in (node.a, node.b):
+                if ref[0] == "node":
+                    d = max(d, depths[ref[1]] + 1)
+            depths.append(d)
+        return max(depths)
+
+    @property
+    def gain_per_execution(self) -> int:
+        """Cycles saved each time this instruction executes (vs base ALUs)."""
+        return self.depth - 1
+
+    def describe(self) -> str:
+        """Human-readable listing of the configuration's dataflow."""
+        def fmt(ref: OperandRef) -> str:
+            kind = ref[0]
+            if kind == "in":
+                return f"in{ref[1]}"
+            if kind == "node":
+                return f"n{ref[1]}"
+            if kind == "imm":
+                return f"#{ref[1]}"
+            return "0"
+
+        lines = [
+            f"n{j} = {node.op.value}({fmt(node.a)}, {fmt(node.b)})"
+            for j, node in enumerate(self.nodes)
+        ]
+        header = self.name or "extinst"
+        return (
+            f"{header}: {self.n_inputs} input(s), {len(self.nodes)} ops, "
+            f"depth {self.depth}\n  " + "\n  ".join(lines)
+        )
+
+
+def sequential_chain(ops: list[tuple[Opcode, OperandRef, OperandRef]]) -> ExtInstDef:
+    """Test/demo helper: build an ExtInstDef from explicit node tuples."""
+    nodes = tuple(ExtOp(op, a, b) for op, a, b in ops)
+    n_inputs = 0
+    for node in nodes:
+        for ref in (node.a, node.b):
+            if ref[0] == "in":
+                n_inputs = max(n_inputs, ref[1] + 1)
+    return ExtInstDef(nodes=nodes, n_inputs=max(1, n_inputs))

@@ -1,0 +1,60 @@
+"""The greedy selection algorithm (§4).
+
+"Our greedy selection algorithm chooses all extended instructions that
+satisfy the following three criteria" — candidate (narrow ALU) ops, at
+most two inputs / one output, maximal sequences. It pays no attention to
+the number of PFUs or reconfiguration time; with limited PFUs it thrashes
+(Figure 2, third bar), which is exactly what the selective algorithm of
+§5 fixes.
+"""
+
+from __future__ import annotations
+
+from repro.extinst.extraction import (
+    ExtractionParams,
+    extract_candidate_sequences,
+)
+from repro.extinst.selection import ConfAllocator, RewriteSite, Selection
+from repro.profiling.profiler import ProgramProfile
+
+
+def greedy_select(
+    profile: ProgramProfile,
+    params: ExtractionParams | None = None,
+) -> Selection:
+    """Fold every maximal candidate sequence in the program."""
+    sequences = extract_candidate_sequences(profile, params)
+    allocator = ConfAllocator()
+    sites: list[RewriteSite] = []
+    for seq in sequences:
+        conf = allocator.conf_for(seq.extdef)
+        sites.append(
+            RewriteSite(
+                bid=seq.bid,
+                nodes=seq.nodes,
+                conf=conf,
+                input_regs=seq.input_regs,
+                output_reg=seq.output_reg,
+            )
+        )
+    return Selection(
+        ext_defs=allocator.defs,
+        sites=sites,
+        algorithm="greedy",
+        meta={
+            "n_maximal_sequences": len(sequences),
+            "sequence_lengths": sorted(len(s.nodes) for s in sequences),
+        },
+    )
+
+
+def greedy_statistics(profile: ProgramProfile, params=None) -> dict:
+    """§4.1 reporting helper: distinct extended instructions and lengths."""
+    selection = greedy_select(profile, params)
+    lengths = [len(site.nodes) for site in selection.sites]
+    return {
+        "distinct_configs": selection.n_configs,
+        "sites": len(selection.sites),
+        "min_length": min(lengths) if lengths else 0,
+        "max_length": max(lengths) if lengths else 0,
+    }

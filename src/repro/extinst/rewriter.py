@@ -1,0 +1,71 @@
+"""Program rewriting: fold selected sequences into ``ext`` instructions.
+
+For each :class:`RewriteSite` the interior nodes are deleted and the root
+is replaced by ``ext rd, rs, rt, conf``. Because control-flow targets are
+symbolic labels, deletion is pure list surgery: labels are remapped to the
+first surviving instruction at or after their old position (correct
+because sequences live strictly inside basic blocks — any label pointing
+into a sequence is the block leader, and execution through the block
+reaches the root's ``ext``, which performs all folded work).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExtInstError
+from repro.extinst.extdef import ExtInstDef
+from repro.extinst.selection import Selection
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.program import Program
+
+
+def apply_selection(
+    program: Program, selection: Selection
+) -> tuple[Program, dict[int, ExtInstDef]]:
+    """Rewrite ``program`` per ``selection``.
+
+    Returns the new program and the ``conf -> ExtInstDef`` table the
+    simulators need. Raises :class:`ExtInstError` on overlapping sites.
+    """
+    n = len(program.text)
+    deleted: set[int] = set()
+    replacement: dict[int, Instruction] = {}
+
+    for site in selection.sites:
+        if site.conf not in selection.ext_defs:
+            raise ExtInstError(f"site references unknown conf {site.conf}")
+        for idx in site.nodes:
+            if idx in deleted or idx in replacement:
+                raise ExtInstError(
+                    f"overlapping rewrite sites at instruction {idx}"
+                )
+            if not 0 <= idx < n:
+                raise ExtInstError(f"rewrite site index {idx} out of range")
+        if len(site.input_regs) > 2:
+            raise ExtInstError(
+                f"site at {site.root} needs {len(site.input_regs)} register "
+                "inputs; the ext encoding provides two read ports (§2)"
+            )
+        rs = site.input_regs[0] if site.input_regs else 0
+        rt = site.input_regs[1] if len(site.input_regs) > 1 else 0
+        replacement[site.root] = Instruction(
+            Opcode.EXT, rd=site.output_reg, rs=rs, rt=rt, conf=site.conf
+        )
+        deleted.update(site.nodes[:-1])
+
+    new_text: list[Instruction] = []
+    new_index_of: list[int] = [0] * (n + 1)  # old index -> new index mapping
+    for old in range(n):
+        new_index_of[old] = len(new_text)
+        if old in deleted:
+            continue
+        new_text.append(replacement.get(old, program.text[old]))
+    new_index_of[n] = len(new_text)
+
+    new_labels = {
+        label: new_index_of[idx] for label, idx in program.labels.items()
+    }
+    rewritten = program.with_text(new_text, new_labels)
+    rewritten.name = f"{program.name}+ext"
+    rewritten.validate()
+    return rewritten, dict(selection.ext_defs)

@@ -1,0 +1,67 @@
+"""Selection results: which configurations exist and where they apply."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extinst.extdef import ExtInstDef
+
+
+@dataclass(frozen=True)
+class RewriteSite:
+    """One program location to fold: ``nodes`` (ascending instruction
+    indices inside block ``bid``) collapse into ``ext rd, rs, rt, conf``
+    placed at the root (last node)."""
+
+    bid: int
+    nodes: tuple[int, ...]
+    conf: int
+    input_regs: tuple[int, ...]
+    output_reg: int
+
+    @property
+    def root(self) -> int:
+        return self.nodes[-1]
+
+
+@dataclass
+class Selection:
+    """Output of a selection algorithm."""
+
+    ext_defs: dict[int, ExtInstDef]    # conf id -> configuration
+    sites: list[RewriteSite]
+    algorithm: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.ext_defs)
+
+    def configs_in_sites(self) -> set[int]:
+        return {site.conf for site in self.sites}
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.algorithm} selection: {self.n_configs} configuration(s), "
+            f"{len(self.sites)} rewrite site(s)"
+        ]
+        for conf, extdef in sorted(self.ext_defs.items()):
+            uses = sum(1 for s in self.sites if s.conf == conf)
+            lines.append(f"  conf {conf}: {len(extdef)} ops, {uses} site(s)")
+        return "\n".join(lines)
+
+
+class ConfAllocator:
+    """Assigns stable conf ids to canonical configuration keys."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[tuple, int] = {}
+        self.defs: dict[int, ExtInstDef] = {}
+
+    def conf_for(self, extdef: ExtInstDef) -> int:
+        conf = self._by_key.get(extdef.key)
+        if conf is None:
+            conf = len(self._by_key)
+            self._by_key[extdef.key] = conf
+            self.defs[conf] = extdef
+        return conf

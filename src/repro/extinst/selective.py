@@ -1,0 +1,262 @@
+"""The selective algorithm (§5) — the paper's main contribution.
+
+Steps (Figure 5):
+
+1. Profile the program; extract maximal candidate sequences.
+2. Compute potential gains. Keep only sequences responsible for at least
+   a ``gain_threshold`` fraction (0.5%) of total application time — this
+   focuses on high-payoff sequences and bounds the number of distinct
+   configurations.
+3. If the number of distinct configurations fits the PFU count, select
+   them all and exit.
+4. Otherwise consider loop bodies one at a time (innermost first). For a
+   loop with more distinct sequences than PFUs, build the subsequence
+   containment matrix and select the ``#PFU`` patterns with the highest
+   total gain — possibly a short common subsequence shared by several
+   maximal sequences instead of each maximal sequence separately
+   (Figure 3/4's example).
+
+The per-loop cap is what prevents PFU thrashing: within any one loop the
+rewritten code uses at most ``n_pfus`` distinct configurations, so steady
+state pays no reconfigurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extinst.extraction import (
+    CandidateSequence,
+    ExtractionParams,
+    extract_candidate_sequences,
+)
+from repro.extinst.matrix import (
+    SubOccurrence,
+    build_containment_matrix,
+    enumerate_subsequences,
+)
+from repro.extinst.selection import ConfAllocator, RewriteSite, Selection
+from repro.profiling.profiler import ProgramProfile
+from repro.program.dfg import build_all_dfgs
+from repro.program.liveness import compute_liveness
+
+
+@dataclass(frozen=True)
+class SelectiveParams:
+    """Tunables of the selective algorithm (paper defaults)."""
+
+    gain_threshold: float = 0.005   # §5.1: 0.5% of total application time
+    extraction: ExtractionParams = field(default_factory=ExtractionParams)
+
+
+def selective_select(
+    profile: ProgramProfile,
+    n_pfus: int | None,
+    params: SelectiveParams | None = None,
+) -> Selection:
+    """Run the selective algorithm for a machine with ``n_pfus`` PFUs.
+
+    ``n_pfus=None`` (unlimited) degenerates to "select everything that
+    passes the gain threshold" — the Figure 6 fourth bar.
+    """
+    params = params or SelectiveParams()
+    sequences = extract_candidate_sequences(profile, params.extraction)
+    total_time = max(1, profile.base_cycles_estimate)
+
+    kept = [
+        seq
+        for seq in sequences
+        if seq.exec_count * len(seq.nodes) / total_time >= params.gain_threshold
+    ]
+    distinct_keys = {seq.key for seq in kept}
+    meta = {
+        "n_maximal_sequences": len(sequences),
+        "n_after_threshold": len(kept),
+        "n_distinct_after_threshold": len(distinct_keys),
+        "gain_threshold": params.gain_threshold,
+        "n_pfus": n_pfus,
+    }
+
+    if n_pfus is None or len(distinct_keys) <= n_pfus:
+        meta["per_loop_phase"] = False
+        return _select_whole_sequences(kept, meta)
+
+    meta["per_loop_phase"] = True
+    return _select_per_loop(profile, kept, n_pfus, params, meta)
+
+
+def _select_whole_sequences(
+    kept: list[CandidateSequence], meta: dict
+) -> Selection:
+    allocator = ConfAllocator()
+    sites = [
+        RewriteSite(
+            bid=seq.bid,
+            nodes=seq.nodes,
+            conf=allocator.conf_for(seq.extdef),
+            input_regs=seq.input_regs,
+            output_reg=seq.output_reg,
+        )
+        for seq in kept
+    ]
+    return Selection(
+        ext_defs=allocator.defs, sites=sites, algorithm="selective", meta=meta
+    )
+
+
+def _marginal_gain(
+    key: tuple,
+    seqs_g: list[CandidateSequence],
+    subs_by_seq: dict[int, dict[tuple, list[SubOccurrence]]],
+    taken_by_seq: dict[int, set[int]],
+    gain_per_exec: int,
+) -> int:
+    """Gain pattern ``key`` would add, given nodes already claimed by
+    previously chosen patterns. Prevents spending a PFU on a pattern whose
+    embeddings are fully covered (e.g. a subchain of an already-chosen
+    maximal chain)."""
+    total = 0
+    for i, seq in enumerate(seqs_g):
+        occs = subs_by_seq[i].get(key)
+        if not occs:
+            continue
+        taken = taken_by_seq[i]
+        count = 0
+        local_taken = set(taken)
+        for occ in sorted(occs, key=lambda o: o.nodes):
+            if local_taken.isdisjoint(occ.nodes):
+                local_taken.update(occ.nodes)
+                count += 1
+        total += count * max(1, seq.exec_count) * gain_per_exec
+    return total
+
+
+def _claim_nodes(
+    key: tuple,
+    seqs_g: list[CandidateSequence],
+    subs_by_seq: dict[int, dict[tuple, list[SubOccurrence]]],
+    taken_by_seq: dict[int, set[int]],
+) -> None:
+    """Mark the nodes pattern ``key``'s (greedy, disjoint) embeddings cover."""
+    for i, _seq in enumerate(seqs_g):
+        for occ in sorted(subs_by_seq[i].get(key, ()), key=lambda o: o.nodes):
+            if taken_by_seq[i].isdisjoint(occ.nodes):
+                taken_by_seq[i].update(occ.nodes)
+
+
+def _select_per_loop(
+    profile: ProgramProfile,
+    kept: list[CandidateSequence],
+    n_pfus: int,
+    params: SelectiveParams,
+    meta: dict,
+) -> Selection:
+    program = profile.program
+    cfg = profile.cfg
+    liveness = compute_liveness(cfg)
+    dfgs = build_all_dfgs(cfg, liveness)
+
+    # Group kept sequences by their *top-level* containing loop. Budgeting
+    # the outermost loop automatically satisfies the per-loop cap for every
+    # nested loop (their configurations are a subset of the <= n_pfus
+    # chosen for the nest), which is what keeps steady-state execution
+    # reconfiguration-free — the property behind the paper's "speedups
+    # retained with 500-cycle reconfiguration" claim (§5.2). Sequences
+    # outside any loop form their own group, also subject to the budget.
+    groups: dict[int | None, list[CandidateSequence]] = {}
+    for seq in kept:
+        groups.setdefault(seq.outer_loop_header, []).append(seq)
+
+    # Hotter groups first: they get first pick of globally shared configs.
+    def group_weight(header: int | None) -> int:
+        return sum(s.total_gain for s in groups[header])
+
+    ordered_groups = sorted(groups, key=group_weight, reverse=True)
+
+    chosen_defs: dict[tuple, object] = {}        # key -> ExtInstDef
+    chosen_for_group: dict[int | None, set[tuple]] = {}
+    subs_cache: dict[int | None, dict[int, dict[tuple, list[SubOccurrence]]]] = {}
+
+    for header in ordered_groups:
+        seqs_g = groups[header]
+        matrix = build_containment_matrix(program, dfgs, seqs_g, params.extraction)
+        subs_by_seq = {
+            i: enumerate_subsequences(program, dfgs[seq.bid], seq, params.extraction)
+            for i, seq in enumerate(seqs_g)
+        }
+        subs_cache[header] = subs_by_seq
+        taken_by_seq: dict[int, set[int]] = {i: set() for i in range(len(seqs_g))}
+
+        # Configurations already chosen for other loops apply here for free
+        # (same PFU contents); they claim their embeddings first.
+        present_chosen = {k for k in matrix.keys if k in chosen_defs}
+        for key in present_chosen:
+            _claim_nodes(key, seqs_g, subs_by_seq, taken_by_seq)
+
+        # Fill the remaining PFU budget by marginal gain: each round picks
+        # the pattern adding the most cycles *not already covered*, so two
+        # fully-overlapping patterns never both consume a PFU.
+        budget = max(0, n_pfus - len(present_chosen))
+        new_keys: list[tuple] = []
+        for _ in range(budget):
+            best_key, best_gain = None, 0
+            for key in matrix.keys:
+                if key in chosen_defs or key in new_keys:
+                    continue
+                gain = _marginal_gain(
+                    key, seqs_g, subs_by_seq, taken_by_seq, matrix.gains[key]
+                )
+                if gain > best_gain or (
+                    gain == best_gain
+                    and best_key is not None
+                    and gain > 0
+                    and len(matrix.defs[key].nodes)
+                    > len(matrix.defs[best_key].nodes)
+                ):
+                    best_key, best_gain = key, gain
+            if best_key is None or best_gain == 0:
+                break
+            new_keys.append(best_key)
+            _claim_nodes(best_key, seqs_g, subs_by_seq, taken_by_seq)
+        for key in new_keys:
+            chosen_defs[key] = matrix.defs[key]
+        chosen_for_group[header] = present_chosen | set(new_keys)
+
+    meta["n_chosen_configs"] = len(chosen_defs)
+    meta["groups"] = {
+        str(header): sorted(len(chosen_defs[k].nodes) for k in keys)
+        for header, keys in chosen_for_group.items()
+    }
+
+    # Rewrite phase: inside each group, fold non-overlapping embeddings of
+    # that group's chosen patterns, largest saving first.
+    allocator = ConfAllocator()
+    sites: list[RewriteSite] = []
+    for header, seqs_g in groups.items():
+        allowed = chosen_for_group[header]
+        if not allowed:
+            continue
+        for i, seq in enumerate(seqs_g):
+            subs = subs_cache[header][i]
+            embeddings: list[SubOccurrence] = []
+            for key, occs in subs.items():
+                if key in allowed:
+                    embeddings.extend(occs)
+            embeddings.sort(key=lambda o: (-len(o.nodes), o.nodes))
+            taken: set[int] = set()
+            for occ in embeddings:
+                if not taken.isdisjoint(occ.nodes):
+                    continue
+                taken.update(occ.nodes)
+                sites.append(
+                    RewriteSite(
+                        bid=seq.bid,
+                        nodes=occ.nodes,
+                        conf=allocator.conf_for(occ.build.extdef),
+                        input_regs=occ.build.input_regs,
+                        output_reg=occ.build.output_reg,
+                    )
+                )
+    return Selection(
+        ext_defs=allocator.defs, sites=sites, algorithm="selective", meta=meta
+    )

@@ -1,0 +1,150 @@
+"""Differential fuzzing of the extended-instruction pipeline.
+
+Generates random programs (assembly loops of candidate-class operations,
+or minic sources), runs them through profiling → selection → rewriting,
+and checks observable equivalence. This is the library form of the
+property tests: usable from a CLI (``t1000 fuzz``) or CI job to hammer
+the folding machinery for as long as desired.
+
+All generation is seeded and reproducible; a failure report carries the
+seed and the full program text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.errors import ReproError
+from repro.extinst import (
+    apply_selection,
+    greedy_select,
+    selective_select,
+    validate_equivalence,
+)
+from repro.profiling import profile_program
+from repro.program.program import Program
+
+_REGS = [f"$t{i}" for i in range(8)]
+_OPS2 = ["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]
+_OPSI = ["addiu", "andi", "ori", "xori", "slti"]
+_SHIFTS = ["sll", "srl", "sra"]
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    runs: int = 0
+    folded_sites: int = 0
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"fuzz: {self.runs} programs, {self.folded_sites} folded "
+            f"sites, {status}"
+        )
+
+
+def random_asm_program(rng: random.Random, iterations: int = 30) -> str:
+    """A random hot loop of narrow candidate operations plus a store."""
+    n_ops = rng.randint(4, 14)
+    lines: list[str] = []
+    for _ in range(n_ops):
+        dst = rng.choice(_REGS)
+        a = rng.choice(_REGS)
+        kind = rng.randrange(3)
+        if kind == 0:
+            lines.append(f"{rng.choice(_OPS2)} {dst}, {a}, {rng.choice(_REGS)}")
+        elif kind == 1:
+            lines.append(f"{rng.choice(_OPSI)} {dst}, {a}, {rng.randint(0, 255)}")
+        else:
+            lines.append(f"{rng.choice(_SHIFTS)} {dst}, {a}, {rng.randint(0, 7)}")
+        lines.append(f"andi {dst}, {dst}, 1023")   # stay in the 18-bit regime
+    lines.append(f"sw {rng.choice(_REGS)}, 0($sp)")
+    init = "\n".join(
+        f"    li {reg}, {rng.randint(0, 255)}" for reg in _REGS
+    )
+    body = "\n".join(f"    {line}" for line in lines)
+    return (
+        f".text\nmain:\n{init}\n    li $s0, {iterations}\nloop:\n{body}\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n"
+        "    move $v0, $t0\n    move $v1, $t3\n    halt\n"
+    )
+
+
+def random_minic_program(rng: random.Random) -> str:
+    """A random minic source with a hot loop over masked ALU expressions."""
+    names = ["a", "b", "c", "d"]
+    decls = " ".join(f"int {n} = {rng.randint(0, 99)};" for n in names)
+    stmts = []
+    for _ in range(rng.randint(2, 8)):
+        dst = rng.choice(names)
+        x, y = rng.choice(names), rng.choice(names + [str(rng.randint(0, 63))])
+        op = rng.choice(["+", "-", "&", "|", "^", "<<", ">>"])
+        shift_guard = " & 15" if op in ("<<", ">>") else ""
+        stmts.append(f"{dst} = (({x} {op} ({y}{shift_guard})) & 1023);")
+    body = " ".join(stmts)
+    return (
+        "int out;\nint main() { " + decls +
+        f" for (int i = 0; i < 20; i++) {{ {body} }}"
+        " out = a + b + c + d; return out; }"
+    )
+
+
+def check_program(program: Program, n_pfus_choices=(1, 2, 4, None)) -> int:
+    """Run every selection algorithm over ``program`` and validate each
+    rewrite. Returns the number of folded sites; raises on divergence."""
+    profile = profile_program(program)
+    folded = 0
+    selections = [greedy_select(profile)]
+    selections += [selective_select(profile, n) for n in n_pfus_choices]
+    for selection in selections:
+        rewritten, defs = apply_selection(program, selection)
+        validate_equivalence(program, rewritten, defs)
+        folded += len(selection.sites)
+    return folded
+
+
+def run_campaign(
+    n_programs: int = 50,
+    seed: int = 0,
+    flavor: str = "both",
+) -> FuzzResult:
+    """Fuzz ``n_programs`` random programs. ``flavor``: "asm", "minic",
+    or "both" (alternating)."""
+    if flavor not in ("asm", "minic", "both"):
+        raise ValueError(f"unknown fuzz flavor {flavor!r}")
+    rng = random.Random(seed)
+    result = FuzzResult()
+    for k in range(n_programs):
+        use_minic = flavor == "minic" or (flavor == "both" and k % 2 == 1)
+        program_seed = rng.randrange(2**31)
+        sub_rng = random.Random(program_seed)
+        if use_minic:
+            from repro.cc import compile_source
+
+            source = random_minic_program(sub_rng)
+            program = compile_source(source)
+        else:
+            source = random_asm_program(sub_rng)
+            program = assemble(source)
+        result.runs += 1
+        try:
+            result.folded_sites += check_program(program)
+        except (ReproError, AssertionError) as exc:
+            result.failures.append(
+                {
+                    "seed": program_seed,
+                    "flavor": "minic" if use_minic else "asm",
+                    "error": str(exc),
+                    "source": source,
+                }
+            )
+    return result

@@ -1,0 +1,31 @@
+"""Experiment harness: drivers that regenerate the paper's figures.
+
+- :class:`repro.harness.runner.WorkloadLab` — caches the expensive
+  per-workload artefacts (profile, selections, rewritten programs,
+  traces) so figure drivers and benchmarks don't recompute them.
+- :mod:`repro.harness.figures` — one driver per paper artefact
+  (Figure 2, Figure 6, Figure 7, the §4.1/§5.2 text claims).
+- :mod:`repro.harness.cli` — the ``t1000`` command-line tool.
+"""
+
+from repro.harness.figures import (
+    fig2_greedy,
+    fig6_selective,
+    fig7_area,
+    greedy_stats,
+    pfu_sweep,
+    reconfig_sweep,
+)
+from repro.harness.runner import ExperimentResult, WorkloadLab, get_lab
+
+__all__ = [
+    "WorkloadLab",
+    "get_lab",
+    "ExperimentResult",
+    "fig2_greedy",
+    "fig6_selective",
+    "fig7_area",
+    "greedy_stats",
+    "reconfig_sweep",
+    "pfu_sweep",
+]

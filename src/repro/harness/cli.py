@@ -1,0 +1,264 @@
+"""The ``t1000`` command-line tool.
+
+Examples::
+
+    t1000 fig2                 # Figure 2 table (greedy selection)
+    t1000 fig6 --scale 2       # Figure 6 at a larger workload scale
+    t1000 fig7                 # LUT-cost histogram
+    t1000 stats                # greedy selection statistics (§4.1)
+    t1000 sweep-reconfig       # reconfiguration-latency sweep (§5.2)
+    t1000 sweep-pfu            # PFU-count sweep (§5.2)
+    t1000 run gsm_encode --algorithm selective --pfus 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures
+from repro.harness.runner import get_lab
+from repro.utils.tables import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument(
+        "--workloads", nargs="*", default=list(WORKLOAD_NAMES),
+        choices=list(WORKLOAD_NAMES), help="subset of workloads"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="t1000",
+        description="T1000 reproduction experiments (Zhou & Martonosi, "
+        "IPPS 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for cmd in ("fig2", "fig6", "stats", "sweep-reconfig", "sweep-pfu"):
+        p = sub.add_parser(cmd)
+        _add_common(p)
+    p7 = sub.add_parser("fig7")
+    _add_common(p7)
+    p7.add_argument("--select-pfus", type=int, default=4)
+
+    prof_p = sub.add_parser("profile", help="sim_profile-style report")
+    prof_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    prof_p.add_argument("--scale", type=int, default=1)
+
+    pipe_p = sub.add_parser("pipeview", help="pipeline timeline chart")
+    pipe_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    pipe_p.add_argument("--scale", type=int, default=1)
+    pipe_p.add_argument("--skip", type=int, default=2000,
+                        help="dynamic instructions to skip (warm-up)")
+    pipe_p.add_argument("--count", type=int, default=24)
+    pipe_p.add_argument(
+        "--algorithm", default="baseline",
+        choices=["baseline", "greedy", "selective"]
+    )
+    pipe_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
+                        default=2)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate every paper artefact into a directory"
+    )
+    report_p.add_argument("--out", default="t1000_report")
+    report_p.add_argument("--scale", type=int, default=1)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential-fuzz the folding pipeline"
+    )
+    fuzz_p.add_argument("-n", "--programs", type=int, default=50)
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--flavor", default="both",
+                        choices=["asm", "minic", "both"])
+
+    sel_p = sub.add_parser(
+        "select",
+        help="write a selection file (the paper's 'second input file', §3.1)",
+    )
+    sel_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    sel_p.add_argument("--scale", type=int, default=1)
+    sel_p.add_argument("--algorithm", default="selective",
+                       choices=["greedy", "selective"])
+    sel_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
+                       default=2)
+    sel_p.add_argument("-o", "--output", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    run_p.add_argument("--scale", type=int, default=1)
+    run_p.add_argument(
+        "--algorithm", default="selective",
+        choices=["baseline", "greedy", "selective"]
+    )
+    run_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
+                       default=2, help="PFU count or 'unlimited'")
+    run_p.add_argument("--reconfig", type=int, default=10)
+    run_p.add_argument(
+        "--selection", default=None,
+        help="use a selection file from 't1000 select' instead of "
+        "running the algorithm",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "fig2":
+        headers, rows = figures.fig2_greedy(args.scale, tuple(args.workloads))
+        print("Figure 2 — speedups with the greedy selection algorithm")
+        print(format_table(headers, rows))
+    elif args.command == "fig6":
+        headers, rows = figures.fig6_selective(args.scale, tuple(args.workloads))
+        print("Figure 6 — speedups with the selective algorithm (10-cycle reconfig)")
+        print(format_table(headers, rows))
+    elif args.command == "fig7":
+        dist = figures.fig7_area(args.scale, tuple(args.workloads),
+                                 args.select_pfus)
+        print("Figure 7 — LUT-cost distribution of selected extended instructions")
+        print(dist.render())
+        print(f"max LUTs: {dist.max_luts}")
+    elif args.command == "stats":
+        headers, rows = figures.greedy_stats(args.scale, tuple(args.workloads))
+        print("Greedy selection statistics (§4.1)")
+        print(format_table(headers, rows))
+    elif args.command == "sweep-reconfig":
+        headers, rows = figures.reconfig_sweep(args.scale, tuple(args.workloads))
+        print("Selective speedup vs reconfiguration latency (2 PFUs, §5.2)")
+        print(format_table(headers, rows))
+    elif args.command == "sweep-pfu":
+        headers, rows = figures.pfu_sweep(args.scale, tuple(args.workloads))
+        print("Selective speedup vs PFU count (10-cycle reconfig, §5.2)")
+        print(format_table(headers, rows))
+    elif args.command == "profile":
+        from repro.profiling.report import full_report
+
+        lab = get_lab(args.workload, args.scale)
+        print(full_report(lab.profile))
+    elif args.command == "report":
+        _write_full_report(args.out, args.scale)
+    elif args.command == "fuzz":
+        from repro.fuzz import run_campaign
+
+        result = run_campaign(args.programs, args.seed, args.flavor)
+        print(result.summary())
+        for failure in result.failures:
+            print(f"\nFAILURE (seed {failure['seed']}, {failure['flavor']}):")
+            print(failure["error"])
+            print(failure["source"])
+        return 0 if result.ok else 1
+    elif args.command == "pipeview":
+        from repro.sim.functional import FunctionalSimulator
+        from repro.sim.ooo import MachineConfig, OoOSimulator
+        from repro.sim.ooo.timeline import render_timeline, timeline_summary
+
+        lab = get_lab(args.workload, args.scale)
+        if args.algorithm == "baseline":
+            program, defs = lab.program, None
+        else:
+            program, defs = lab.rewritten(args.algorithm, args.pfus)
+        trace = FunctionalSimulator(program, ext_defs=defs).run(
+            collect_trace=True
+        ).trace
+        skip = min(args.skip, max(0, len(trace) - args.count))
+        machine = MachineConfig(n_pfus=args.pfus)
+        stats = OoOSimulator(program, machine, ext_defs=defs).simulate(
+            trace, record_window=(skip, skip + args.count)
+        )
+        print(render_timeline(stats.timeline, program))
+        print()
+        for stage, value in timeline_summary(stats.timeline).items():
+            print(f"avg {stage:>20}: {value:.2f} cycles")
+    elif args.command == "select":
+        from repro.extinst.serialize import save_selection
+
+        lab = get_lab(args.workload, args.scale)
+        selection = lab.selection(args.algorithm, args.pfus)
+        save_selection(selection, args.output)
+        print(f"wrote {selection.n_configs} configuration(s) / "
+              f"{len(selection.sites)} site(s) to {args.output}")
+    elif args.command == "run":
+        lab = get_lab(args.workload, args.scale)
+        if args.selection is not None:
+            result = _run_with_selection_file(lab, args)
+        elif args.algorithm == "baseline":
+            result = lab.run("baseline", 0, 0)
+        else:
+            result = lab.run(args.algorithm, args.pfus, args.reconfig)
+        print(f"{args.workload} / {args.algorithm} / "
+              f"pfus={args.pfus} / reconfig={args.reconfig}")
+        print(f"speedup over baseline: {result.speedup:.3f}")
+        print(result.stats.summary())
+    return 0
+
+
+def _write_full_report(out_dir: str, scale: int) -> None:
+    """Regenerate Figures 2/6/7 and the §4.1/§5.2 tables into files."""
+    import pathlib
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    artefacts = [
+        ("fig2_greedy.txt",
+         "Figure 2 — greedy selection speedups",
+         lambda: format_table(*figures.fig2_greedy(scale))),
+        ("fig6_selective.txt",
+         "Figure 6 — selective algorithm speedups (10-cycle reconfig)",
+         lambda: format_table(*figures.fig6_selective(scale))),
+        ("fig7_lut_distribution.txt",
+         "Figure 7 — LUT-cost distribution (selective, 4 PFUs)",
+         lambda: figures.fig7_area(scale).render()),
+        ("greedy_stats.txt",
+         "Greedy selection statistics (§4.1)",
+         lambda: format_table(*figures.greedy_stats(scale))),
+        ("reconfig_sweep.txt",
+         "Selective speedup vs reconfiguration latency (2 PFUs, §5.2)",
+         lambda: format_table(*figures.reconfig_sweep(scale))),
+        ("pfu_sweep.txt",
+         "Selective speedup vs PFU count (§5.2)",
+         lambda: format_table(*figures.pfu_sweep(scale))),
+    ]
+    index_lines = [f"# T1000 report (scale {scale})", ""]
+    for filename, title, render_fn in artefacts:
+        body = f"{title}\n{render_fn()}\n"
+        (out / filename).write_text(body)
+        index_lines.append(f"- `{filename}` — {title}")
+        print(f"wrote {out / filename}")
+    (out / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    print(f"wrote {out / 'INDEX.md'}")
+
+
+def _run_with_selection_file(lab, args):
+    """Apply a selection file (§3.1's second input) and simulate."""
+    from repro.extinst import apply_selection, validate_equivalence
+    from repro.extinst.serialize import load_selection
+    from repro.harness.runner import ExperimentResult
+    from repro.sim.functional import FunctionalSimulator
+    from repro.sim.ooo import MachineConfig, OoOSimulator
+
+    selection = load_selection(args.selection)
+    rewritten, defs = apply_selection(lab.program, selection)
+    validate_equivalence(lab.program, rewritten, defs)
+    trace = FunctionalSimulator(rewritten, ext_defs=defs).run(
+        collect_trace=True
+    ).trace
+    machine = MachineConfig(n_pfus=args.pfus, reconfig_latency=args.reconfig)
+    stats = OoOSimulator(rewritten, machine, ext_defs=defs).simulate(trace)
+    base = lab.baseline()
+    return ExperimentResult(
+        workload=lab.name,
+        algorithm=f"file:{args.selection}",
+        n_pfus=args.pfus,
+        reconfig_latency=args.reconfig,
+        stats=stats,
+        baseline_cycles=base.cycles,
+        n_configs=selection.n_configs,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Figure drivers: each regenerates one artefact of the paper's evaluation.
+
+Every driver returns ``(headers, rows)`` suitable for
+:func:`repro.utils.tables.format_table`, plus driver-specific extras; the
+benchmarks print these tables and EXPERIMENTS.md records them against the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.extinst.extdef import ExtInstDef
+from repro.harness.runner import get_lab
+from repro.hwcost.area import distribution_for_defs
+from repro.utils.tables import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+def fig2_greedy(scale: int = 1, workloads=WORKLOAD_NAMES):
+    """Figure 2: greedy selection.
+
+    Bars: baseline superscalar (1.0), T1000 with unlimited PFUs and zero
+    reconfiguration cost, T1000 with 2 PFUs and a 10-cycle penalty.
+    """
+    headers = ["workload", "superscalar", "T1000 unlimited PFUs",
+               "T1000 2 PFUs (10cy)", "reconfigs(2PFU)"]
+    rows = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        unlimited = lab.run("greedy", None, 0)
+        limited = lab.run("greedy", 2, 10)
+        rows.append(
+            [name, 1.0, unlimited.speedup, limited.speedup,
+             limited.stats.pfu_misses]
+        )
+    return headers, rows
+
+
+def fig6_selective(scale: int = 1, workloads=WORKLOAD_NAMES):
+    """Figure 6: selective algorithm with 2, 4, and unlimited PFUs
+    (10-cycle reconfiguration cost in all cases)."""
+    headers = ["workload", "superscalar", "T1000 2 PFUs", "T1000 4 PFUs",
+               "T1000 unlimited"]
+    rows = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        two = lab.run("selective", 2, 10)
+        four = lab.run("selective", 4, 10)
+        unlimited = lab.run("selective", None, 10)
+        rows.append([name, 1.0, two.speedup, four.speedup, unlimited.speedup])
+    return headers, rows
+
+
+def fig7_area(scale: int = 1, workloads=WORKLOAD_NAMES, select_pfus: int = 4):
+    """Figure 7: LUT-cost distribution of the extended instructions the
+    selective algorithm chooses across all eight benchmarks."""
+    all_defs: dict[tuple, ExtInstDef] = {}
+    per_workload_widths: list[int] = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        selection = lab.selection("selective", select_pfus)
+        used = selection.configs_in_sites()
+        for conf, extdef in selection.ext_defs.items():
+            if conf in used:
+                all_defs[extdef.key] = extdef
+    dist = distribution_for_defs(
+        {i: d for i, d in enumerate(all_defs.values())}
+    )
+    return dist
+
+
+def greedy_stats(scale: int = 1, workloads=WORKLOAD_NAMES):
+    """§4.1 text: distinct extended instructions (paper: 6-43) and
+    sequence lengths (paper: 2-8) found by the greedy algorithm."""
+    headers = ["workload", "distinct configs", "rewrite sites",
+               "min length", "max length"]
+    rows = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        selection = lab.selection("greedy", None)
+        lengths = [len(site.nodes) for site in selection.sites] or [0]
+        rows.append(
+            [name, selection.n_configs, len(selection.sites),
+             min(lengths), max(lengths)]
+        )
+    return headers, rows
+
+
+def reconfig_sweep(
+    scale: int = 1,
+    workloads=WORKLOAD_NAMES,
+    latencies=(0, 10, 50, 100, 500),
+    n_pfus: int = 2,
+):
+    """§5.2 text: selective speedups "even with reconfiguration times as
+    high as 500 cycles"."""
+    headers = ["workload"] + [f"reconf={lat}" for lat in latencies]
+    rows = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        row: list[object] = [name]
+        for lat in latencies:
+            row.append(lab.run("selective", n_pfus, lat).speedup)
+        rows.append(row)
+    return headers, rows
+
+
+def pfu_sweep(
+    scale: int = 1,
+    workloads=WORKLOAD_NAMES,
+    pfu_counts=(1, 2, 3, 4, 6, 8, None),
+    reconfig_latency: int = 10,
+):
+    """§5.2 text: "four PFUs are typically enough to achieve almost the
+    same performance improvement as the optimistic speed-ups"."""
+    headers = ["workload"] + [
+        "unlimited" if n is None else f"{n} PFU" for n in pfu_counts
+    ]
+    rows = []
+    for name in workloads:
+        lab = get_lab(name, scale)
+        row: list[object] = [name]
+        for n in pfu_counts:
+            row.append(lab.run("selective", n, reconfig_latency).speedup)
+        rows.append(row)
+    return headers, rows
+
+
+def render(headers, rows) -> str:
+    return format_table(headers, rows)

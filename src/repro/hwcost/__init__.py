@@ -1,0 +1,27 @@
+"""Configurable-hardware cost model (§6).
+
+The paper synthesises each selected extended instruction to Xilinx
+XC4000-series CLBs with the Foundation tool chain and reports look-up
+table (LUT) counts (Figure 7). We replace the synthesis flow with an
+analytical technology-mapping model over the extended instruction's
+dataflow graph: bitwidths are propagated from the (profiled) input widths
+through each operator, per-operator 4-LUT costs are summed, and cascaded
+bitwise logic is packed into shared LUT cones ("a sequence of 3
+data-dependent logic operations could easily be implemented... by a PFU
+based on lookup-tables", §2.1).
+"""
+
+from repro.hwcost.bitstream import Bitstream, generate_bitstream, parse_header
+from repro.hwcost.lutmap import LutCost, estimate_cost, fits_single_cycle
+from repro.hwcost.xc4000 import XC4000, config_bits
+
+__all__ = [
+    "LutCost",
+    "estimate_cost",
+    "fits_single_cycle",
+    "XC4000",
+    "config_bits",
+    "Bitstream",
+    "generate_bitstream",
+    "parse_header",
+]

@@ -1,0 +1,64 @@
+"""Area-distribution reporting for Figure 7.
+
+Figure 7 is a histogram: "Distribution of hardware requirements for the
+extended instructions extracted from 8 MediaBench benchmarks by our
+selective algorithm". This module buckets LUT costs and renders the same
+distribution for our selected instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extinst.extdef import ExtInstDef
+from repro.hwcost.lutmap import LutCost, estimate_cost
+from repro.utils.tables import format_histogram
+
+#: Figure-7-style LUT buckets.
+DEFAULT_BUCKETS = ((1, 20), (21, 40), (41, 60), (61, 80), (81, 100), (101, 150))
+
+
+@dataclass
+class AreaDistribution:
+    """LUT-cost distribution over a set of extended instructions."""
+
+    costs: list[int]
+    buckets: tuple[tuple[int, int], ...] = DEFAULT_BUCKETS
+
+    @property
+    def max_luts(self) -> int:
+        return max(self.costs) if self.costs else 0
+
+    def bucket_counts(self) -> list[tuple[str, int]]:
+        out = []
+        for lo, hi in self.buckets:
+            count = sum(1 for c in self.costs if lo <= c <= hi)
+            out.append((f"{lo}-{hi} LUTs", count))
+        over = sum(1 for c in self.costs if c > self.buckets[-1][1])
+        if over:
+            out.append((f">{self.buckets[-1][1]} LUTs", over))
+        return out
+
+    def render(self) -> str:
+        return format_histogram(self.bucket_counts())
+
+
+def distribution_for_defs(
+    ext_defs: dict[int, ExtInstDef],
+    input_widths: tuple[int, ...] = (18, 18),
+) -> AreaDistribution:
+    """Area distribution for a selection's configuration table."""
+    costs = [
+        estimate_cost(extdef, input_widths).luts
+        for _, extdef in sorted(ext_defs.items())
+    ]
+    return AreaDistribution(costs=costs)
+
+
+def cost_report(ext_defs: dict[int, ExtInstDef]) -> list[tuple[int, int, int]]:
+    """(conf, luts, levels) per configuration, sorted by conf id."""
+    out = []
+    for conf, extdef in sorted(ext_defs.items()):
+        cost: LutCost = estimate_cost(extdef)
+        out.append((conf, cost.luts, cost.levels))
+    return out

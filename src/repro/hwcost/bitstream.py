@@ -1,0 +1,100 @@
+"""Configuration bitstream generation.
+
+The decode stage's ``Conf`` field selects a configuration whose bits must
+be "fetched and sent to the PFU" (§1-2). This module produces the actual
+(toy but well-defined) bitstream for an :class:`ExtInstDef`: a framed,
+checksummed serialisation of the LUT programming data, sized according to
+the XC4000 model. The timing simulator only needs the *size*; the
+generator exists so configurations are concrete artefacts — two distinct
+configurations always produce distinct bitstreams, and a bitstream can be
+parsed back into its frame structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ExtInstError
+from repro.extinst.extdef import ExtInstDef
+from repro.hwcost.lutmap import estimate_cost
+from repro.hwcost.xc4000 import XC4000, clbs_for_luts, config_bits
+
+_MAGIC = 0x7100      # "T1000" frame marker
+_REF_CODE = {"in": 0, "node": 1, "imm": 2, "zero": 3}
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A generated PFU configuration bitstream."""
+
+    conf: int
+    data: bytes
+    n_clbs: int
+
+    @property
+    def bits(self) -> int:
+        return len(self.data) * 8
+
+
+def generate_bitstream(conf: int, extdef: ExtInstDef) -> Bitstream:
+    """Serialise ``extdef`` into its configuration bitstream.
+
+    Layout: a header frame (magic, conf id, node count, input count,
+    CLB count), one frame per operation node, zero padding up to the
+    XC4000-modelled size, and a trailing SHA-256-derived checksum word.
+    """
+    cost = estimate_cost(extdef)
+    total_bits = config_bits(cost.luts)
+    total_bytes = (total_bits + 7) // 8
+    n_clbs = clbs_for_luts(cost.luts)
+
+    body = bytearray()
+    body += struct.pack(
+        ">HHBBH", _MAGIC, conf & 0xFFFF, len(extdef.nodes),
+        extdef.n_inputs, n_clbs & 0xFFFF,
+    )
+    for node in extdef.nodes:
+        op_hash = hashlib.sha256(node.op.value.encode()).digest()[0]
+        body += struct.pack(">B", op_hash)
+        for ref in (node.a, node.b):
+            kind = _REF_CODE[ref[0]]
+            value = ref[1] if len(ref) > 1 else 0
+            body += struct.pack(">Bi", kind, value & 0x7FFF_FFFF)
+
+    if len(body) + 4 > total_bytes:
+        total_bytes = len(body) + 4   # tiny configs: frames dominate
+    padding = total_bytes - len(body) - 4
+    body += b"\x00" * padding
+    checksum = hashlib.sha256(bytes(body)).digest()[:4]
+    body += checksum
+    return Bitstream(conf=conf, data=bytes(body), n_clbs=n_clbs)
+
+
+def parse_header(stream: Bitstream) -> dict:
+    """Parse and verify a bitstream's header and checksum."""
+    if len(stream.data) < 12:
+        raise ExtInstError("bitstream too short")
+    magic, conf, n_nodes, n_inputs, n_clbs = struct.unpack(
+        ">HHBBH", stream.data[:8]
+    )
+    if magic != _MAGIC:
+        raise ExtInstError(f"bad bitstream magic {magic:#x}")
+    body, checksum = stream.data[:-4], stream.data[-4:]
+    if hashlib.sha256(body).digest()[:4] != checksum:
+        raise ExtInstError("bitstream checksum mismatch")
+    return {
+        "conf": conf,
+        "n_nodes": n_nodes,
+        "n_inputs": n_inputs,
+        "n_clbs": n_clbs,
+    }
+
+
+def bitstream_table(ext_defs: dict[int, ExtInstDef]) -> dict[int, Bitstream]:
+    """Bitstreams for a whole configuration table."""
+    return {
+        conf: generate_bitstream(conf, extdef)
+        for conf, extdef in ext_defs.items()
+    }

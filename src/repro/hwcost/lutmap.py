@@ -1,0 +1,205 @@
+"""Analytical LUT mapping of extended-instruction dataflow graphs.
+
+Width propagation
+-----------------
+Each node's output width is derived from its operand widths (inputs
+default to the extraction bitwidth threshold, 18 bits, or to profiled
+per-occurrence widths when the caller knows them). "The configurable
+hardware resources required by an extended instruction depend both on the
+type of operation and also on the operand widths" (§6).
+
+Per-operator 4-LUT costs
+------------------------
+=====================  =========================  =================
+operator               LUTs                        levels
+=====================  =========================  =================
+add/sub (width W)      W (1/bit w/ carry chain)   1 + (W-1)//16
+bitwise 2-input        W per packed cone          1 per cone
+constant shift         0 (pure wiring)            0
+variable shift         W * ceil(log2(S+1))        ceil(log2(S+1))
+slt/slti (compare)     W                           1 + (W-1)//16
+=====================  =========================  =================
+
+Bitwise packing: a 4-input LUT absorbs a cascade of 2-input gates with up
+to four leaf inputs, so a dependent chain of up to three bitwise ops maps
+to one LUT per bit. The packer greedily merges a bitwise node into its
+producing bitwise cone while the cone's leaf count stays <= 4 (and the
+producer has no other consumers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+
+from repro.extinst.extdef import ExtInstDef
+from repro.isa.opcodes import Opcode
+from repro.utils.bitops import effective_width
+
+_BITWISE = {
+    Opcode.AND, Opcode.ANDI, Opcode.OR, Opcode.ORI,
+    Opcode.XOR, Opcode.XORI, Opcode.NOR,
+}
+_ADDSUB = {Opcode.ADD, Opcode.ADDU, Opcode.ADDI, Opcode.ADDIU,
+           Opcode.SUB, Opcode.SUBU}
+_CONST_SHIFT = {Opcode.SLL, Opcode.SRL, Opcode.SRA}
+_VAR_SHIFT = {Opcode.SLLV, Opcode.SRLV, Opcode.SRAV}
+_COMPARE = {Opcode.SLT, Opcode.SLTI, Opcode.SLTU, Opcode.SLTIU}
+
+_CARRY_SEGMENT = 16
+
+
+@dataclass
+class LutCost:
+    """Mapping result for one extended instruction."""
+
+    luts: int
+    levels: int               # critical path in LUT levels
+    node_widths: list[int] = field(default_factory=list)
+    breakdown: list[tuple[str, int]] = field(default_factory=list)
+
+
+def _operand_width(ref, widths: list[int], input_widths: tuple[int, ...]) -> int:
+    kind = ref[0]
+    if kind == "in":
+        return input_widths[ref[1]] if ref[1] < len(input_widths) else input_widths[-1]
+    if kind == "node":
+        return widths[ref[1]]
+    if kind == "imm":
+        return effective_width(ref[1])
+    return 1  # zero
+
+
+def _output_width(op: Opcode, wa: int, wb: int, imm: int | None) -> int:
+    if op in _ADDSUB:
+        return min(32, max(wa, wb) + 1)
+    if op in (Opcode.AND, Opcode.ANDI):
+        return min(wa, wb)
+    if op in (Opcode.OR, Opcode.ORI, Opcode.XOR, Opcode.XORI):
+        return max(wa, wb)
+    if op is Opcode.NOR:
+        return 32  # inverting fills the high bits
+    if op is Opcode.SLL:
+        return min(32, wa + (imm or 0))
+    if op in (Opcode.SRL, Opcode.SRA):
+        return max(1, wa - (imm or 0))
+    if op in _VAR_SHIFT:
+        return 32  # shift amount unknown statically
+    if op in _COMPARE:
+        return 1
+    if op is Opcode.MUL:
+        return min(32, wa + wb)
+    return max(wa, wb)
+
+
+def estimate_cost(
+    extdef: ExtInstDef, input_widths: tuple[int, ...] = (18, 18)
+) -> LutCost:
+    """Map ``extdef`` to 4-input LUTs assuming the given input widths."""
+    if not input_widths:
+        input_widths = (18, 18)
+    widths: list[int] = []
+    luts = 0
+    levels_at: list[int] = []     # critical-path level at each node's output
+    breakdown: list[tuple[str, int]] = []
+
+    # cone packing state: node index -> (cone id); cone id -> leaf count
+    cone_of: dict[int, int] = {}
+    cone_leaves: dict[int, int] = {}
+    cone_width: dict[int, int] = {}
+    consumer_count = [0] * len(extdef.nodes)
+    for node in extdef.nodes:
+        for ref in (node.a, node.b):
+            if ref[0] == "node":
+                consumer_count[ref[1]] += 1
+
+    next_cone = 0
+    for j, node in enumerate(extdef.nodes):
+        op = node.op
+        wa = _operand_width(node.a, widths, input_widths)
+        wb = _operand_width(node.b, widths, input_widths)
+        imm = node.b[1] if node.b[0] == "imm" else None
+        w_out = _output_width(op, wa, wb, imm)
+        widths.append(w_out)
+
+        in_levels = []
+        for ref in (node.a, node.b):
+            in_levels.append(levels_at[ref[1]] if ref[0] == "node" else 0)
+        base_level = max(in_levels)
+
+        if op in _CONST_SHIFT:
+            # wiring only
+            breakdown.append((f"{op.value} (wiring)", 0))
+            levels_at.append(base_level)
+        elif op in _BITWISE:
+            merged = False
+            for ref in (node.a, node.b):
+                if ref[0] != "node":
+                    continue
+                producer = ref[1]
+                if (
+                    producer in cone_of
+                    and consumer_count[producer] == 1
+                ):
+                    cone = cone_of[producer]
+                    extra_leaves = 1  # the other operand joins the cone
+                    if cone_leaves[cone] + extra_leaves <= 4:
+                        cone_of[j] = cone
+                        cone_leaves[cone] += extra_leaves
+                        cone_width[cone] = max(cone_width[cone], w_out)
+                        merged = True
+                        # stays within the producing cone's level
+                        levels_at.append(levels_at[producer])
+                        breakdown.append((f"{op.value} (packed)", 0))
+                        break
+            if not merged:
+                cone = next_cone
+                next_cone += 1
+                cone_of[j] = cone
+                cone_leaves[cone] = 2
+                cone_width[cone] = w_out
+                levels_at.append(base_level + 1)
+                breakdown.append((f"{op.value} (cone)", 0))  # costed at the end
+        elif op in _ADDSUB:
+            cost = max(wa, wb, 1)
+            luts += cost
+            breakdown.append((op.value, cost))
+            levels_at.append(base_level + 1 + (cost - 1) // _CARRY_SEGMENT)
+        elif op in _VAR_SHIFT:
+            stages = max(1, ceil(log2(min(32, (1 << min(5, wb))) )))
+            cost = w_out * stages
+            luts += cost
+            breakdown.append((op.value, cost))
+            levels_at.append(base_level + stages)
+        elif op in _COMPARE:
+            cost = max(wa, wb, 1)
+            luts += cost
+            breakdown.append((op.value, cost))
+            levels_at.append(base_level + 1 + (cost - 1) // _CARRY_SEGMENT)
+        elif op is Opcode.MUL:
+            cost = max(1, (wa * wb) // 2)
+            luts += cost
+            breakdown.append((op.value, cost))
+            levels_at.append(base_level + ceil(log2(max(2, wb))))
+        else:  # pragma: no cover - future opcodes
+            cost = max(wa, wb, 1)
+            luts += cost
+            breakdown.append((op.value, cost))
+            levels_at.append(base_level + 1)
+
+    for cone, width in cone_width.items():
+        luts += width
+        breakdown.append((f"bitwise cone {cone}", width))
+
+    return LutCost(
+        luts=luts,
+        levels=max(levels_at) if levels_at else 0,
+        node_widths=widths,
+        breakdown=breakdown,
+    )
+
+
+def fits_single_cycle(cost: LutCost, max_levels: int = 8) -> bool:
+    """§3.1 single-cycle validity: the mapped critical path must fit a
+    cycle (expressed as a LUT-level budget)."""
+    return cost.levels <= max_levels

@@ -1,0 +1,40 @@
+"""Xilinx XC4000-series device constants.
+
+Numbers follow the XC4000 data book at the granularity the model needs:
+a CLB holds two independent 4-input LUTs (F and G) plus a 3-input H LUT
+and dedicated fast-carry logic; configuration is a bit-serial stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _XC4000:
+    lut_inputs: int = 4
+    luts_per_clb: int = 2
+    #: approximate configuration bits per CLB (XC4000 frame overhead folded in)
+    config_bits_per_clb: int = 360
+    #: fixed per-configuration overhead (addressing, CRC, setup)
+    config_overhead_bits: int = 512
+    #: adder bits covered by one fast-carry segment before an extra LUT level
+    carry_segment_bits: int = 16
+
+
+XC4000 = _XC4000()
+
+
+def clbs_for_luts(luts: int) -> int:
+    """CLBs needed to hold ``luts`` 4-input LUTs."""
+    return -(-luts // XC4000.luts_per_clb)
+
+
+def config_bits(luts: int) -> int:
+    """Size of the configuration bitstream for a ``luts``-LUT instruction.
+
+    Used by the optional proportional-reconfiguration-latency model; the
+    paper's experiments use a fixed latency, but §6 motivates why small
+    instructions also mean small configurations.
+    """
+    return XC4000.config_overhead_bits + clbs_for_luts(luts) * XC4000.config_bits_per_clb

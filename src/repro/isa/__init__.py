@@ -1,0 +1,34 @@
+"""The T1000 instruction set: a MIPS/PISA-like 32-bit RISC ISA.
+
+This package defines the architectural contract everything else builds on:
+
+- :mod:`repro.isa.registers` — the 32-entry integer register file and its
+  conventional MIPS names.
+- :mod:`repro.isa.opcodes` — the opcode set with per-opcode metadata
+  (format, operation class, base-machine latency, extended-instruction
+  candidate eligibility).
+- :mod:`repro.isa.semantics` — pure evaluation functions for ALU-class
+  operations, shared by the functional simulator and the PFU interpreter.
+- :mod:`repro.isa.instruction` — the :class:`Instruction` record.
+- :mod:`repro.isa.encoding` — 32-bit binary encode/decode.
+
+The one extension over a plain RISC ISA is the ``ext`` opcode (§2.2 of the
+paper): a register-register operation whose ``conf`` field names a PFU
+configuration (an :class:`repro.extinst.ExtInstDef`).
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass, opcode_info
+from repro.isa.registers import REG_NAMES, reg_name, reg_num
+from repro.isa.semantics import alu_eval
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "opcode_info",
+    "REG_NAMES",
+    "reg_name",
+    "reg_num",
+    "alu_eval",
+]

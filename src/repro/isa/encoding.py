@@ -1,0 +1,208 @@
+"""Binary (32-bit) instruction encoding and decoding.
+
+The encoding is MIPS-I-shaped: R-type instructions share primary opcode 0
+and are distinguished by a 6-bit function code; I-type instructions carry a
+16-bit immediate; jumps carry a 26-bit word target. The ``ext`` instruction
+(paper §2.2) uses primary opcode 0x3E with the register triple in the usual
+R-type slots and an 11-bit ``Conf`` field naming the PFU configuration —
+"a MIPS-like encoding format with an additional Conf field".
+
+Branch offsets are encoded relative to the *next* instruction in words, as
+on MIPS. Encoding a program therefore needs resolved label addresses; use
+:func:`encode_program` / :func:`decode_program` for whole programs, or pass
+explicit numeric targets to :func:`encode`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Opcode, opcode_info
+
+#: Base address of the text segment (matches SimpleScalar convention).
+TEXT_BASE = 0x0040_0000
+
+_R_FUNCT: dict[Opcode, int] = {
+    Opcode.SLL: 0x00,
+    Opcode.SRL: 0x02,
+    Opcode.SRA: 0x03,
+    Opcode.SLLV: 0x04,
+    Opcode.SRLV: 0x06,
+    Opcode.SRAV: 0x07,
+    Opcode.JR: 0x08,
+    Opcode.JALR: 0x09,
+    Opcode.HALT: 0x0C,
+    Opcode.MUL: 0x18,
+    Opcode.DIV: 0x1A,
+    Opcode.REM: 0x1B,
+    Opcode.ADD: 0x20,
+    Opcode.ADDU: 0x21,
+    Opcode.SUB: 0x22,
+    Opcode.SUBU: 0x23,
+    Opcode.AND: 0x24,
+    Opcode.OR: 0x25,
+    Opcode.XOR: 0x26,
+    Opcode.NOR: 0x27,
+    Opcode.SLT: 0x2A,
+    Opcode.SLTU: 0x2B,
+}
+_FUNCT_R: dict[int, Opcode] = {v: k for k, v in _R_FUNCT.items()}
+
+_I_PRIMARY: dict[Opcode, int] = {
+    Opcode.BEQ: 0x04,
+    Opcode.BNE: 0x05,
+    Opcode.BLEZ: 0x06,
+    Opcode.BGTZ: 0x07,
+    Opcode.ADDI: 0x08,
+    Opcode.ADDIU: 0x09,
+    Opcode.SLTI: 0x0A,
+    Opcode.SLTIU: 0x0B,
+    Opcode.ANDI: 0x0C,
+    Opcode.ORI: 0x0D,
+    Opcode.XORI: 0x0E,
+    Opcode.LUI: 0x0F,
+    Opcode.LB: 0x20,
+    Opcode.LH: 0x21,
+    Opcode.LW: 0x23,
+    Opcode.LBU: 0x24,
+    Opcode.LHU: 0x25,
+    Opcode.SB: 0x28,
+    Opcode.SH: 0x29,
+    Opcode.SW: 0x2B,
+}
+_PRIMARY_I: dict[int, Opcode] = {v: k for k, v in _I_PRIMARY.items()}
+
+_REGIMM = 0x01          # bltz/bgez share primary 1, selected by the rt field
+_J_PRIMARY = {Opcode.J: 0x02, Opcode.JAL: 0x03}
+_EXT_PRIMARY = 0x3E
+_CONF_BITS = 11
+MAX_CONF = (1 << _CONF_BITS) - 1
+
+
+def _check_imm16(value: int, signed: bool, op: Opcode) -> int:
+    if signed:
+        if not -(1 << 15) <= value < (1 << 15):
+            raise EncodingError(f"{op}: immediate {value} out of signed 16-bit range")
+        return value & 0xFFFF
+    if not 0 <= value < (1 << 16):
+        raise EncodingError(f"{op}: immediate {value} out of unsigned 16-bit range")
+    return value
+
+
+def encode(instr: Instruction, numeric_target: int | None = None) -> int:
+    """Encode one instruction to its 32-bit word.
+
+    ``numeric_target`` supplies the resolved control-flow target: for
+    branches, the word offset relative to the next instruction; for jumps,
+    the absolute word address (``addr >> 2``).
+    """
+    op = instr.op
+    fmt = opcode_info(op).fmt
+    rd = instr.rd or 0
+    rs = instr.rs or 0
+    rt = instr.rt or 0
+
+    if fmt is Fmt.R3:
+        return (rs << 21) | (rt << 16) | (rd << 11) | _R_FUNCT[op]
+    if fmt is Fmt.SHIFT_IMM:
+        shamt = instr.imm or 0
+        if not 0 <= shamt < 32:
+            raise EncodingError(f"{op}: shift amount {shamt} out of range")
+        # value register goes in the rt slot, as on MIPS
+        return (rs << 16) | (rd << 11) | (shamt << 6) | _R_FUNCT[op]
+    if fmt is Fmt.R2_IMM:
+        imm = _check_imm16(instr.imm or 0, opcode_info(op).signed_imm, op)
+        return (_I_PRIMARY[op] << 26) | (rs << 21) | (rt << 16) | imm
+    if fmt is Fmt.LUI:
+        imm = _check_imm16(instr.imm or 0, False, op)
+        return (_I_PRIMARY[op] << 26) | (rt << 16) | imm
+    if fmt is Fmt.MEM:
+        imm = _check_imm16(instr.imm or 0, True, op)
+        return (_I_PRIMARY[op] << 26) | (rs << 21) | (rt << 16) | imm
+    if fmt in (Fmt.BR2, Fmt.BR1):
+        if numeric_target is None:
+            raise EncodingError(f"{op}: cannot encode symbolic target {instr.target!r}")
+        off = _check_imm16(numeric_target, True, op)
+        if op is Opcode.BLTZ:
+            return (_REGIMM << 26) | (rs << 21) | (0 << 16) | off
+        if op is Opcode.BGEZ:
+            return (_REGIMM << 26) | (rs << 21) | (1 << 16) | off
+        return (_I_PRIMARY[op] << 26) | (rs << 21) | (rt << 16) | off
+    if fmt is Fmt.J:
+        if numeric_target is None:
+            raise EncodingError(f"{op}: cannot encode symbolic target {instr.target!r}")
+        if not 0 <= numeric_target < (1 << 26):
+            raise EncodingError(f"{op}: jump target {numeric_target} out of range")
+        return (_J_PRIMARY[op] << 26) | numeric_target
+    if fmt is Fmt.JR:
+        return (rs << 21) | _R_FUNCT[op]
+    if fmt is Fmt.JALR:
+        return (rs << 21) | (rd << 11) | _R_FUNCT[op]
+    if fmt is Fmt.EXT:
+        conf = instr.conf or 0
+        if not 0 <= conf <= MAX_CONF:
+            raise EncodingError(f"ext: conf id {conf} exceeds {_CONF_BITS}-bit field")
+        return (_EXT_PRIMARY << 26) | (rs << 21) | (rt << 16) | (rd << 11) | conf
+    if op is Opcode.NOP:
+        return 0
+    if op is Opcode.HALT:
+        return _R_FUNCT[Opcode.HALT]
+    raise EncodingError(f"cannot encode {op}")  # pragma: no cover
+
+
+def decode(word: int) -> tuple[Instruction, int | None]:
+    """Decode a 32-bit word.
+
+    Returns ``(instruction, numeric_target)`` where ``numeric_target``
+    mirrors the argument to :func:`encode` (``None`` for non-control ops).
+    Decoded instructions have symbolic ``target=None``.
+    """
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word out of 32-bit range: {word:#x}")
+    primary = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm16 = word & 0xFFFF
+    simm16 = imm16 - 0x10000 if imm16 & 0x8000 else imm16
+
+    if primary == 0:
+        if word == 0:
+            return Instruction(Opcode.NOP), None
+        op = _FUNCT_R.get(funct)
+        if op is None:
+            raise EncodingError(f"unknown R-type funct {funct:#x}")
+        if op in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+            return Instruction(op, rd=rd, rs=rt, imm=shamt), None
+        if op is Opcode.JR:
+            return Instruction(op, rs=rs), None
+        if op is Opcode.JALR:
+            return Instruction(op, rd=rd, rs=rs), None
+        if op is Opcode.HALT:
+            return Instruction(op), None
+        return Instruction(op, rd=rd, rs=rs, rt=rt), None
+    if primary == _REGIMM:
+        op = Opcode.BGEZ if rt == 1 else Opcode.BLTZ
+        return Instruction(op, rs=rs), simm16
+    if primary in (_J_PRIMARY[Opcode.J], _J_PRIMARY[Opcode.JAL]):
+        op = Opcode.J if primary == _J_PRIMARY[Opcode.J] else Opcode.JAL
+        return Instruction(op), word & 0x03FF_FFFF
+    if primary == _EXT_PRIMARY:
+        return Instruction(Opcode.EXT, rd=rd, rs=rs, rt=rt, conf=word & MAX_CONF), None
+
+    op = _PRIMARY_I.get(primary)
+    if op is None:
+        raise EncodingError(f"unknown primary opcode {primary:#x}")
+    fmt = opcode_info(op).fmt
+    if fmt is Fmt.BR2:
+        return Instruction(op, rs=rs, rt=rt), simm16
+    if fmt is Fmt.BR1:
+        return Instruction(op, rs=rs), simm16
+    if fmt is Fmt.LUI:
+        return Instruction(op, rt=rt, imm=imm16), None
+    if fmt is Fmt.MEM:
+        return Instruction(op, rt=rt, rs=rs, imm=simm16), None
+    imm = simm16 if opcode_info(op).signed_imm else imm16
+    return Instruction(op, rt=rt, rs=rs, imm=imm), None

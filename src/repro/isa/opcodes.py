@@ -1,0 +1,199 @@
+"""Opcode definitions and per-opcode metadata.
+
+Each opcode carries the static information the rest of the system needs:
+
+- ``fmt`` — operand format, which drives the assembler parser, the
+  encoder, and the :meth:`Instruction.uses`/``defs`` accessors.
+- ``op_class`` — functional-unit class; the timing simulator maps a class
+  to an FU pool and an execution latency.
+- ``latency`` — base-machine execution latency in cycles (SimpleScalar
+  ``sim-outorder`` defaults: ALU ops 1, integer multiply 3, divide 20;
+  loads are 1 plus cache access time).
+- ``candidate`` — whether the paper's selection algorithms may fold this
+  opcode into an extended instruction. Per §4 these are "arithmetic and
+  logic instructions"; loads, stores, branches, multiplies and divides
+  are never folded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode."""
+
+    ALU = "alu"          # single-cycle integer arithmetic/logic/compare/shift
+    MUL = "mul"          # integer multiply
+    DIV = "div"          # integer divide / remainder
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"    # conditional branches
+    JUMP = "jump"        # unconditional jumps / calls / returns
+    NOP = "nop"
+    HALT = "halt"
+    EXT = "ext"          # PFU extended instruction
+
+
+class Fmt(enum.Enum):
+    """Assembly/encoding operand format."""
+
+    R3 = "r3"            # op rd, rs, rt
+    R2_IMM = "r2imm"     # op rt, rs, imm        (I-type ALU)
+    SHIFT_IMM = "shimm"  # op rd, rt, shamt
+    LUI = "lui"          # op rt, imm
+    MEM = "mem"          # op rt, offset(rs)
+    BR2 = "br2"          # op rs, rt, label
+    BR1 = "br1"          # op rs, label
+    J = "j"              # op label
+    JR = "jr"            # op rs
+    JALR = "jalr"        # op rd, rs
+    NONE = "none"        # op
+    EXT = "ext"          # op rd, rs, rt, conf
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata for one opcode."""
+
+    fmt: Fmt
+    op_class: OpClass
+    latency: int
+    candidate: bool
+    signed_imm: bool = True  # I-type: sign-extend (True) or zero-extend imm16
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the T1000 ISA."""
+
+    # R-type arithmetic / logic / compare
+    ADD = "add"
+    ADDU = "addu"
+    SUB = "sub"
+    SUBU = "subu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # shifts with immediate shift amount
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    # I-type
+    ADDI = "addi"
+    ADDIU = "addiu"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    LUI = "lui"
+    # memory
+    LW = "lw"
+    LH = "lh"
+    LHU = "lhu"
+    LB = "lb"
+    LBU = "lbu"
+    SW = "sw"
+    SH = "sh"
+    SB = "sb"
+    # control
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # misc
+    NOP = "nop"
+    HALT = "halt"
+    # PFU extended instruction (§2.2)
+    EXT = "ext"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_ALU = OpClass.ALU
+_INFO: dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.ADDU: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SUB: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SUBU: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.AND: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.OR: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.XOR: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.NOR: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SLT: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SLTU: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SLLV: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SRLV: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.SRAV: OpcodeInfo(Fmt.R3, _ALU, 1, True),
+    Opcode.MUL: OpcodeInfo(Fmt.R3, OpClass.MUL, 3, False),
+    Opcode.DIV: OpcodeInfo(Fmt.R3, OpClass.DIV, 20, False),
+    Opcode.REM: OpcodeInfo(Fmt.R3, OpClass.DIV, 20, False),
+    Opcode.SLL: OpcodeInfo(Fmt.SHIFT_IMM, _ALU, 1, True),
+    Opcode.SRL: OpcodeInfo(Fmt.SHIFT_IMM, _ALU, 1, True),
+    Opcode.SRA: OpcodeInfo(Fmt.SHIFT_IMM, _ALU, 1, True),
+    Opcode.ADDI: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True),
+    Opcode.ADDIU: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True),
+    Opcode.ANDI: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True, signed_imm=False),
+    Opcode.ORI: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True, signed_imm=False),
+    Opcode.XORI: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True, signed_imm=False),
+    Opcode.SLTI: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True),
+    Opcode.SLTIU: OpcodeInfo(Fmt.R2_IMM, _ALU, 1, True),
+    Opcode.LUI: OpcodeInfo(Fmt.LUI, _ALU, 1, False, signed_imm=False),
+    Opcode.LW: OpcodeInfo(Fmt.MEM, OpClass.LOAD, 1, False),
+    Opcode.LH: OpcodeInfo(Fmt.MEM, OpClass.LOAD, 1, False),
+    Opcode.LHU: OpcodeInfo(Fmt.MEM, OpClass.LOAD, 1, False),
+    Opcode.LB: OpcodeInfo(Fmt.MEM, OpClass.LOAD, 1, False),
+    Opcode.LBU: OpcodeInfo(Fmt.MEM, OpClass.LOAD, 1, False),
+    Opcode.SW: OpcodeInfo(Fmt.MEM, OpClass.STORE, 1, False),
+    Opcode.SH: OpcodeInfo(Fmt.MEM, OpClass.STORE, 1, False),
+    Opcode.SB: OpcodeInfo(Fmt.MEM, OpClass.STORE, 1, False),
+    Opcode.BEQ: OpcodeInfo(Fmt.BR2, OpClass.BRANCH, 1, False),
+    Opcode.BNE: OpcodeInfo(Fmt.BR2, OpClass.BRANCH, 1, False),
+    Opcode.BLEZ: OpcodeInfo(Fmt.BR1, OpClass.BRANCH, 1, False),
+    Opcode.BGTZ: OpcodeInfo(Fmt.BR1, OpClass.BRANCH, 1, False),
+    Opcode.BLTZ: OpcodeInfo(Fmt.BR1, OpClass.BRANCH, 1, False),
+    Opcode.BGEZ: OpcodeInfo(Fmt.BR1, OpClass.BRANCH, 1, False),
+    Opcode.J: OpcodeInfo(Fmt.J, OpClass.JUMP, 1, False),
+    Opcode.JAL: OpcodeInfo(Fmt.J, OpClass.JUMP, 1, False),
+    Opcode.JR: OpcodeInfo(Fmt.JR, OpClass.JUMP, 1, False),
+    Opcode.JALR: OpcodeInfo(Fmt.JALR, OpClass.JUMP, 1, False),
+    Opcode.NOP: OpcodeInfo(Fmt.NONE, OpClass.NOP, 1, False),
+    Opcode.HALT: OpcodeInfo(Fmt.NONE, OpClass.HALT, 1, False),
+    Opcode.EXT: OpcodeInfo(Fmt.EXT, OpClass.EXT, 1, False),
+}
+
+_BY_NAME: dict[str, Opcode] = {op.value: op for op in Opcode}
+
+
+def opcode_info(op: Opcode) -> OpcodeInfo:
+    """Metadata for ``op``."""
+    return _INFO[op]
+
+
+def opcode_by_name(name: str) -> Opcode | None:
+    """Look up an opcode by mnemonic; ``None`` if unknown (maybe a pseudo-op)."""
+    return _BY_NAME.get(name.lower())
+
+
+#: Opcodes eligible for folding into extended instructions (§4: "arithmetic
+#: and logic instructions" subject to the bitwidth filter).
+CANDIDATE_OPCODES: frozenset[Opcode] = frozenset(
+    op for op, info in _INFO.items() if info.candidate
+)

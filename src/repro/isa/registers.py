@@ -1,0 +1,45 @@
+"""The 32-entry integer register file and its conventional names.
+
+Register 0 (``$zero``) is hard-wired to zero: writes to it are discarded,
+as on MIPS. The assembler accepts both numeric (``$5``) and symbolic
+(``$a1``) spellings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+NUM_REGS = 32
+
+#: Conventional MIPS register names, indexed by register number.
+REG_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUM: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+
+# Register-number aliases: $0..$31 and $r0..$r31.
+for _i in range(NUM_REGS):
+    _NAME_TO_NUM[str(_i)] = _i
+    _NAME_TO_NUM[f"r{_i}"] = _i
+
+
+def reg_name(num: int) -> str:
+    """Symbolic name (``$``-less) for register number ``num``."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def reg_num(name: str) -> int:
+    """Parse a register reference (``$t0``, ``t0``, ``$8``, ``8``) to a number."""
+    text = name.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    try:
+        return _NAME_TO_NUM[text]
+    except KeyError:
+        raise AssemblerError(f"unknown register {name!r}") from None

@@ -1,0 +1,142 @@
+"""Pure evaluation functions for ALU-class operations.
+
+These are shared between the functional simulator (executing ordinary
+instructions) and the extended-instruction interpreter (executing the
+dataflow graph a PFU configuration implements). Keeping them in one place
+guarantees that rewriting a sequence into an ``ext`` instruction cannot
+change program semantics: both paths call the same functions.
+
+All functions take and return unsigned 32-bit values (Python ints in
+``[0, 2**32)``). Immediates must be pre-processed by the caller (sign- or
+zero-extended per :attr:`OpcodeInfo.signed_imm`) and passed as the second
+operand ``b``; for immediate shifts ``b`` is the shift amount.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.opcodes import Opcode
+from repro.utils.bitops import to_s32, to_u32
+
+_EvalFn = Callable[[int, int], int]
+
+
+def _add(a: int, b: int) -> int:
+    return to_u32(a + b)
+
+
+def _sub(a: int, b: int) -> int:
+    return to_u32(a - b)
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _or(a: int, b: int) -> int:
+    return a | b
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _nor(a: int, b: int) -> int:
+    return to_u32(~(a | b))
+
+
+def _slt(a: int, b: int) -> int:
+    return 1 if to_s32(a) < to_s32(b) else 0
+
+
+def _sltu(a: int, b: int) -> int:
+    return 1 if to_u32(a) < to_u32(b) else 0
+
+
+def _sll(a: int, b: int) -> int:
+    return to_u32(a << (b & 31))
+
+
+def _srl(a: int, b: int) -> int:
+    return to_u32(a) >> (b & 31)
+
+
+def _sra(a: int, b: int) -> int:
+    return to_u32(to_s32(a) >> (b & 31))
+
+
+def _mul(a: int, b: int) -> int:
+    return to_u32(to_s32(a) * to_s32(b))
+
+
+def _div(a: int, b: int) -> int:
+    # Division by zero yields 0 (defined, trap-free semantics).
+    if to_s32(b) == 0:
+        return 0
+    q = abs(to_s32(a)) // abs(to_s32(b))
+    if (to_s32(a) < 0) != (to_s32(b) < 0):
+        q = -q
+    return to_u32(q)
+
+
+def _rem(a: int, b: int) -> int:
+    if to_s32(b) == 0:
+        return 0
+    sa, sb = to_s32(a), to_s32(b)
+    r = abs(sa) % abs(sb)
+    return to_u32(-r if sa < 0 else r)
+
+
+def _lui(_a: int, b: int) -> int:
+    return to_u32((b & 0xFFFF) << 16)
+
+
+_EVAL: dict[Opcode, _EvalFn] = {
+    Opcode.ADD: _add,
+    Opcode.ADDU: _add,
+    Opcode.ADDI: _add,
+    Opcode.ADDIU: _add,
+    Opcode.SUB: _sub,
+    Opcode.SUBU: _sub,
+    Opcode.AND: _and,
+    Opcode.ANDI: _and,
+    Opcode.OR: _or,
+    Opcode.ORI: _or,
+    Opcode.XOR: _xor,
+    Opcode.XORI: _xor,
+    Opcode.NOR: _nor,
+    Opcode.SLT: _slt,
+    Opcode.SLTI: _slt,
+    Opcode.SLTU: _sltu,
+    Opcode.SLTIU: _sltu,
+    Opcode.SLL: _sll,
+    Opcode.SLLV: _sll,
+    Opcode.SRL: _srl,
+    Opcode.SRLV: _srl,
+    Opcode.SRA: _sra,
+    Opcode.SRAV: _sra,
+    Opcode.MUL: _mul,
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.LUI: _lui,
+}
+
+
+def alu_eval(op: Opcode, a: int, b: int) -> int:
+    """Evaluate ALU-class opcode ``op`` on unsigned 32-bit operands.
+
+    Operand order is uniform across the ISA (unlike MIPS): ``a`` is the
+    first source (``rs``; the value to shift, for shifts) and ``b`` is the
+    second source (``rt``, the immediate, or the shift amount).
+    """
+    try:
+        fn = _EVAL[op]
+    except KeyError:
+        raise ValueError(f"{op} is not an ALU-evaluable opcode") from None
+    return fn(to_u32(a), to_u32(b))
+
+
+def has_alu_semantics(op: Opcode) -> bool:
+    """Whether ``op`` can be evaluated by :func:`alu_eval`."""
+    return op in _EVAL

@@ -1,0 +1,32 @@
+"""Program-level optimisation passes.
+
+The paper's toolchain consumes *compiled* code; real compilers clean that
+code up before instruction selection sees it. This package provides three
+classic, conservative passes over :class:`~repro.program.program.Program`:
+
+- :func:`copy_propagation` — forward within-block substitution of
+  ``move`` sources into later uses;
+- :func:`dead_code_elimination` — removes pure instructions whose results
+  are never observed (liveness-based, iterated to fixpoint);
+- :func:`store_to_load_forwarding` — replaces a reload of a just-stored
+  value with a register copy.
+
+``optimize_program`` runs them in a fixpoint pipeline. The minic compiler
+exposes ``compile_source(..., optimize=True)``; the passes are also
+useful after extended-instruction rewriting (folding can strand dead
+copies).
+"""
+
+from repro.opt.passes import (
+    copy_propagation,
+    dead_code_elimination,
+    optimize_program,
+    store_to_load_forwarding,
+)
+
+__all__ = [
+    "optimize_program",
+    "dead_code_elimination",
+    "copy_propagation",
+    "store_to_load_forwarding",
+]

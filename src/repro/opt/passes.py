@@ -1,0 +1,195 @@
+"""The optimisation passes. All passes are *conservative*: they only
+transform when correctness is locally provable from the CFG, liveness,
+and per-block scans; anything involving memory aliasing requires exact
+base-register/offset matches with no intervening stores or calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, OpClass, Opcode
+from repro.program.cfg import build_cfg
+from repro.program.liveness import compute_liveness, liveness_uses
+from repro.program.program import Program
+
+#: instruction classes with no side effect beyond their register result
+_PURE_CLASSES = (OpClass.ALU, OpClass.EXT, OpClass.NOP)
+
+
+def _rename_uses(instr: Instruction, mapping: dict[int, int]) -> Instruction:
+    """Replace *source* register operands through ``mapping`` (definitions
+    untouched)."""
+    fmt = instr.info.fmt
+    changes: dict[str, int] = {}
+    if instr.rs is not None and instr.rs in mapping:
+        # rs is a use in every format that has it except none
+        changes["rs"] = mapping[instr.rs]
+    if instr.rt is not None and instr.rt in mapping:
+        # rt is a use for R3, BR2, stores, and EXT; a def elsewhere
+        rt_is_use = (
+            fmt in (Fmt.R3, Fmt.BR2, Fmt.EXT)
+            or (fmt is Fmt.MEM and instr.is_store)
+        )
+        if rt_is_use:
+            changes["rt"] = mapping[instr.rt]
+    if not changes:
+        return instr
+    return replace(instr, **changes)
+
+
+def _is_move(instr: Instruction) -> int | None:
+    """If ``instr`` is a register copy, return the source register."""
+    if instr.op in (Opcode.ADDU, Opcode.OR, Opcode.XOR, Opcode.ADD):
+        if instr.rt == 0 and instr.op is not Opcode.XOR:
+            return instr.rs
+        if instr.rs == 0 and instr.op in (Opcode.ADDU, Opcode.OR, Opcode.ADD):
+            return instr.rt
+    if instr.op in (Opcode.ADDIU, Opcode.ADDI, Opcode.ORI, Opcode.XORI):
+        if instr.imm == 0:
+            return instr.rs
+    return None
+
+
+# ----------------------------------------------------------------------
+
+
+def copy_propagation(program: Program) -> tuple[Program, int]:
+    """Within each block, forward-substitute ``move rd, rs`` sources.
+
+    After a copy, later uses of ``rd`` read ``rs`` instead, until either
+    register is redefined. The (possibly now-dead) copy itself is left
+    for DCE. Returns ``(program, n_rewritten_instructions)``.
+    """
+    cfg = build_cfg(program)
+    new_text = list(program.text)
+    changed = 0
+    for blk in cfg.blocks:
+        copies: dict[int, int] = {}   # dst -> src
+        for i in blk.indices():
+            instr = new_text[i]
+            if copies:
+                renamed = _rename_uses(instr, copies)
+                if renamed is not instr:
+                    new_text[i] = renamed
+                    instr = renamed
+                    changed += 1
+            # invalidate mappings clobbered by this instruction
+            for dst in instr.defs():
+                copies.pop(dst, None)
+                for key in [k for k, v in copies.items() if v == dst]:
+                    del copies[key]
+            src = _is_move(instr)
+            if src is not None and instr.defs():
+                dst = instr.defs()[0]
+                if dst != 0 and src != dst:
+                    # chase chains: if src itself is a known copy, use root
+                    copies[dst] = copies.get(src, src)
+    if not changed:
+        return program, 0
+    return program.with_text(new_text, program.labels), changed
+
+
+def dead_code_elimination(program: Program) -> tuple[Program, int]:
+    """Remove pure instructions whose results are never observed.
+
+    A pure instruction is removable when every register it defines is
+    dead immediately after it (per-block backward scan seeded with the
+    block's live-out). Labels are remapped exactly like the extended-
+    instruction rewriter does. Returns ``(program, n_removed)``.
+    """
+    cfg = build_cfg(program)
+    liveness = compute_liveness(cfg)
+    dead: set[int] = set()
+    for blk in cfg.blocks:
+        live = set(liveness.live_out[blk.bid])
+        for i in range(blk.end - 1, blk.start - 1, -1):
+            instr = program.text[i]
+            defs = [r for r in instr.defs() if r != 0]
+            removable = (
+                instr.op_class in _PURE_CLASSES
+                and instr.op is not Opcode.NOP  # nops handled anyway
+                and defs
+                and not any(r in live for r in defs)
+            )
+            if removable or instr.op is Opcode.NOP:
+                dead.add(i)
+                continue
+            live -= set(defs)
+            live |= {r for r in liveness_uses(instr) if r != 0}
+    if not dead:
+        return program, 0
+
+    new_text: list[Instruction] = []
+    new_index = [0] * (len(program.text) + 1)
+    for old, instr in enumerate(program.text):
+        new_index[old] = len(new_text)
+        if old not in dead:
+            new_text.append(instr)
+    new_index[len(program.text)] = len(new_text)
+    labels = {name: new_index[idx] for name, idx in program.labels.items()}
+    out = program.with_text(new_text, labels)
+    out.validate()
+    return out, len(dead)
+
+
+def store_to_load_forwarding(program: Program) -> tuple[Program, int]:
+    """Replace ``lw rX, off(base)`` with a copy when the same word was
+    just stored from a known register.
+
+    Within a block, tracks the most recent ``sw rS, off(base)``; a load
+    with the *same base register and offset* becomes ``move rX, rS``,
+    provided neither ``base`` nor ``rS`` was redefined and no other store
+    or call intervened (any store invalidates everything — no aliasing
+    analysis). Returns ``(program, n_forwarded)``.
+    """
+    cfg = build_cfg(program)
+    new_text = list(program.text)
+    changed = 0
+    for blk in cfg.blocks:
+        known: dict[tuple[int, int], int] = {}   # (base, offset) -> src reg
+        for i in blk.indices():
+            instr = new_text[i]
+            if instr.op is Opcode.SW:
+                known.clear()        # conservative: one live forwarding
+                if instr.rt != 0:
+                    known[(instr.rs, instr.imm or 0)] = instr.rt
+                continue
+            if instr.is_store:
+                known.clear()
+                continue
+            if instr.op is Opcode.LW:
+                src = known.get((instr.rs, instr.imm or 0))
+                if src is not None and instr.rt not in (0,):
+                    new_text[i] = Instruction(
+                        Opcode.ADDU, rd=instr.rt, rs=src, rt=0
+                    )
+                    changed += 1
+                    instr = new_text[i]
+            for dst in instr.defs():
+                known = {
+                    key: src
+                    for key, src in known.items()
+                    if src != dst and key[0] != dst
+                }
+    if not changed:
+        return program, 0
+    return program.with_text(new_text, program.labels), changed
+
+
+def optimize_program(
+    program: Program, max_iterations: int = 8
+) -> tuple[Program, dict[str, int]]:
+    """Run all passes to fixpoint. Returns the program and per-pass counts."""
+    stats = {"copy_propagation": 0, "store_to_load": 0, "dce": 0}
+    for _ in range(max_iterations):
+        program, n_cp = copy_propagation(program)
+        program, n_fw = store_to_load_forwarding(program)
+        program, n_dce = dead_code_elimination(program)
+        stats["copy_propagation"] += n_cp
+        stats["store_to_load"] += n_fw
+        stats["dce"] += n_dce
+        if not (n_cp or n_fw or n_dce):
+            break
+    return program, stats

@@ -1,0 +1,11 @@
+"""Program profiling — the reproduction of the paper's ``sim_profile`` tool.
+
+"The profiling tool is based on SimpleScalar's sim_profile, and generates
+detailed profiles on operand bit-width and instruction execution time"
+(§4). :func:`profile_program` runs the functional simulator once with
+profiling enabled and packages the results for the selection algorithms.
+"""
+
+from repro.profiling.profiler import ProgramProfile, profile_program
+
+__all__ = ["ProgramProfile", "profile_program"]

@@ -1,0 +1,116 @@
+"""Human-readable profile reports — the ``sim_profile`` output equivalent.
+
+Renders an annotated program listing (execution count, observed operand
+bitwidth, candidate marker per instruction) plus loop and opcode-class
+summaries. ``t1000 profile <workload>`` prints one.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import opcode_info
+from repro.profiling.profiler import ProgramProfile
+from repro.utils.tables import format_table
+
+
+def annotated_listing(profile: ProgramProfile, min_count: int = 0) -> str:
+    """The program with per-instruction profile annotations.
+
+    Columns: index, execution count, max operand width, ``*`` when the
+    instruction is a §4 candidate (narrow ALU op), then the instruction
+    (labels inline).
+    """
+    program = profile.program
+    by_index: dict[int, list[str]] = {}
+    for label, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(label)
+
+    lines: list[str] = []
+    header = f"{'idx':>5} {'count':>9} {'width':>5} c  instruction"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, instr in enumerate(program.text):
+        for label in sorted(by_index.get(i, [])):
+            lines.append(f"{'':>23}{label}:")
+        count = profile.exec_counts[i]
+        if count < min_count:
+            continue
+        width = profile.max_operand_width[i]
+        cand = "*" if opcode_info(instr.op).candidate and count else " "
+        lines.append(
+            f"{i:>5} {count:>9} {width:>5} {cand}      {instr.render()}"
+        )
+    return "\n".join(lines)
+
+
+def loop_summary(profile: ProgramProfile) -> str:
+    """Loops ranked by executed instructions."""
+    rows = []
+    for loop, weight in profile.hottest_loops(top=20):
+        share = weight / max(1, profile.dynamic_instructions)
+        labels = profile.program.labels_at(
+            profile.cfg.blocks[loop.header].start
+        )
+        rows.append([
+            labels[0] if labels else f"block{loop.header}",
+            loop.depth,
+            len(loop.body),
+            weight,
+            f"{share:.1%}",
+        ])
+    return format_table(
+        ["loop", "depth", "blocks", "dyn. instrs", "share"], rows
+    )
+
+
+def class_summary(profile: ProgramProfile) -> str:
+    """Dynamic instruction mix by opcode class."""
+    counts: dict[str, int] = {}
+    for instr, n in zip(profile.program.text, profile.exec_counts):
+        key = instr.op_class.value
+        counts[key] = counts.get(key, 0) + n
+    total = max(1, sum(counts.values()))
+    rows = [
+        [name, n, f"{n / total:.1%}"]
+        for name, n in sorted(counts.items(), key=lambda kv: -kv[1])
+        if n
+    ]
+    return format_table(["class", "dyn. instrs", "share"], rows)
+
+
+def width_histogram(profile: ProgramProfile, threshold: int = 18) -> str:
+    """Dynamic operand-width distribution — the §4 narrowness evidence."""
+    buckets = {"1-8": 0, "9-18": 0, "19-32": 0}
+    for width, count in zip(profile.max_operand_width, profile.exec_counts):
+        if not count:
+            continue
+        if width <= 8:
+            buckets["1-8"] += count
+        elif width <= threshold:
+            buckets["9-18"] += count
+        else:
+            buckets["19-32"] += count
+    total = max(1, sum(buckets.values()))
+    rows = [[k, v, f"{v / total:.1%}"] for k, v in buckets.items()]
+    return format_table(["operand width", "dyn. instrs", "share"], rows)
+
+
+def full_report(profile: ProgramProfile) -> str:
+    """The complete sim_profile-style report."""
+    parts = [
+        f"profile of {profile.program.name!r}: "
+        f"{profile.dynamic_instructions} dynamic instructions, "
+        f"~{profile.base_cycles_estimate} base cycles",
+        "",
+        "== instruction mix ==",
+        class_summary(profile),
+        "",
+        "== operand widths (candidate threshold 18) ==",
+        width_histogram(profile),
+        "",
+        "== hottest loops ==",
+        loop_summary(profile),
+        "",
+        "== annotated listing (executed instructions) ==",
+        annotated_listing(profile, min_count=1),
+    ]
+    return "\n".join(parts)

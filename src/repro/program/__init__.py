@@ -1,0 +1,32 @@
+"""Program representation and static analysis.
+
+- :mod:`repro.program.program` — the :class:`Program` container (text
+  segment with symbolic labels, data segment image, symbol table).
+- :mod:`repro.program.cfg` — basic blocks and the control-flow graph.
+- :mod:`repro.program.dominators` — iterative dominator computation.
+- :mod:`repro.program.loops` — natural-loop detection.
+- :mod:`repro.program.liveness` — backward live-register analysis.
+- :mod:`repro.program.dfg` — per-basic-block dataflow graphs, the
+  structure the extended-instruction extractor mines.
+"""
+
+from repro.program.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.program.dfg import DataflowGraph, build_block_dfg
+from repro.program.liveness import LivenessInfo, compute_liveness
+from repro.program.loops import Loop, find_natural_loops
+from repro.program.program import DATA_BASE, STACK_TOP, Program
+
+__all__ = [
+    "Program",
+    "DATA_BASE",
+    "STACK_TOP",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "Loop",
+    "find_natural_loops",
+    "LivenessInfo",
+    "compute_liveness",
+    "DataflowGraph",
+    "build_block_dfg",
+]

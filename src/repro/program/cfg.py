@@ -1,0 +1,138 @@
+"""Basic blocks and the control-flow graph.
+
+Call handling: this is a whole-program, flat instruction space. The
+analyses that consume the CFG (loop detection for the selective algorithm,
+liveness for extraction validity) are intra-procedural, so:
+
+- ``jal``/``jalr`` end a block with a *fall-through* edge to the next
+  instruction (the call returns there) — the callee's body is analysed as
+  its own region;
+- ``jr`` (function return) ends a block with no successors, like ``halt``.
+
+This matches how the paper treats "loop bodies": loops inside one
+procedure. Registers are conservatively assumed live across calls by the
+liveness analysis (see :mod:`repro.program.liveness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``."""
+
+    bid: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass
+class ControlFlowGraph:
+    """CFG over a program's text segment."""
+
+    program: Program
+    blocks: list[BasicBlock]
+    block_of: list[int]  # instruction index -> block id
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    def block_instrs(self, bid: int) -> list[Instruction]:
+        blk = self.blocks[bid]
+        return self.program.text[blk.start : blk.end]
+
+    def successors(self, bid: int) -> list[int]:
+        return self.blocks[bid].succs
+
+    def predecessors(self, bid: int) -> list[int]:
+        return self.blocks[bid].preds
+
+    def reverse_postorder(self) -> list[int]:
+        """Blocks in reverse post-order from the entry (reachable only)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        # Iterative DFS with an explicit stack (programs can be large).
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            bid, child = stack[-1]
+            succs = self.blocks[bid].succs
+            if child < len(succs):
+                stack[-1] = (bid, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(bid)
+                stack.pop()
+        order.reverse()
+        return order
+
+
+def _is_block_end(instr: Instruction) -> bool:
+    return instr.is_control
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition ``program`` into basic blocks and connect edges."""
+    n = len(program.text)
+    if n == 0:
+        return ControlFlowGraph(program, [], [])
+
+    leaders = {0}
+    for i, instr in enumerate(program.text):
+        if instr.target is not None:
+            leaders.add(program.target_index(instr))
+        if _is_block_end(instr) and i + 1 < n:
+            leaders.add(i + 1)
+
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    block_of = [0] * n
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid=bid, start=start, end=end))
+        for i in range(start, end):
+            block_of[i] = bid
+
+    for blk in blocks:
+        last = program.text[blk.end - 1]
+        succs: list[int] = []
+        if last.op in (Opcode.HALT, Opcode.JR):
+            pass  # terminal: no intra-procedural successor
+        elif last.op is Opcode.J:
+            succs.append(block_of[program.target_index(last)])
+        elif last.is_branch:
+            target = block_of[program.target_index(last)]
+            fall = block_of[blk.end] if blk.end < n else None
+            # taken edge first, then fall-through
+            succs.append(target)
+            if fall is not None and fall != target:
+                succs.append(fall)
+        else:
+            # ordinary instruction, jal/jalr (call falls through)
+            if blk.end < n:
+                succs.append(block_of[blk.end])
+        blk.succs = succs
+
+    for blk in blocks:
+        for succ in blk.succs:
+            blocks[succ].preds.append(blk.bid)
+
+    return ControlFlowGraph(program, blocks, block_of)

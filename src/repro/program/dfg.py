@@ -1,0 +1,115 @@
+"""Per-basic-block dataflow graphs.
+
+This is the structure the extended-instruction extractor mines: nodes are
+the block's instructions; an edge ``p -> c`` means instruction ``c`` reads
+the value instruction ``p`` defined (with no intervening redefinition).
+Uses whose producer is outside the block are *external inputs* — they will
+become the ``rs``/``rt`` operands of an extended instruction.
+
+``escapes[i]`` records whether instruction ``i``'s result must remain
+architecturally visible after the block (it is the final definition of its
+register in the block and that register is live-out). An instruction whose
+value escapes, or is consumed by an instruction outside a candidate
+sequence, cannot be folded *as an interior node* of that sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.cfg import BasicBlock, ControlFlowGraph
+from repro.program.liveness import LivenessInfo, _CALL_USES
+
+
+@dataclass
+class DataflowGraph:
+    """Dataflow graph of one basic block.
+
+    All node identifiers are absolute text-segment instruction indices.
+    """
+
+    block: BasicBlock
+    #: node -> tuple aligned with ``instr.uses()``: producing node or None
+    #: (None = the value flows in from outside the block).
+    producers: dict[int, tuple[int | None, ...]] = field(default_factory=dict)
+    #: node -> in-block consumers of its defined value (before redefinition).
+    consumers: dict[int, list[int]] = field(default_factory=dict)
+    #: node -> whether its value is live after the block.
+    escapes: dict[int, bool] = field(default_factory=dict)
+    #: node -> the instruction itself (convenience).
+    instrs: dict[int, Instruction] = field(default_factory=dict)
+
+    def nodes(self) -> list[int]:
+        return sorted(self.instrs)
+
+    def external_inputs(self, nodes: set[int]) -> list[int]:
+        """Registers flowing into ``nodes`` from outside that set, in first-use
+        order (duplicates removed): the inputs the PFU would read."""
+        seen: list[int] = []
+        for node in sorted(nodes):
+            instr = self.instrs[node]
+            prods = self.producers[node]
+            for pos, reg in enumerate(instr.uses()):
+                producer = prods[pos]
+                if (producer is None or producer not in nodes) and reg not in seen:
+                    if reg == 0:
+                        continue  # $zero is a constant, not a live input
+                    seen.append(reg)
+        return seen
+
+    def value_used_outside(self, node: int, nodes: set[int]) -> bool:
+        """Whether ``node``'s value is needed anywhere outside ``nodes``."""
+        if self.escapes.get(node, False):
+            return True
+        return any(c not in nodes for c in self.consumers.get(node, ()))
+
+
+def build_block_dfg(
+    cfg: ControlFlowGraph, liveness: LivenessInfo, bid: int
+) -> DataflowGraph:
+    """Build the dataflow graph of block ``bid``."""
+    blk = cfg.blocks[bid]
+    dfg = DataflowGraph(block=blk)
+    last_def: dict[int, int] = {}
+
+    for i in blk.indices():
+        instr = cfg.program.text[i]
+        dfg.instrs[i] = instr
+        dfg.consumers[i] = []
+        prods: list[int | None] = []
+        for reg in instr.uses():
+            producer = last_def.get(reg)
+            prods.append(producer)
+            if producer is not None:
+                dfg.consumers[producer].append(i)
+        dfg.producers[i] = tuple(prods)
+        if instr.op in (Opcode.JAL, Opcode.JALR):
+            # the callee reads the argument registers: their producers are
+            # consumed by the call (so they can never fold away as interior
+            # nodes of a candidate sequence)
+            for reg in _CALL_USES:
+                producer = last_def.get(reg)
+                if producer is not None:
+                    dfg.consumers[producer].append(i)
+        for reg in instr.defs():
+            if reg != 0:
+                last_def[reg] = i
+
+    live_out = liveness.live_out[bid]
+    for i in blk.indices():
+        instr = cfg.program.text[i]
+        escapes = False
+        for reg in instr.defs():
+            if reg != 0 and last_def.get(reg) == i and reg in live_out:
+                escapes = True
+        dfg.escapes[i] = escapes
+    return dfg
+
+
+def build_all_dfgs(
+    cfg: ControlFlowGraph, liveness: LivenessInfo
+) -> dict[int, DataflowGraph]:
+    """DFGs for every block, keyed by block id."""
+    return {blk.bid: build_block_dfg(cfg, liveness, blk.bid) for blk in cfg.blocks}

@@ -1,0 +1,74 @@
+"""Dominator computation (iterative immediate-dominator algorithm).
+
+Implements Cooper/Harvey/Kennedy's "A Simple, Fast Dominance Algorithm":
+iterate over blocks in reverse post-order, intersecting predecessor
+dominators until fixpoint. Unreachable blocks have no dominator entry.
+"""
+
+from __future__ import annotations
+
+from repro.program.cfg import ControlFlowGraph
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> dict[int, int]:
+    """Map block id -> immediate dominator id (entry maps to itself)."""
+    if not cfg.blocks:
+        return {}
+    rpo = cfg.reverse_postorder()
+    order_index = {bid: i for i, bid in enumerate(rpo)}
+    idom: dict[int, int] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]
+            while order_index[b] > order_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in rpo:
+            if bid == cfg.entry:
+                continue
+            preds = [p for p in cfg.predecessors(bid) if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(bid) != new_idom:
+                idom[bid] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """Whether block ``a`` dominates block ``b`` (reflexive).
+
+    ``b`` must be reachable (present in ``idom``); walks the dominator
+    tree from ``b`` toward the entry.
+    """
+    node = b
+    while node in idom:
+        if node == a:
+            return True
+        if idom[node] == node:  # reached the entry block
+            return False
+        node = idom[node]
+    return False
+
+
+def dominator_sets(cfg: ControlFlowGraph) -> dict[int, set[int]]:
+    """Full dominator set per reachable block (test/verification helper)."""
+    idom = immediate_dominators(cfg)
+    out: dict[int, set[int]] = {}
+    for bid in idom:
+        doms = {bid}
+        node = bid
+        while node != cfg.entry:
+            node = idom[node]
+            doms.add(node)
+        out[bid] = doms
+    return out

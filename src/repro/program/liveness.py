@@ -1,0 +1,124 @@
+"""Backward live-register analysis over the CFG.
+
+The extended-instruction extractor needs to know whether the value an
+instruction defines is consumed *only* inside a candidate sequence — if it
+is also live at block exit or read by an instruction outside the sequence,
+the sequence cannot be folded (the intermediate result must still be
+written to the register file).
+
+Terminal-block assumptions follow the MIPS ABI, as a compiler's dataflow
+would:
+
+- at ``halt`` the observable machine state is memory plus the result
+  registers ``$v0``/``$v1`` — only those are live-out;
+- at ``jr`` (function return) the result registers and all callee-saved
+  state (``$s0-$s7``, ``$gp``, ``$sp``, ``$fp``, ``$ra``) are live-out —
+  caller-saved temporaries die at the return.
+
+Anything conservative here only *rejects* candidate sequences; anything
+precise admits more folding, exactly as in the paper's compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode
+from repro.program.cfg import ControlFlowGraph
+
+#: live at program exit: $v0, $v1
+_HALT_LIVE = frozenset({2, 3})
+#: live at a function return: results + callee-saved + stack/frame/ra
+_RETURN_LIVE = frozenset({2, 3, 16, 17, 18, 19, 20, 21, 22, 23, 28, 29, 30, 31})
+#: registers a call site passes to its callee: $a0-$a3 (+ $sp reaches it)
+_CALL_USES = (4, 5, 6, 7, 29)
+
+
+def liveness_uses(instr) -> tuple[int, ...]:
+    """Registers ``instr`` reads *for dataflow purposes*: its architectural
+    sources, plus the ABI argument registers at call sites (``jal``/
+    ``jalr`` hand $a0-$a3 and the stack pointer to the callee)."""
+    if instr.op in (Opcode.JAL, Opcode.JALR):
+        return tuple(instr.uses()) + _CALL_USES
+    return instr.uses()
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: list[frozenset[int]]
+    live_out: list[frozenset[int]]
+    cfg: ControlFlowGraph
+
+    def live_after(self, bid: int, index: int) -> set[int]:
+        """Registers live immediately *after* instruction ``index`` (an
+        absolute text index inside block ``bid``)."""
+        blk = self.cfg.blocks[bid]
+        if not blk.start <= index < blk.end:
+            raise ValueError(f"instruction {index} not in block {bid}")
+        live = set(self.live_out[bid])
+        for i in range(blk.end - 1, index, -1):
+            instr = self.cfg.program.text[i]
+            live -= set(instr.defs())
+            live |= {r for r in liveness_uses(instr) if r != 0}
+        return live
+
+
+def _block_use_def(cfg: ControlFlowGraph, bid: int) -> tuple[set[int], set[int]]:
+    """(upward-exposed uses, defs) for one block."""
+    uses: set[int] = set()
+    defs: set[int] = set()
+    for instr in cfg.block_instrs(bid):
+        for reg in liveness_uses(instr):
+            if reg != 0 and reg not in defs:
+                uses.add(reg)
+        for reg in instr.defs():
+            if reg != 0:
+                defs.add(reg)
+    return uses, defs
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> LivenessInfo:
+    """Iterate backward dataflow to fixpoint."""
+    nblocks = len(cfg.blocks)
+    use: list[set[int]] = [set()] * nblocks
+    define: list[set[int]] = [set()] * nblocks
+    for bid in range(nblocks):
+        use[bid], define[bid] = _block_use_def(cfg, bid)
+
+    live_in = [set() for _ in range(nblocks)]
+    live_out = [set() for _ in range(nblocks)]
+    # Seed terminal blocks with the ABI live-out sets.
+    for blk in cfg.blocks:
+        if not blk.succs:
+            last = cfg.program.text[blk.end - 1]
+            if last.op is Opcode.JR:
+                live_out[blk.bid] = set(_RETURN_LIVE)
+            else:
+                live_out[blk.bid] = set(_HALT_LIVE)
+
+    # Process in reverse of reverse-post-order for fast convergence.
+    order = cfg.reverse_postorder()[::-1]
+    # Include unreachable blocks too (conservatively analysed).
+    order += [b for b in range(nblocks) if b not in set(order)]
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            blk = cfg.blocks[bid]
+            out = set(live_out[bid]) if not blk.succs else set()
+            for succ in blk.succs:
+                out |= live_in[succ]
+            new_in = use[bid] | (out - define[bid])
+            if out != live_out[bid] or new_in != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = new_in
+                changed = True
+
+    return LivenessInfo(
+        live_in=[frozenset(s) for s in live_in],
+        live_out=[frozenset(s) for s in live_out],
+        cfg=cfg,
+    )

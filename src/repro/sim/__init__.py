@@ -1,0 +1,20 @@
+"""Simulators.
+
+- :mod:`repro.sim.memory` — sparse byte-addressable memory.
+- :mod:`repro.sim.functional` — the architectural (functional) simulator;
+  executes programs, optionally producing a dynamic trace and profiles.
+- :mod:`repro.sim.cache` — set-associative caches and TLBs.
+- :mod:`repro.sim.ooo` — the T1000 out-of-order timing model with PFUs.
+"""
+
+from repro.sim.functional import ExecutionResult, FunctionalSimulator, run_program
+from repro.sim.memory import Memory
+from repro.sim.trace import DynTrace
+
+__all__ = [
+    "FunctionalSimulator",
+    "ExecutionResult",
+    "run_program",
+    "Memory",
+    "DynTrace",
+]

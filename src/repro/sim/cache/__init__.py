@@ -1,0 +1,20 @@
+"""Cache and TLB models.
+
+"We simulate realistic instruction, data, and second-level unified caches,
+as well as instruction and data TLBs" (§3.1). Configurations default to
+the SimpleScalar ``sim-outorder`` values the paper's tool set shipped with.
+"""
+
+from repro.sim.cache.cache import Cache, CacheConfig, CacheStats
+from repro.sim.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.sim.cache.tlb import TLB, TLBConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "TLB",
+    "TLBConfig",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+]

@@ -1,0 +1,79 @@
+"""Branch prediction (extension over the paper's perfect-prediction model).
+
+The paper simulates "with perfect branch prediction" (§3.1), which this
+package defaults to. For sensitivity studies the timing model can instead
+use this classic predictor combination:
+
+- conditional branches: a bimodal table of 2-bit saturating counters,
+  indexed by word PC;
+- direct jumps/calls: always predicted (a BTB is assumed);
+- indirect jumps (``jr``/``jalr``): a return-address stack, pushed by
+  calls and popped by returns — mispredicts only on stack underflow or
+  non-call/return indirection.
+
+A misprediction redirects fetch when the branch resolves (executes).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+
+
+class BimodalPredictor:
+    """2-bit-counter bimodal predictor plus a return-address stack."""
+
+    def __init__(self, entries: int = 2048, ras_depth: int = 16) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._counters = [2] * entries   # weakly taken
+        self._ras: list[int] = []
+        self._ras_depth = ras_depth
+        self.lookups = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+
+    def predict_conditional(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; train with the actual outcome.
+        Returns whether the prediction was correct."""
+        self.lookups += 1
+        idx = (pc >> 2) & self._mask
+        counter = self._counters[idx]
+        predicted_taken = counter >= 2
+        if taken and counter < 3:
+            self._counters[idx] = counter + 1
+        elif not taken and counter > 0:
+            self._counters[idx] = counter - 1
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    def note_call(self, return_pc: int) -> None:
+        """A jal/jalr executes: push the return address."""
+        if len(self._ras) >= self._ras_depth:
+            self._ras.pop(0)
+        self._ras.append(return_pc)
+
+    def predict_return(self, actual_target_pc: int) -> bool:
+        """A jr executes: pop and compare. Returns prediction correctness."""
+        self.lookups += 1
+        predicted = self._ras.pop() if self._ras else None
+        correct = predicted == actual_target_pc
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+
+def is_conditional(op: Opcode) -> bool:
+    return op in (
+        Opcode.BEQ, Opcode.BNE, Opcode.BLEZ,
+        Opcode.BGTZ, Opcode.BLTZ, Opcode.BGEZ,
+    )

@@ -1,0 +1,119 @@
+"""The programmable functional unit (PFU) bank.
+
+Implements §2.2's mechanism: each PFU holds an ID tag naming the extended
+instruction it is currently configured for. At decode/dispatch the ``Conf``
+field of an ``ext`` instruction is compared against the tags; a match is
+"akin to a cache hit" and the instruction dispatches normally. On a miss,
+configuration bits are loaded into the LRU PFU before the instruction can
+issue, paying the reconfiguration latency. A PFU that still has older
+in-flight operations issues them before being reprogrammed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.lru import LRUTracker
+
+
+@dataclass
+class _Slot:
+    tag: int | None = None
+    config_ready: int = 0    # cycle at which the loaded config is usable
+    last_issue: int = -1     # last cycle an op issued on this PFU
+
+
+class PFUBank:
+    """Tracks PFU configuration state during a timing simulation.
+
+    ``n_pfus=None`` models the unlimited-PFU idealisation: every distinct
+    configuration gets its own PFU; only the cold configuration load (if
+    ``reconfig_latency > 0``) is paid.
+    """
+
+    def __init__(
+        self,
+        n_pfus: int | None,
+        reconfig_latency: int,
+        latency_by_conf: dict[int, int] | None = None,
+    ) -> None:
+        """``latency_by_conf`` overrides the flat latency per configuration
+        (the §6 bitstream-proportional model)."""
+        self.n_pfus = n_pfus
+        self.reconfig_latency = reconfig_latency
+        self.latency_by_conf = latency_by_conf or {}
+        self.hits = 0
+        self.misses = 0
+        self.reconfig_cycles = 0
+        if n_pfus is None:
+            self._ready_by_conf: dict[int, int] = {}
+        else:
+            self._slots = [_Slot() for _ in range(n_pfus)]
+            self._slot_of: dict[int, int] = {}   # conf -> slot index
+            self._lru: LRUTracker[int] = LRUTracker()  # tracks conf ids
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, conf: int, cycle: int) -> tuple[int, int | None]:
+        """Dispatch-time tag check for an ``ext`` with configuration ``conf``.
+
+        Returns ``(config_ready_cycle, slot_index)``; the instruction may
+        not issue before ``config_ready_cycle``. ``slot_index`` is ``None``
+        in unlimited mode (no structural hazard modelled).
+        """
+        latency = self.latency_by_conf.get(conf, self.reconfig_latency)
+        if self.n_pfus is None:
+            ready = self._ready_by_conf.get(conf)
+            if ready is None:
+                self.misses += 1
+                self.reconfig_cycles += latency
+                ready = cycle + latency
+                self._ready_by_conf[conf] = ready
+            else:
+                self.hits += 1
+            return ready, None
+
+        slot_idx = self._slot_of.get(conf)
+        if slot_idx is not None:
+            self.hits += 1
+            self._lru.touch(conf)
+            return self._slots[slot_idx].config_ready, slot_idx
+
+        self.misses += 1
+        self.reconfig_cycles += latency
+        slot_idx = self._pick_victim()
+        slot = self._slots[slot_idx]
+        if slot.tag is not None:
+            del self._slot_of[slot.tag]
+            self._lru.evict(slot.tag)
+        # Reconfiguration cannot start while older ops still need the old
+        # configuration; they have all issued by slot.last_issue.
+        start = max(cycle, slot.last_issue + 1)
+        slot.tag = conf
+        slot.config_ready = start + latency
+        self._slot_of[conf] = slot_idx
+        self._lru.touch(conf)
+        return slot.config_ready, slot_idx
+
+    def note_issue(self, slot_idx: int | None, cycle: int) -> None:
+        """Record that an ext op issued on ``slot_idx`` at ``cycle``."""
+        if self.n_pfus is None or slot_idx is None:
+            return
+        slot = self._slots[slot_idx]
+        if cycle > slot.last_issue:
+            slot.last_issue = cycle
+
+    def _pick_victim(self) -> int:
+        for idx, slot in enumerate(self._slots):
+            if slot.tag is None:
+                return idx
+        victim_conf = self._lru.victim()
+        return self._slot_of[victim_conf]
+
+    # ------------------------------------------------------------------
+
+    def resident_configs(self) -> set[int]:
+        """Configurations currently loaded (observability for tests)."""
+        if self.n_pfus is None:
+            return set(self._ready_by_conf)
+        return set(self._slot_of)

@@ -1,0 +1,404 @@
+"""The trace-driven out-of-order pipeline model.
+
+For each dynamic instruction the model computes fetch, dispatch, issue,
+completion and commit cycles subject to:
+
+- **fetch**: ``fetch_width`` per cycle, stalling on I-cache misses, and
+  breaking the fetch group after a taken control transfer (perfect branch
+  prediction: no misfetch penalty, but no same-cycle fetch across a taken
+  branch);
+- **dispatch**: in-order, ``decode_width`` per cycle, requires a free RUU
+  entry (entries are freed at commit, window = ``ruu_size``); ``ext``
+  instructions perform the PFU tag check here (§2.2) and trigger
+  reconfiguration on a miss;
+- **issue**: out-of-order wake-up when all source operands are ready,
+  bounded by ``issue_width`` and functional-unit availability (ALUs,
+  pipelined multiplier, unpipelined divider, memory ports, PFUs — one op
+  per PFU per cycle); loads also wait for older stores to the same word
+  (perfect memory disambiguation with store-to-load forwarding);
+- **complete**: issue + latency (loads consult the cache hierarchy);
+  dependents wake via full bypassing;
+- **commit**: in-order, ``commit_width`` per cycle.
+
+The simulated time is the commit cycle of the last instruction.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import SimulationError
+from repro.isa.encoding import TEXT_BASE
+from repro.isa.opcodes import OpClass, Opcode
+from repro.program.program import Program
+from repro.sim.cache.hierarchy import MemoryHierarchy
+from repro.sim.ooo.branchpred import BimodalPredictor, is_conditional
+from repro.sim.ooo.config import MachineConfig
+from repro.sim.ooo.pfu import PFUBank
+from repro.sim.ooo.stats import SimStats
+from repro.sim.trace import DynTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.extinst.extdef import ExtInstDef
+
+# internal instruction classes
+_C_ALU = 0
+_C_MUL = 1
+_C_DIV = 2
+_C_LOAD = 3
+_C_STORE = 4
+_C_CTRL = 5
+_C_NOP = 6
+_C_EXT = 7
+
+_CLASS_OF = {
+    OpClass.ALU: _C_ALU,
+    OpClass.MUL: _C_MUL,
+    OpClass.DIV: _C_DIV,
+    OpClass.LOAD: _C_LOAD,
+    OpClass.STORE: _C_STORE,
+    OpClass.BRANCH: _C_CTRL,
+    OpClass.JUMP: _C_CTRL,
+    OpClass.NOP: _C_NOP,
+    OpClass.HALT: _C_NOP,
+    OpClass.EXT: _C_EXT,
+}
+
+_CLASS_NAMES = ["alu", "mul", "div", "load", "store", "ctrl", "nop", "ext"]
+
+
+class OoOSimulator:
+    """Timing simulator for one program (reusable across traces only by
+    constructing a new instance — cache and PFU state are per-run)."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig | None = None,
+        ext_defs: Mapping[int, "ExtInstDef"] | None = None,
+    ) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.ext_defs = dict(ext_defs or {})
+        # Pre-extract static per-instruction properties into flat tuples.
+        self._cls: list[int] = []
+        self._srcs: list[tuple[int, ...]] = []
+        self._dst: list[int] = []
+        self._lat: list[int] = []
+        self._conf: list[int] = []
+        self._ctrl_kind: list[int] = []   # 0 none, 1 cond, 2 call, 3 return
+        ext_latency = self._ext_latencies()
+        for instr in program.text:
+            cls = _CLASS_OF[instr.op_class]
+            self._cls.append(cls)
+            self._srcs.append(tuple(r for r in instr.uses() if r != 0))
+            defs = instr.defs()
+            self._dst.append(defs[0] if defs and defs[0] != 0 else 0)
+            if cls == _C_EXT:
+                conf = instr.conf if instr.conf is not None else -1
+                self._lat.append(ext_latency.get(conf, 1))
+            else:
+                self._lat.append(instr.info.latency)
+            self._conf.append(instr.conf if instr.conf is not None else -1)
+            if is_conditional(instr.op):
+                self._ctrl_kind.append(1)
+            elif instr.op in (Opcode.JAL, Opcode.JALR):
+                self._ctrl_kind.append(2)
+            elif instr.op is Opcode.JR:
+                self._ctrl_kind.append(3)
+            else:
+                self._ctrl_kind.append(0)
+        self._reconfig_by_conf = self._reconfig_latencies()
+
+    def _ext_latencies(self) -> dict[int, int]:
+        """Per-configuration execution latency (§3.1 latency models)."""
+        out: dict[int, int] = {}
+        if self.config.ext_latency_model == "mapped" and self.ext_defs:
+            from repro.hwcost import estimate_cost
+
+            for conf, extdef in self.ext_defs.items():
+                levels = estimate_cost(extdef).levels
+                out[conf] = max(1, ceil(levels / self.config.lut_levels_per_cycle))
+        else:
+            for conf, extdef in self.ext_defs.items():
+                out[conf] = getattr(extdef, "latency", 1)
+        return out
+
+    def _reconfig_latencies(self) -> dict[int, int]:
+        """Per-configuration load latency (§6 bitstream model)."""
+        if self.config.reconfig_model != "bitstream" or not self.ext_defs:
+            return {}
+        from repro.hwcost import config_bits, estimate_cost
+
+        out: dict[int, int] = {}
+        for conf, extdef in self.ext_defs.items():
+            bits = config_bits(estimate_cost(extdef).luts)
+            out[conf] = max(1, ceil(bits / self.config.config_bits_per_cycle))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        trace: DynTrace,
+        record_window: tuple[int, int] | None = None,
+    ) -> SimStats:
+        """Replay ``trace`` through the pipeline; returns statistics.
+
+        ``record_window=(start, end)`` additionally records the pipeline
+        timeline — (static index, fetch, dispatch, issue, complete,
+        commit) per dynamic instruction in ``[start, end)`` — into
+        ``stats.timeline`` for visualisation (see
+        :mod:`repro.sim.ooo.timeline`).
+        """
+        if len(trace) == 0:
+            raise SimulationError("empty trace")
+        cfg = self.config
+        hier = MemoryHierarchy(cfg.hierarchy)
+        bank = PFUBank(
+            cfg.n_pfus, cfg.reconfig_latency,
+            latency_by_conf=self._reconfig_by_conf or None,
+        )
+        predictor = (
+            BimodalPredictor(cfg.bpred_entries)
+            if cfg.branch_predictor == "bimodal"
+            else None
+        )
+        ctrl_kind = self._ctrl_kind
+        redirect_at = 0
+
+        cls_tab, srcs_tab, dst_tab = self._cls, self._srcs, self._dst
+        lat_tab, conf_tab = self._lat, self._conf
+        indices, addrs = trace.indices, trace.addrs
+        n = len(indices)
+
+        fetch_width = cfg.fetch_width
+        decode_width = cfg.decode_width
+        issue_width = cfg.issue_width
+        commit_width = cfg.commit_width
+        ruu_size = cfg.ruu_size
+        n_ialu, n_imult, n_memports = cfg.n_ialu, cfg.n_imult, cfg.n_memports
+        line_bits = cfg.hierarchy.il1.line_size.bit_length() - 1
+
+        # fetch state
+        fetch_cycle = 1
+        fetched = 0
+        cur_line = -1
+        # dispatch state
+        disp_cycle = 1
+        disp_n = 0
+        commit_ring = [0] * ruu_size
+        # issue resources (per-cycle counters, sparse)
+        issued: dict[int, int] = {}
+        alu_used: dict[int, int] = {}
+        mul_used: dict[int, int] = {}
+        mem_used: dict[int, int] = {}
+        pfu_used: dict[tuple[int, int], int] = {}
+        div_free = 0
+        # dataflow
+        reg_ready = [0] * 32
+        store_ready: dict[int, int] = {}
+        # commit state
+        commit_cycle = 1
+        commit_n = 0
+
+        stats = SimStats()
+        class_counts = [0] * len(_CLASS_NAMES)
+        timeline: list[tuple[int, int, int, int, int, int]] = []
+        rec_lo, rec_hi = record_window if record_window else (0, -1)
+
+        for k in range(n):
+            si = indices[k]
+            cls = cls_tab[si]
+            class_counts[cls] += 1
+
+            # ---------------- fetch ----------------
+            pc_addr = TEXT_BASE + 4 * si
+            line = pc_addr >> line_bits
+            if redirect_at:
+                # fetch restarts when the mispredicted branch resolved
+                if redirect_at > fetch_cycle:
+                    fetch_cycle = redirect_at
+                fetched = 0
+                cur_line = -1
+                redirect_at = 0
+            if fetched >= fetch_width:
+                fetch_cycle += 1
+                fetched = 0
+            if line != cur_line:
+                extra = hier.ifetch(pc_addr) - 1
+                if extra > 0:
+                    fetch_cycle += extra
+                    fetched = 0
+                cur_line = line
+            f = fetch_cycle
+            fetched += 1
+            # taken control transfer ends the fetch group
+            if cls == _C_CTRL and k + 1 < n and indices[k + 1] != si + 1:
+                fetch_cycle += 1
+                fetched = 0
+                cur_line = -1
+
+            # ---------------- dispatch ----------------
+            d = f + 1
+            if d < disp_cycle:
+                d = disp_cycle
+            if k >= ruu_size:
+                freed = commit_ring[k % ruu_size] + 1
+                if freed > d:
+                    d = freed
+            if d == disp_cycle and disp_n >= decode_width:
+                d += 1
+            if d > disp_cycle:
+                disp_cycle = d
+                disp_n = 0
+            disp_n += 1
+
+            # PFU tag check at dispatch (§2.2)
+            config_ready = 0
+            pfu_slot: int | None = None
+            if cls == _C_EXT:
+                config_ready, pfu_slot = bank.acquire(conf_tab[si], d)
+
+            # ---------------- issue ----------------
+            t = d + 1
+            for r in srcs_tab[si]:
+                rr = reg_ready[r]
+                if rr > t:
+                    t = rr
+            addr = addrs[k]
+            if cls == _C_LOAD:
+                dep = store_ready.get(addr >> 2, 0)
+                if dep > t:
+                    t = dep
+            elif cls == _C_EXT and config_ready > t:
+                t = config_ready
+            elif cls == _C_DIV and div_free > t:
+                t = div_free
+
+            while True:
+                if issued.get(t, 0) >= issue_width:
+                    t += 1
+                    continue
+                if cls in (_C_ALU, _C_CTRL, _C_NOP):
+                    if alu_used.get(t, 0) >= n_ialu:
+                        t += 1
+                        continue
+                    alu_used[t] = alu_used.get(t, 0) + 1
+                elif cls == _C_MUL:
+                    if mul_used.get(t, 0) >= n_imult:
+                        t += 1
+                        continue
+                    mul_used[t] = mul_used.get(t, 0) + 1
+                elif cls == _C_DIV:
+                    if t < div_free:
+                        t = div_free
+                        continue
+                    if mul_used.get(t, 0) >= n_imult:  # divider shares the unit
+                        t += 1
+                        continue
+                    mul_used[t] = mul_used.get(t, 0) + 1
+                    div_free = t + lat_tab[si]
+                elif cls in (_C_LOAD, _C_STORE):
+                    if mem_used.get(t, 0) >= n_memports:
+                        t += 1
+                        continue
+                    mem_used[t] = mem_used.get(t, 0) + 1
+                elif cls == _C_EXT and pfu_slot is not None:
+                    key = (pfu_slot, t)
+                    if pfu_used.get(key, 0) >= 1:
+                        t += 1
+                        continue
+                    pfu_used[key] = 1
+                issued[t] = issued.get(t, 0) + 1
+                break
+
+            if cls == _C_EXT:
+                bank.note_issue(pfu_slot, t)
+
+            # ---------------- execute/complete ----------------
+            if cls == _C_LOAD:
+                complete = t + hier.dload(addr)
+            elif cls == _C_STORE:
+                hier.dstore(addr)
+                complete = t + 1
+                store_ready[addr >> 2] = complete
+            else:
+                complete = t + lat_tab[si]
+
+            dst = dst_tab[si]
+            if dst:
+                # program-order processing makes this the newest definition
+                reg_ready[dst] = complete
+
+            # -------- branch prediction (extension; perfect by default) --
+            if predictor is not None and cls == _C_CTRL:
+                kind = ctrl_kind[si]
+                correct = True
+                if kind == 1:      # conditional branch
+                    taken = k + 1 < n and indices[k + 1] != si + 1
+                    correct = predictor.predict_conditional(pc_addr, taken)
+                elif kind == 2:    # call
+                    predictor.note_call(TEXT_BASE + 4 * (si + 1))
+                elif kind == 3:    # return
+                    target = (
+                        TEXT_BASE + 4 * indices[k + 1] if k + 1 < n else -1
+                    )
+                    correct = predictor.predict_return(target)
+                if not correct and complete > redirect_at:
+                    redirect_at = complete
+
+            # ---------------- commit ----------------
+            c = complete + 1
+            if c < commit_cycle:
+                c = commit_cycle
+            if c == commit_cycle and commit_n >= commit_width:
+                c += 1
+            if c > commit_cycle:
+                commit_cycle = c
+                commit_n = 0
+            commit_n += 1
+            commit_ring[k % ruu_size] = c
+
+            if rec_lo <= k < rec_hi:
+                timeline.append((si, f, d, t, complete, c))
+
+        stats.cycles = commit_cycle
+        stats.instructions = n
+        stats.ext_instructions = class_counts[_C_EXT]
+        stats.pfu_hits = bank.hits
+        stats.pfu_misses = bank.misses
+        stats.reconfig_cycles = bank.reconfig_cycles
+        stats.class_counts = {
+            name: class_counts[i] for i, name in enumerate(_CLASS_NAMES)
+        }
+        if predictor is not None:
+            stats.bpred_lookups = predictor.lookups
+            stats.bpred_mispredictions = predictor.mispredictions
+        if record_window:
+            stats.timeline = timeline
+        stats.cache = {
+            "il1": vars(hier.il1.stats).copy(),
+            "dl1": vars(hier.dl1.stats).copy(),
+            "ul2": vars(hier.ul2.stats).copy(),
+            "itlb": vars(hier.itlb.stats).copy(),
+            "dtlb": vars(hier.dtlb.stats).copy(),
+        }
+        return stats
+
+
+def simulate_program(
+    program: Program,
+    config: MachineConfig | None = None,
+    ext_defs: Mapping[int, "ExtInstDef"] | None = None,
+    max_steps: int = 50_000_000,
+) -> SimStats:
+    """Functional-execute ``program`` then replay through the timing model."""
+    from repro.sim.functional import FunctionalSimulator
+
+    result = FunctionalSimulator(program, ext_defs=ext_defs).run(
+        max_steps=max_steps, collect_trace=True
+    )
+    sim = OoOSimulator(program, config=config, ext_defs=ext_defs)
+    return sim.simulate(result.trace)

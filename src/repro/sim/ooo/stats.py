@@ -1,0 +1,60 @@
+"""Timing-simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Results of one timing simulation."""
+
+    cycles: int = 0
+    instructions: int = 0          # committed dynamic instructions
+    ext_instructions: int = 0      # committed extended instructions
+
+    pfu_hits: int = 0              # ext dispatches finding their config loaded
+    pfu_misses: int = 0            # ext dispatches triggering reconfiguration
+    reconfig_cycles: int = 0       # total configuration-loading cycles paid
+
+    bpred_lookups: int = 0         # 0 under perfect prediction
+    bpred_mispredictions: int = 0
+
+    class_counts: dict[str, int] = field(default_factory=dict)
+    cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: optional recorded pipeline timeline: (static index, fetch,
+    #: dispatch, issue, complete, commit) per recorded instruction
+    timeline: list[tuple[int, int, int, int, int, int]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def pfu_hit_rate(self) -> float:
+        total = self.pfu_hits + self.pfu_misses
+        return self.pfu_hits / total if total else 0.0
+
+    def speedup_over(self, baseline: "SimStats") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        if self.cycles == 0:
+            raise ValueError("cannot compute speedup: zero cycles")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles            {self.cycles}",
+            f"instructions      {self.instructions}",
+            f"IPC               {self.ipc:.3f}",
+            f"ext instructions  {self.ext_instructions}",
+            f"PFU hits/misses   {self.pfu_hits}/{self.pfu_misses}",
+            f"reconfig cycles   {self.reconfig_cycles}",
+        ]
+        for name, stats in sorted(self.cache.items()):
+            acc = stats.get("accesses", 0)
+            mis = stats.get("misses", 0)
+            rate = mis / acc if acc else 0.0
+            lines.append(f"{name:<6} accesses   {acc} (miss rate {rate:.3%})")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Pipeline-timeline rendering: a text Gantt chart of recorded
+instructions through fetch / dispatch / issue / execute / commit.
+
+Stage letters: ``F`` fetch, ``D`` dispatch (rename + RUU insert),
+``I`` issue (operands ready, FU granted), ``=`` executing, ``X``
+writeback/complete, ``C`` commit. Dots mark waiting-in-machine cycles
+(in the RUU between dispatch and issue, or completed awaiting in-order
+commit).
+
+Note: the model has a decoupled front end with an idealised fetch
+queue, so ``F`` can run arbitrarily far ahead of ``D`` when dispatch is
+window-limited; timing is governed by dispatch onward.
+
+Usage::
+
+    stats = OoOSimulator(program, cfg, ext_defs).simulate(
+        trace, record_window=(1000, 1024))
+    print(render_timeline(stats.timeline, program))
+"""
+
+from __future__ import annotations
+
+from repro.program.program import Program
+
+_MAX_WIDTH = 100
+
+
+def render_timeline(
+    timeline: list[tuple[int, int, int, int, int, int]],
+    program: Program,
+) -> str:
+    """Render recorded pipeline events as a text chart."""
+    if not timeline:
+        return "(empty timeline)"
+    base = min(entry[1] for entry in timeline)
+    last = max(entry[5] for entry in timeline)
+    width = last - base + 1
+    clipped = width > _MAX_WIDTH
+    width = min(width, _MAX_WIDTH)
+
+    listing_w = max(
+        len(program.text[entry[0]].render()) for entry in timeline
+    )
+    listing_w = min(listing_w, 34)
+
+    header = (
+        f"{'':>6} {'instruction':<{listing_w}} "
+        f"cycles {base}..{base + width - 1}"
+        + (" (clipped)" if clipped else "")
+    )
+    lines = [header]
+    for si, fetch, dispatch, issue, complete, commit in timeline:
+        row = [" "] * width
+
+        def put(cycle: int, ch: str) -> None:
+            pos = cycle - base
+            if 0 <= pos < width:
+                # don't overwrite a stage letter with a filler dot
+                if ch == "." and row[pos] != " ":
+                    return
+                row[pos] = ch
+
+        for cyc in range(dispatch + 1, issue):
+            put(cyc, ".")
+        for cyc in range(complete + 1, commit):
+            put(cyc, ".")
+        for cyc in range(issue + 1, complete):
+            put(cyc, "=")
+        put(fetch, "F")
+        put(dispatch, "D")
+        put(issue, "I")
+        put(complete, "X")
+        put(commit, "C")
+        text = program.text[si].render()[:listing_w]
+        lines.append(f"{si:>6} {text:<{listing_w}} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def timeline_summary(
+    timeline: list[tuple[int, int, int, int, int, int]]
+) -> dict[str, float]:
+    """Average per-stage delays over the recorded window."""
+    if not timeline:
+        return {}
+    n = len(timeline)
+    return {
+        "fetch_to_dispatch": sum(d - f for _, f, d, _, _, _ in timeline) / n,
+        "dispatch_to_issue": sum(i - d for _, _, d, i, _, _ in timeline) / n,
+        "issue_to_complete": sum(x - i for _, _, _, i, x, _ in timeline) / n,
+        "complete_to_commit": sum(c - x for _, _, _, _, x, c in timeline) / n,
+    }

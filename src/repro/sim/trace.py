@@ -1,0 +1,41 @@
+"""Dynamic-trace representation.
+
+The timing model is trace-driven (perfect branch prediction, as in the
+paper): the functional simulator records which static instruction executed
+at each dynamic step plus its effective memory address, and the timing
+model replays that stream. Static per-instruction properties (sources,
+destination, latency class) are looked up from the program, so the trace
+itself stays compact: two parallel integer arrays.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DynTrace:
+    """A dynamic execution trace.
+
+    ``indices[k]`` is the static text index of the k-th executed
+    instruction; ``addrs[k]`` is its effective byte address for loads and
+    stores, or -1.
+    """
+
+    indices: array = field(default_factory=lambda: array("i"))
+    addrs: array = field(default_factory=lambda: array("q"))
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def append(self, static_index: int, addr: int = -1) -> None:
+        self.indices.append(static_index)
+        self.addrs.append(addr)
+
+    def static_counts(self, n_static: int) -> list[int]:
+        """Execution count per static instruction index."""
+        counts = [0] * n_static
+        for idx in self.indices:
+            counts[idx] += 1
+        return counts

@@ -1,0 +1,23 @@
+"""Small shared utilities: bit manipulation, LRU state, text tables."""
+
+from repro.utils.bitops import (
+    MASK32,
+    bit_width_signed,
+    bit_width_unsigned,
+    sign_extend,
+    to_s32,
+    to_u32,
+)
+from repro.utils.lru import LRUTracker
+from repro.utils.tables import format_table
+
+__all__ = [
+    "MASK32",
+    "bit_width_signed",
+    "bit_width_unsigned",
+    "sign_extend",
+    "to_s32",
+    "to_u32",
+    "LRUTracker",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Two's-complement 32-bit arithmetic helpers.
+
+All architectural register values in the simulator are stored as Python
+ints in the unsigned range ``[0, 2**32)``. These helpers convert between
+the signed and unsigned views and measure the number of significant bits
+of a value — the quantity the bitwidth profiler tracks (the paper's
+candidate filter admits only operations whose operands need <= 18 bits).
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+SIGN_BIT = 0x8000_0000
+
+
+def to_u32(value: int) -> int:
+    """Reduce an arbitrary Python int to its unsigned 32-bit representation."""
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed (two's complement) int."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & SIGN_BIT else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to a signed Python int."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    value &= (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def bit_width_unsigned(value: int) -> int:
+    """Number of bits needed to represent ``value`` as an unsigned quantity.
+
+    ``0`` needs 1 bit by convention (a wire still exists for it).
+    """
+    value = to_u32(value)
+    return max(1, value.bit_length())
+
+
+def bit_width_signed(value: int) -> int:
+    """Number of bits needed to represent the signed view of ``value``.
+
+    This is the metric used to mark narrow operands: a small negative
+    number such as -3 (0xFFFFFFFD unsigned) needs only 3 bits in two's
+    complement, so it should count as "narrow" for PFU mapping.
+    """
+    signed = to_s32(value)
+    if signed >= 0:
+        return signed.bit_length() + 1  # +1 for the sign bit
+    return (~signed).bit_length() + 1
+
+
+def effective_width(value: int) -> int:
+    """Width metric used by the profiler: min of the signed and unsigned views.
+
+    A value like 0x0003_0000 is 18 bits either way; 0xFFFF_FFFE is 32 bits
+    unsigned but only 2 bits as the signed value -2. The paper's profiling
+    tool marks operations narrow when either interpretation is narrow.
+    """
+    return min(bit_width_unsigned(value), bit_width_signed(value))

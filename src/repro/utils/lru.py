@@ -1,0 +1,46 @@
+"""A tiny LRU recency tracker used by caches and the PFU bank."""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LRUTracker(Generic[K]):
+    """Tracks recency of a bounded set of keys.
+
+    ``touch(key)`` marks a key most-recently-used (inserting it if absent);
+    ``victim()`` returns the least-recently-used key; ``evict(key)`` removes
+    one. Capacity is enforced by the caller (caches know their associativity;
+    the PFU bank knows its PFU count) — this class only orders keys.
+    """
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._stamp: dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._stamp)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._stamp
+
+    def touch(self, key: K) -> None:
+        """Mark ``key`` as most recently used."""
+        self._clock += 1
+        self._stamp[key] = self._clock
+
+    def victim(self) -> K:
+        """Return the least-recently-used key (does not remove it)."""
+        if not self._stamp:
+            raise KeyError("victim() on empty LRUTracker")
+        return min(self._stamp, key=self._stamp.__getitem__)
+
+    def evict(self, key: K) -> None:
+        """Remove ``key`` from tracking."""
+        del self._stamp[key]
+
+    def keys(self) -> list[K]:
+        """All tracked keys, most recent last."""
+        return sorted(self._stamp, key=self._stamp.__getitem__)

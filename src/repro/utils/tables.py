@@ -1,0 +1,58 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+this module renders them as aligned monospace tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i]) for i, text in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_histogram(
+    bins: Sequence[tuple[str, int]], bar_char: str = "#", width: int = 50
+) -> str:
+    """Render labelled counts as a horizontal ASCII histogram."""
+    if not bins:
+        return "(empty histogram)"
+    peak = max(count for _, count in bins) or 1
+    label_w = max(len(label) for label, _ in bins)
+    lines = []
+    for label, count in bins:
+        bar = bar_char * max(0, round(width * count / peak))
+        lines.append(f"{label.ljust(label_w)} | {str(count).rjust(4)} {bar}")
+    return "\n".join(lines)

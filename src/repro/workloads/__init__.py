@@ -1,0 +1,28 @@
+"""Synthetic MediaBench-like workloads.
+
+The paper evaluates on eight MediaBench applications compiled to
+SimpleScalar PISA. We cannot ship those binaries, so each application is
+replaced by a hand-written kernel in the T1000 ISA implementing the same
+algorithmic core the original spends its time in (see DESIGN.md §2):
+
+==============  ========================================================
+name            algorithmic core
+==============  ========================================================
+epic            wavelet pyramid decomposition + dead-zone quantisation
+unepic          inverse quantisation + pyramid reconstruction
+gsm_encode      preemphasis, LTP lag search (SAD), residual quantisation
+gsm_decode      LTP reconstruction, synthesis filter, de-emphasis
+g721_encode     ADPCM: predictor, adaptive quantiser (control-heavy)
+g721_decode     ADPCM inverse quantiser + predictor update
+mpeg2_encode    8x8 shift-add DCT, quantisation, motion-search SAD
+mpeg2_decode    dequant, shift-add IDCT, saturating reconstruction
+==============  ========================================================
+
+Every workload carries a pure-Python reference implementation; the test
+suite checks the assembly kernels bit-exactly against it.
+"""
+
+from repro.workloads.base import Workload, check_outputs
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+__all__ = ["Workload", "check_outputs", "build_workload", "WORKLOAD_NAMES"]

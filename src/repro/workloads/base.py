@@ -1,0 +1,53 @@
+"""Workload container and verification helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.program import Program
+from repro.sim.functional import ExecutionResult
+from repro.utils.bitops import to_s32
+
+
+@dataclass
+class Workload:
+    """A benchmark program plus its expected observable outputs.
+
+    ``expected`` maps data-segment symbols to the signed word values the
+    program must leave there; verification reads the simulator memory at
+    those symbols.
+    """
+
+    name: str
+    program: Program
+    expected: dict[str, list[int]] = field(default_factory=dict)
+    description: str = ""
+    scale: int = 1
+
+    def output_words(self, result: ExecutionResult, symbol: str) -> list[int]:
+        """Signed words the program left at ``symbol``."""
+        addr = self.program.symbols[symbol]
+        count = len(self.expected[symbol])
+        return [to_s32(w) for w in result.memory.words(addr, count)]
+
+    def verify(self, result: ExecutionResult) -> None:
+        """Raise AssertionError (with context) on any output mismatch."""
+        for symbol, want in self.expected.items():
+            got = self.output_words(result, symbol)
+            if got != want:
+                diffs = [
+                    (i, a, b) for i, (a, b) in enumerate(zip(got, want)) if a != b
+                ]
+                raise AssertionError(
+                    f"{self.name}: output {symbol!r} mismatch at "
+                    f"{len(diffs)}/{len(want)} words; first diffs: {diffs[:5]}"
+                )
+
+
+def check_outputs(workload: Workload, result: ExecutionResult) -> bool:
+    """Boolean form of :meth:`Workload.verify`."""
+    try:
+        workload.verify(result)
+        return True
+    except AssertionError:
+        return False

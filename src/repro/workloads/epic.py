@@ -1,0 +1,377 @@
+"""EPIC image-coder kernels (epic / unepic).
+
+MediaBench's EPIC is a wavelet (pyramid) image coder. The encoder here
+performs a two-level separable Haar-lifting pyramid decomposition of a
+32x32 tile followed by dead-zone quantisation of the coefficients; the
+decoder (unepic) inverse-quantises and reconstructs with saturation —
+the same transform/quantise/reconstruct cores the original spends its
+time in. The quantiser/dequantiser are branchless sign-magnitude chains,
+the signature workload shape for PFU folding.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder
+from repro.workloads.base import Workload
+from repro.workloads.data import image_tile
+from repro.workloads.idioms import emit_clamp255, py_clamp255
+
+SIZE = 32              # tile edge (words)
+LEVELS = 2
+QT, QS = 4, 2          # dead-zone threshold and shift
+
+
+# ----------------------------------------------------------------------
+# references
+
+
+def lift(vec: list[int]) -> list[int]:
+    """One Haar-lifting pass: [s half | d half]."""
+    half = len(vec) // 2
+    s_half, d_half = [], []
+    for i in range(half):
+        x0, x1 = vec[2 * i], vec[2 * i + 1]
+        d = x0 - x1
+        s = x1 + (d >> 1)
+        s_half.append(s)
+        d_half.append(d)
+    return s_half + d_half
+
+
+def unlift(vec: list[int]) -> list[int]:
+    half = len(vec) // 2
+    out = [0] * len(vec)
+    for i in range(half):
+        s, d = vec[i], vec[half + i]
+        x1 = s - (d >> 1)
+        x0 = d + x1
+        out[2 * i], out[2 * i + 1] = x0, x1
+    return out
+
+
+def _apply_rows(img: list[int], level: int, fn) -> None:
+    for y in range(level):
+        row = [img[y * SIZE + x] for x in range(level)]
+        for x, v in enumerate(fn(row)):
+            img[y * SIZE + x] = v
+
+
+def _apply_cols(img: list[int], level: int, fn) -> None:
+    for x in range(level):
+        col = [img[y * SIZE + x] for y in range(level)]
+        for y, v in enumerate(fn(col)):
+            img[y * SIZE + x] = v
+
+
+def pyramid_forward(img: list[int]) -> list[int]:
+    out = list(img)
+    level = SIZE
+    for _ in range(LEVELS):
+        _apply_rows(out, level, lift)
+        _apply_cols(out, level, lift)
+        level //= 2
+    return out
+
+
+def pyramid_inverse(coeffs: list[int]) -> list[int]:
+    out = list(coeffs)
+    level = SIZE >> (LEVELS - 1)
+    for _ in range(LEVELS):
+        _apply_cols(out, level, unlift)
+        _apply_rows(out, level, unlift)
+        level *= 2
+    return out
+
+
+def quantise(c: int) -> int:
+    m = (abs(c) - QT) >> QS
+    if m < 0:
+        m = 0
+    return -m if c < 0 else m
+
+
+def dequantise(q: int) -> int:
+    if q == 0:
+        return 0
+    m = (abs(q) << QS) + QT + 2
+    return -m if q < 0 else m
+
+
+def code_bits(q: int) -> int:
+    """Size-class entropy-coding cost of one coefficient: 2 bits for the
+    dead zone / ±1 class, +3 for |q| >= 2, +4 more for |q| >= 8 (the
+    shape of EPIC's magnitude-class Huffman tables)."""
+    mag = abs(q)
+    ge2 = 1 if mag >= 2 else 0
+    ge8 = 1 if mag >= 8 else 0
+    return 2 + 3 * ge2 + 4 * ge8
+
+
+def epic_reference(img: list[int]) -> dict[str, list[int]]:
+    coeffs = pyramid_forward(img)
+    qs = [quantise(c) for c in coeffs]
+    # band energy: |q| accumulated alongside quantisation (a second
+    # dependent chain in the hot loop, as real coders track rate)
+    energy = sum((abs(q) + 1) >> 1 for q in qs)
+    # entropy-coder budget: the bit-packing pass over the coefficients
+    bits = sum(code_bits(q) for q in qs)
+    return {
+        "out_q": qs,
+        "out_sum": [sum(qs)],
+        "out_energy": [energy],
+        "out_bits": [bits],
+    }
+
+
+def unepic_reference(qs: list[int]) -> dict[str, list[int]]:
+    coeffs = [dequantise(q) for q in qs]
+    rec = pyramid_inverse(coeffs)
+    pixels = [py_clamp255(v) for v in rec]
+    # display-chain metric: rounding-average of adjacent output pixels
+    # (the half-pel interpolation every viewer applies)
+    smooth = sum(
+        (pixels[i] + pixels[i + 1] + 1) >> 1 for i in range(len(pixels) - 1)
+    )
+    return {
+        "out_pix": pixels,
+        "out_sum": [sum(pixels)],
+        "out_smooth": [smooth],
+    }
+
+
+# ----------------------------------------------------------------------
+# assembly emitters
+
+
+def _emit_lift_pass(b: AsmBuilder, half: int, stride: int) -> None:
+    """Forward-lift the vector at $a0 (count=2*half, byte stride) via the
+    scratch buffer at $a1, then copy back."""
+    b.ins("move $t8, $a0", f"addiu $t9, $a0, {stride}", "move $a2, $a1")
+    b.ins(f"addiu $a3, $a1, {half * 4}")
+    with b.counted_loop("$s7", half):
+        b.ins("lw $t0, 0($t8)", "lw $t1, 0($t9)")
+        b.ins("subu $t2, $t0, $t1",       # d
+              "sra $t3, $t2, 1",
+              "addu $t4, $t1, $t3")       # s
+        b.ins("sw $t4, 0($a2)", "sw $t2, 0($a3)")
+        b.ins(f"addiu $t8, $t8, {2 * stride}", f"addiu $t9, $t9, {2 * stride}")
+        b.ins("addiu $a2, $a2, 4", "addiu $a3, $a3, 4")
+    _emit_copy_back(b, 2 * half, stride)
+
+
+def _emit_unlift_pass(b: AsmBuilder, half: int, stride: int) -> None:
+    """Inverse-lift the vector at $a0 via scratch at $a1, then copy back."""
+    b.ins("move $t8, $a0", f"addiu $t9, $a0, {half * stride}", "move $a2, $a1")
+    with b.counted_loop("$s7", half):
+        b.ins("lw $t0, 0($t8)", "lw $t1, 0($t9)")     # s, d
+        b.ins("sra $t2, $t1, 1",
+              "subu $t3, $t0, $t2",       # x1
+              "addu $t4, $t1, $t3")       # x0
+        b.ins("sw $t4, 0($a2)", "sw $t3, 4($a2)")
+        b.ins(f"addiu $t8, $t8, {stride}", f"addiu $t9, $t9, {stride}")
+        b.ins("addiu $a2, $a2, 8")
+    _emit_copy_back(b, 2 * half, stride)
+
+
+def _emit_copy_back(b: AsmBuilder, count: int, stride: int) -> None:
+    b.ins("move $t8, $a1", "move $t9, $a0")
+    with b.counted_loop("$s7", count):
+        b.ins("lw $t0, 0($t8)", "sw $t0, 0($t9)")
+        b.ins("addiu $t8, $t8, 4", f"addiu $t9, $t9, {stride}")
+
+
+def _emit_2d_pass(b: AsmBuilder, level: int, inverse: bool) -> None:
+    """Apply lifting to rows and columns of the level x level corner of the
+    image at $s1, scratch at $s2. Forward: rows then cols; inverse: cols
+    then rows."""
+    passes = [("cols", SIZE * 4), ("rows", 4)] if inverse else [
+        ("rows", 4), ("cols", SIZE * 4)
+    ]
+    for which, stride in passes:
+        outer_step = SIZE * 4 if which == "rows" else 4
+        b.ins("move $s6, $s1")
+        with b.counted_loop("$s5", level):
+            b.ins("move $a0, $s6", "move $a1, $s2")
+            if inverse:
+                _emit_unlift_pass(b, level // 2, stride)
+            else:
+                _emit_lift_pass(b, level // 2, stride)
+            b.ins(f"addiu $s6, $s6, {outer_step}")
+
+
+def build_epic(scale: int = 1) -> Workload:
+    """Wavelet encoder over ``scale`` 32x32 tiles."""
+    tiles = [image_tile(SIZE, SIZE, seed=0x1316 + t) for t in range(scale)]
+    expected_q: list[int] = []
+    checksum = 0
+    energy = 0
+    bits = 0
+    for tile in tiles:
+        ref = epic_reference(tile)
+        expected_q.extend(ref["out_q"])
+        checksum += ref["out_sum"][0]
+        energy += ref["out_energy"][0]
+        bits += ref["out_bits"][0]
+    expected = {
+        "out_q": expected_q,
+        "out_sum": [checksum],
+        "out_energy": [energy],
+        "out_bits": [bits],
+    }
+
+    b = AsmBuilder("epic")
+    flat = [p for tile in tiles for p in tile]
+    b.word("in_img", flat)
+    b.space("buf_img", SIZE * SIZE * 4)
+    b.space("buf_tmp", SIZE * 4)
+    b.space("out_q", SIZE * SIZE * len(tiles) * 4)
+    b.space("out_sum", 4)
+    b.space("out_energy", 4)
+    b.space("out_bits", 4)
+
+    b.label("main")
+    b.ins("la $s3, in_img", "la $s4, out_q", "li $v1, 0", "li $fp, 0")
+    b.ins("li $gp, 0")    # entropy-coder bit budget
+    with b.counted_loop("$s0", len(tiles)):
+        # copy tile into working buffer
+        b.ins("la $s1, buf_img", "la $s2, buf_tmp", "move $t8, $s3", "move $t9, $s1")
+        with b.counted_loop("$s7", SIZE * SIZE):
+            b.ins("lw $t0, 0($t8)", "sw $t0, 0($t9)",
+                  "addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+        level = SIZE
+        for _ in range(LEVELS):
+            _emit_2d_pass(b, level, inverse=False)
+            level //= 2
+        # dead-zone quantisation of all coefficients
+        b.ins("move $t8, $s1")
+        with b.counted_loop("$s7", SIZE * SIZE):
+            b.ins("lw $t0, 0($t8)", "addiu $t8, $t8, 4")
+            b.ins("sra $t1, $t0, 31",
+                  "xor $t2, $t0, $t1",
+                  "subu $t2, $t2, $t1",            # abs(c)
+                  f"addiu $t2, $t2, {-QT}",
+                  f"sra $t2, $t2, {QS}",
+                  "sra $t3, $t2, 31",
+                  "nor $t3, $t3, $zero",
+                  "and $t2, $t2, $t3",             # max(0, .)
+                  "xor $t2, $t2, $t1",
+                  "subu $t2, $t2, $t1")            # restore sign
+            b.ins("sw $t2, 0($s4)", "addiu $s4, $s4, 4", "addu $v1, $v1, $t2")
+            b.ins("sra $t4, $t2, 31",              # band-energy chain
+                  "xor $t5, $t2, $t4",
+                  "subu $t5, $t5, $t4",
+                  "addiu $t5, $t5, 1",
+                  "sra $t5, $t5, 1",
+                  "addu $fp, $fp, $t5")
+        # ---- entropy-coder bit budget (the bit-packing pass) ----
+        b.ins(f"addiu $t8, $s4, {-(SIZE * SIZE * 4)}")   # tile's coefficients
+        with b.counted_loop("$s7", SIZE * SIZE):
+            b.ins("lw $t0, 0($t8)", "addiu $t8, $t8, 4")
+            b.ins("sra $t1, $t0, 31",
+                  "xor $t2, $t0, $t1",
+                  "subu $t2, $t2, $t1")              # mag
+            b.ins("slti $t3, $t2, 2",
+                  "xori $t3, $t3, 1",                # mag >= 2
+                  "slti $t4, $t2, 8",
+                  "xori $t4, $t4, 1")                # mag >= 8
+            b.ins("sll $t5, $t3, 1",
+                  "addu $t5, $t5, $t3",              # 3 * ge2
+                  "sll $t6, $t4, 2",                 # 4 * ge8
+                  "addu $t5, $t5, $t6",
+                  "addiu $t5, $t5, 2")               # bits
+            b.ins("addu $gp, $gp, $t5")
+        b.ins(f"addiu $s3, $s3, {SIZE * SIZE * 4}")
+    b.ins("la $t0, out_energy", "sw $fp, 0($t0)")
+    b.ins("la $t0, out_bits", "sw $gp, 0($t0)")
+    b.ins("la $t0, out_sum", "sw $v1, 0($t0)", "move $v0, $v1", "halt")
+
+    return Workload(
+        name="epic",
+        program=b.build(),
+        expected=expected,
+        description="EPIC encoder: 2-level Haar pyramid + dead-zone "
+        "quantisation",
+        scale=scale,
+    )
+
+
+def build_unepic(scale: int = 1) -> Workload:
+    """Wavelet decoder over ``scale + 1`` tiles (unepic is the lighter app)."""
+    n_tiles = scale + 1
+    tiles = [image_tile(SIZE, SIZE, seed=0x7e57 + t) for t in range(n_tiles)]
+    in_q: list[int] = []
+    expected_pix: list[int] = []
+    checksum = 0
+    smooth = 0
+    for tile in tiles:
+        qs = epic_reference(tile)["out_q"]
+        in_q.extend(qs)
+        ref = unepic_reference(qs)
+        expected_pix.extend(ref["out_pix"])
+        checksum += ref["out_sum"][0]
+        smooth += ref["out_smooth"][0]
+    expected = {
+        "out_pix": expected_pix,
+        "out_sum": [checksum],
+        "out_smooth": [smooth],
+    }
+
+    b = AsmBuilder("unepic")
+    b.word("in_q", in_q)
+    b.space("buf_img", SIZE * SIZE * 4)
+    b.space("buf_tmp", SIZE * 4)
+    b.space("out_pix", SIZE * SIZE * n_tiles * 4)
+    b.space("out_sum", 4)
+    b.space("out_smooth", 4)
+
+    b.label("main")
+    b.ins("la $s3, in_q", "la $s4, out_pix", "li $v1, 0", "li $gp, 0")
+    with b.counted_loop("$s0", n_tiles):
+        b.ins("la $s1, buf_img", "la $s2, buf_tmp", "move $t8, $s3", "move $t9, $s1")
+        # dequantise into the working buffer
+        with b.counted_loop("$s7", SIZE * SIZE):
+            b.ins("lw $t0, 0($t8)", "addiu $t8, $t8, 4")
+            b.ins("sra $t1, $t0, 31",
+                  "xor $t2, $t0, $t1",
+                  "subu $t2, $t2, $t1",            # abs(q)
+                  f"sll $t2, $t2, {QS}",
+                  f"addiu $t2, $t2, {QT + 2}",
+                  "subu $t3, $zero, $t0",
+                  "or $t3, $t3, $t0",
+                  "sra $t3, $t3, 31",              # 0 if q==0 else -1
+                  "and $t2, $t2, $t3",
+                  "xor $t2, $t2, $t1",
+                  "subu $t2, $t2, $t1")            # restore sign
+            b.ins("sw $t2, 0($t9)", "addiu $t9, $t9, 4")
+        level = SIZE >> (LEVELS - 1)
+        for _ in range(LEVELS):
+            _emit_2d_pass(b, level, inverse=True)
+            level *= 2
+        # saturate to pixels
+        b.ins("move $t8, $s1")
+        with b.counted_loop("$s7", SIZE * SIZE):
+            b.ins("lw $t0, 0($t8)", "addiu $t8, $t8, 4")
+            emit_clamp255(b, "$t0", "$t0", "$t1", "$t2", "$t3")
+            b.ins("sw $t0, 0($s4)", "addiu $s4, $s4, 4", "addu $v1, $v1, $t0")
+        # display-chain smoothing metric over this tile's output pixels
+        b.ins(f"addiu $t8, $s4, {-(SIZE * SIZE * 4)}")
+        with b.counted_loop("$s7", SIZE * SIZE - 1):
+            b.ins("lw $t0, 0($t8)",
+                  "lw $t1, 4($t8)",
+                  "addu $t2, $t0, $t1",
+                  "addiu $t2, $t2, 1",
+                  "sra $t2, $t2, 1",
+                  "addu $gp, $gp, $t2",
+                  "addiu $t8, $t8, 4")
+        b.ins(f"addiu $s3, $s3, {SIZE * SIZE * 4}")
+    b.ins("la $t0, out_smooth", "sw $gp, 0($t0)")
+    b.ins("la $t0, out_sum", "sw $v1, 0($t0)", "move $v0, $v1", "halt")
+
+    return Workload(
+        name="unepic",
+        program=b.build(),
+        expected=expected,
+        description="EPIC decoder: dequantisation + inverse pyramid + "
+        "saturation",
+        scale=scale,
+    )

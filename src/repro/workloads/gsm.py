@@ -1,0 +1,244 @@
+"""GSM 06.10 full-rate codec kernels (gsm_encode / gsm_decode).
+
+The encoder reproduces the hot loops of MediaBench's ``gsm`` encoder:
+preemphasis (fixed-point multiply by a <1 coefficient), long-term
+predictor lag search (sum-of-absolute-differences over candidate lags),
+and residual quantisation. The decoder reconstructs: inverse quantiser,
+LTP reconstruction, de-emphasis synthesis, and output saturation.
+
+All arithmetic is integer, shift-add based, and bit-exactly mirrored by
+the Python references (``encode_reference`` / ``decode_reference``).
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder
+from repro.workloads.base import Workload
+from repro.workloads.data import speech_samples
+from repro.workloads.idioms import (
+    emit_clamp_pow2,
+    emit_mulc,
+    py_clamp_pow2,
+)
+
+SAMPLES = 160          # samples per GSM frame
+HIST = 52              # LTP history (max lag)
+LAGS = (40, 44, 48, 52)
+PRE_COEF = 55          # preemphasis coefficient, /64
+QBIAS, QSHIFT = 512, 5  # residual quantiser: q = clamp((r+512)>>5, 0..31) - 16
+
+
+# ----------------------------------------------------------------------
+# references
+
+
+def preemphasis(samples: list[int]) -> list[int]:
+    out = []
+    z1 = 0
+    for s in samples:
+        y = s - ((z1 * PRE_COEF) >> 6)
+        out.append(y)
+        z1 = s
+    return out
+
+
+def ltp_best_lag(y: list[int]) -> tuple[int, int]:
+    """(best lag, its SAD) over the frame tail."""
+    best_lag, best_sad = 0, None
+    for lag in LAGS:
+        sad = 0
+        for k in range(HIST, SAMPLES):
+            sad += abs(y[k] - y[k - lag])
+        if best_sad is None or sad < best_sad:
+            best_sad, best_lag = sad, lag
+    return best_lag, best_sad
+
+
+def quantise_residual(y: list[int], lag: int) -> list[int]:
+    out = []
+    for k in range(HIST, SAMPLES):
+        r = y[k] - (y[k - lag] >> 1)
+        q = py_clamp_pow2((r + QBIAS) >> QSHIFT, 31) - 16
+        out.append(q)
+    return out
+
+
+def encode_reference(samples: list[int], frames: int) -> dict[str, list[int]]:
+    out_q: list[int] = []
+    out_lag: list[int] = []
+    checksum = 0
+    for f in range(frames):
+        frame = samples[f * SAMPLES : (f + 1) * SAMPLES]
+        y = preemphasis(frame)
+        lag, _ = ltp_best_lag(y)
+        qs = quantise_residual(y, lag)
+        out_q.extend(qs)
+        out_lag.append(lag)
+        checksum += sum(qs) + lag
+    return {"out_q": out_q, "out_lag": out_lag, "out_sum": [checksum]}
+
+
+def dequantise(q: int) -> int:
+    return ((q + 16) << QSHIFT) - QBIAS + (1 << (QSHIFT - 1))
+
+
+def decode_reference(
+    qs: list[int], lags: list[int], frames: int
+) -> dict[str, list[int]]:
+    out_s: list[int] = []
+    checksum = 0
+    n_tail = SAMPLES - HIST
+    for f in range(frames):
+        frame_q = qs[f * n_tail : (f + 1) * n_tail]
+        lag = lags[f]
+        y = [0] * SAMPLES
+        for i, q in enumerate(frame_q):
+            k = HIST + i
+            y[k] = dequantise(q) + (y[k - lag] >> 1)
+        s1 = 0
+        for i in range(n_tail):
+            k = HIST + i
+            s = y[k] + ((s1 * PRE_COEF) >> 6)
+            s1 = s
+            pixel = py_clamp_pow2((s >> 2) + 128, 255)
+            out_s.append(pixel)
+            checksum += pixel
+    return {"out_s": out_s, "out_sum": [checksum]}
+
+
+# ----------------------------------------------------------------------
+# assembly kernels
+
+
+def build_gsm_encode(scale: int = 1) -> Workload:
+    """Build the gsm_encode workload at the given scale (frames = 3*scale)."""
+    frames = 3 * scale
+    samples = speech_samples(SAMPLES * frames)
+    expected = encode_reference(samples, frames)
+    n_tail = SAMPLES - HIST
+
+    b = AsmBuilder("gsm_encode")
+    b.word("in_s", samples)
+    b.space("buf_y", SAMPLES * 4)
+    b.space("out_q", n_tail * frames * 4)
+    b.space("out_lag", frames * 4)
+    b.space("out_sum", 4)
+
+    b.label("main")
+    b.ins("la $s1, in_s", "la $s2, buf_y", "la $s3, out_q", "la $s4, out_lag")
+    b.ins("li $s5, 0")                       # checksum
+    with b.counted_loop("$s0", frames):
+        # ---- stage 1: preemphasis ----
+        b.ins("li $s6, 0")                   # z1
+        b.ins("move $t8, $s1", "move $t9, $s2")
+        with b.counted_loop("$s7", SAMPLES):
+            b.ins("lw $t0, 0($t8)")
+            emit_mulc(b, "$t1", "$s6", PRE_COEF, "$t1", "$t2")
+            b.ins("sra $t1, $t1, 6", "subu $t3, $t0, $t1")
+            b.ins("sw $t3, 0($t9)", "move $s6, $t0")
+            b.ins("addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+        # ---- stage 2: LTP lag search (unrolled over candidate lags) ----
+        b.ins("lui $a0, 0x7fff", "ori $a0, $a0, 0xffff")  # best SAD = INT_MAX
+        b.ins("li $a1, 0")                   # best lag
+        for lag in LAGS:
+            b.ins("li $a2, 0")               # sad accumulator
+            b.ins(f"addiu $t8, $s2, {HIST * 4}",
+                  f"addiu $t9, $s2, {(HIST - lag) * 4}")
+            with b.counted_loop("$s7", n_tail):
+                b.ins("lw $t0, 0($t8)", "lw $t1, 0($t9)")
+                b.ins("subu $t2, $t0, $t1",
+                      "sra $t3, $t2, 31",
+                      "xor $t2, $t2, $t3",
+                      "subu $t2, $t2, $t3",
+                      "addu $a2, $a2, $t2")
+                b.ins("addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+            skip = b.fresh("keep")
+            b.ins(f"slt $t0, $a2, $a0", f"beq $t0, $zero, {skip}")
+            b.ins("move $a0, $a2", f"li $a1, {lag}")
+            b.label(skip)
+        b.ins("sw $a1, 0($s4)", "addiu $s4, $s4, 4")
+        b.ins("addu $s5, $s5, $a1")
+        # ---- stage 3: residual quantisation with the best lag ----
+        b.ins(f"addiu $t8, $s2, {HIST * 4}")
+        b.ins("sll $t0, $a1, 2", "subu $t9, $t8, $t0")
+        with b.counted_loop("$s7", n_tail):
+            b.ins("lw $t0, 0($t8)", "lw $t1, 0($t9)")
+            b.ins("sra $t1, $t1, 1", "subu $t2, $t0, $t1")
+            b.ins(f"addiu $t2, $t2, {QBIAS}", f"sra $t2, $t2, {QSHIFT}")
+            emit_clamp_pow2(b, "$t2", "$t2", 31, "$t3", "$t4", "$t5")
+            b.ins("addiu $t2, $t2, -16")
+            b.ins("sw $t2, 0($s3)", "addiu $s3, $s3, 4")
+            b.ins("addu $s5, $s5, $t2")
+            b.ins("addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+        b.ins(f"addiu $s1, $s1, {SAMPLES * 4}")
+    b.ins("la $t0, out_sum", "sw $s5, 0($t0)", "move $v0, $s5", "halt")
+
+    return Workload(
+        name="gsm_encode",
+        program=b.build(),
+        expected=expected,
+        description="GSM full-rate encoder: preemphasis, LTP lag search, "
+        "residual quantisation",
+        scale=scale,
+    )
+
+
+def build_gsm_decode(scale: int = 1) -> Workload:
+    """Build the gsm_decode workload (frames = 6*scale)."""
+    frames = 6 * scale
+    samples = speech_samples(SAMPLES * frames)
+    enc = encode_reference(samples, frames)
+    qs, lags = enc["out_q"], enc["out_lag"]
+    expected = decode_reference(qs, lags, frames)
+    n_tail = SAMPLES - HIST
+
+    b = AsmBuilder("gsm_decode")
+    b.word("in_q", qs)
+    b.word("in_lag", lags)
+    b.space("buf_y", SAMPLES * 4)
+    b.space("out_s", n_tail * frames * 4)
+    b.space("out_sum", 4)
+
+    b.label("main")
+    b.ins("la $s1, in_q", "la $s2, buf_y", "la $s3, out_s", "la $s4, in_lag")
+    b.ins("li $s5, 0")                       # checksum
+    with b.counted_loop("$s0", frames):
+        # zero the history region of buf_y
+        b.ins("move $t8, $s2")
+        with b.counted_loop("$s7", SAMPLES):
+            b.ins("sw $zero, 0($t8)", "addiu $t8, $t8, 4")
+        b.ins("lw $a1, 0($s4)", "addiu $s4, $s4, 4")    # lag
+        # ---- LTP reconstruction ----
+        b.ins(f"addiu $t8, $s2, {HIST * 4}")
+        b.ins("sll $t0, $a1, 2", "subu $t9, $t8, $t0")
+        with b.counted_loop("$s7", n_tail):
+            b.ins("lw $t0, 0($s1)", "addiu $s1, $s1, 4")
+            b.ins(
+                "addiu $t1, $t0, 16",
+                f"sll $t1, $t1, {QSHIFT}",
+                f"addiu $t1, $t1, {-QBIAS + (1 << (QSHIFT - 1))}",
+            )
+            b.ins("lw $t2, 0($t9)", "sra $t2, $t2, 1", "addu $t1, $t1, $t2")
+            b.ins("sw $t1, 0($t8)")
+            b.ins("addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+        # ---- de-emphasis + saturating output ----
+        b.ins(f"addiu $t8, $s2, {HIST * 4}", "li $s6, 0")   # s1 state
+        with b.counted_loop("$s7", n_tail):
+            b.ins("lw $t0, 0($t8)", "addiu $t8, $t8, 4")
+            emit_mulc(b, "$t1", "$s6", PRE_COEF, "$t1", "$t2")
+            b.ins("sra $t1, $t1, 6", "addu $t3, $t0, $t1")
+            b.ins("move $s6, $t3")
+            b.ins("sra $t4, $t3, 2", "addiu $t4, $t4, 128")
+            emit_clamp_pow2(b, "$t4", "$t4", 255, "$t5", "$t6", "$t7")
+            b.ins("sw $t4, 0($s3)", "addiu $s3, $s3, 4")
+            b.ins("addu $s5, $s5, $t4")
+    b.ins("la $t0, out_sum", "sw $s5, 0($t0)", "move $v0, $s5", "halt")
+
+    return Workload(
+        name="gsm_decode",
+        program=b.build(),
+        expected=expected,
+        description="GSM full-rate decoder: inverse quantiser, LTP "
+        "reconstruction, de-emphasis, saturation",
+        scale=scale,
+    )

@@ -1,0 +1,135 @@
+"""Branchless fixed-point idioms shared by the workload kernels.
+
+Each idiom comes as a pair: an assembly emitter and the bit-exact Python
+reference. These are precisely the "data-dependent sequences of narrow
+ALU operations" the paper's extractor targets — absolute values,
+saturating clamps, and multiply-by-constant via shift-add decomposition
+are the staple dependent chains of fixed-point media code.
+
+The Python references use plain ints; all intermediate values stay well
+inside 32 bits, where Python's arithmetic-shift and two's-complement
+bitwise semantics coincide with the simulator's.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder
+
+
+# ----------------------------------------------------------------------
+# absolute value: 3-op chain, 1 input
+
+
+def emit_abs(b: AsmBuilder, dst: str, src: str, t1: str) -> None:
+    """dst = abs(src) via the classic sra/xor/subu chain."""
+    b.ins(
+        f"sra {t1}, {src}, 31",
+        f"xor {dst}, {src}, {t1}",
+        f"subu {dst}, {dst}, {t1}",
+    )
+
+
+def py_abs(x: int) -> int:
+    return abs(x)
+
+
+# ----------------------------------------------------------------------
+# clamp to [0, 255]: 9-op chain, 1 input
+
+
+def emit_clamp255(
+    b: AsmBuilder, dst: str, src: str, t1: str, t2: str, t3: str
+) -> None:
+    """dst = min(255, max(0, src)) without branches."""
+    b.ins(
+        f"sra {t1}, {src}, 31",      # -1 if negative else 0
+        f"nor {t2}, {t1}, $zero",    # 0 if negative else -1
+        f"and {t3}, {src}, {t2}",    # max(0, src)
+        f"slti {t1}, {t3}, 256",     # 1 if below 256
+        f"subu {t2}, $zero, {t1}",   # -1 if keep else 0
+        f"and {t1}, {t3}, {t2}",     # value if keep else 0
+        f"nor {t2}, {t2}, $zero",    # 0 if keep else -1
+        f"andi {t2}, {t2}, 255",     # 0 if keep else 255
+        f"or {dst}, {t1}, {t2}",
+    )
+
+
+def py_clamp255(x: int) -> int:
+    return 0 if x < 0 else (x if x < 256 else 255)
+
+
+# ----------------------------------------------------------------------
+# clamp to [0, hi] where hi = 2**k - 1 (same shape, parametric bound)
+
+
+def emit_clamp_pow2(
+    b: AsmBuilder, dst: str, src: str, hi: int, t1: str, t2: str, t3: str
+) -> None:
+    """dst = min(hi, max(0, src)); ``hi`` must be 2**k - 1 and < 2**15."""
+    assert hi & (hi + 1) == 0 and 0 < hi < (1 << 15)
+    b.ins(
+        f"sra {t1}, {src}, 31",
+        f"nor {t2}, {t1}, $zero",
+        f"and {t3}, {src}, {t2}",
+        f"slti {t1}, {t3}, {hi + 1}",
+        f"subu {t2}, $zero, {t1}",
+        f"and {t1}, {t3}, {t2}",
+        f"nor {t2}, {t2}, $zero",
+        f"andi {t2}, {t2}, {hi}",
+        f"or {dst}, {t1}, {t2}",
+    )
+
+
+def py_clamp_pow2(x: int, hi: int) -> int:
+    return 0 if x < 0 else (x if x <= hi else hi)
+
+
+# ----------------------------------------------------------------------
+# multiply by a constant via shift-add decomposition
+
+
+def shift_add_terms(const: int) -> list[int]:
+    """Bit positions of ``const`` (must be positive)."""
+    assert const > 0
+    return [k for k in range(const.bit_length()) if const & (1 << k)]
+
+
+def emit_mulc(
+    b: AsmBuilder, dst: str, src: str, const: int, t1: str, t2: str
+) -> None:
+    """dst = src * const, decomposed into shifts and adds (exact).
+
+    Uses ``t1`` as the accumulator and ``t2`` for shifted terms; ``dst``
+    may alias ``t1``. Chains grow with the constant's popcount, giving the
+    extractor the long dependent sequences real fixed-point MACs have.
+    """
+    terms = shift_add_terms(const)
+    first = terms[0]
+    if first == 0:
+        b.ins(f"addu {t1}, {src}, $zero")
+    else:
+        b.ins(f"sll {t1}, {src}, {first}")
+    for k in terms[1:]:
+        b.ins(f"sll {t2}, {src}, {k}", f"addu {t1}, {t1}, {t2}")
+    if dst != t1:
+        b.ins(f"addu {dst}, {t1}, $zero")
+
+
+def py_mulc(x: int, const: int) -> int:
+    return x * const
+
+
+# ----------------------------------------------------------------------
+# rounding average: (a + b + 1) >> 1 — 3-op, 2 inputs
+
+
+def emit_avg(b: AsmBuilder, dst: str, a: str, c: str) -> None:
+    b.ins(
+        f"addu {dst}, {a}, {c}",
+        f"addiu {dst}, {dst}, 1",
+        f"sra {dst}, {dst}, 1",
+    )
+
+
+def py_avg(a: int, b: int) -> int:
+    return (a + b + 1) >> 1

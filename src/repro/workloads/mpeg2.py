@@ -1,0 +1,389 @@
+"""MPEG-2 codec kernels (mpeg2_encode / mpeg2_decode).
+
+The encoder implements the block pipeline MediaBench's mpeg2enc spends
+its time in: an 8x8 separable butterfly transform (Walsh-Hadamard — the
+add/subtract skeleton of the fast DCT), per-quadrant coefficient scaling
+via shift-add constant multiplies, dead-zone quantisation, and a motion
+search computing SADs over candidate displacements. The decoder mirrors
+it: inverse quantisation, inverse scaling, inverse transform, and
+motion-compensated reconstruction with half-pel averaging and saturation.
+
+The per-quadrant constants intentionally differ (3/4, 5/8, 7/8): each
+produces a structurally distinct dependent chain, which is what gives
+mpeg2 its large population of distinct extended instructions (§4.1: up to
+43 per application).
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder
+from repro.workloads.base import Workload
+from repro.workloads.data import image_tile
+from repro.workloads.idioms import emit_clamp255, emit_mulc, py_clamp255
+
+N = 8                       # block edge
+QUAD_MULS = {               # (row>=4, col>=4) -> (multiplier, shift)
+    (False, False): None,
+    (False, True): (3, 2),
+    (True, False): (5, 3),
+    (True, True): (7, 3),
+}
+DEC_MULS = {                # decoder-side inverse scaling
+    (False, False): None,
+    (False, True): (5, 2),
+    (True, False): (13, 3),
+    (True, True): (9, 3),
+}
+QBIAS, QSHIFT = 8, 4        # quantiser: sign(c) * ((abs(c)+8) >> 4)
+REF_W = 12                  # reference search area edge
+CANDIDATES = ((0, 0), (0, 2), (2, 0), (2, 2))
+
+
+# ----------------------------------------------------------------------
+# references
+
+
+def wht8(vec: list[int]) -> list[int]:
+    out = list(vec)
+    dist = 1
+    while dist < N:
+        for base in range(0, N, 2 * dist):
+            for i in range(base, base + dist):
+                a, c = out[i], out[i + dist]
+                out[i], out[i + dist] = a + c, a - c
+        dist *= 2
+    return out
+
+
+def wht2d(block: list[int]) -> list[int]:
+    out = list(block)
+    for y in range(N):
+        out[y * N : (y + 1) * N] = wht8(out[y * N : (y + 1) * N])
+    for x in range(N):
+        col = wht8([out[y * N + x] for y in range(N)])
+        for y in range(N):
+            out[y * N + x] = col[y]
+    return out
+
+
+def _scaled(block: list[int], muls) -> list[int]:
+    out = list(block)
+    for y in range(N):
+        for x in range(N):
+            rule = muls[(y >= 4, x >= 4)]
+            if rule is not None:
+                m, s = rule
+                out[y * N + x] = (out[y * N + x] * m) >> s
+    return out
+
+
+def quantise(c: int) -> int:
+    m = (abs(c) + QBIAS) >> QSHIFT
+    return -m if c < 0 else m
+
+
+def dequantise(q: int) -> int:
+    m = (abs(q) << QSHIFT) + QBIAS
+    return -m if q < 0 else m
+
+
+def sad(cur: list[int], ref: list[int], dx: int, dy: int) -> int:
+    total = 0
+    for y in range(N):
+        for x in range(N):
+            total += abs(cur[y * N + x] - ref[(y + dy) * REF_W + (x + dx)])
+    return total
+
+
+def encode_block(cur: list[int], ref: list[int]) -> tuple[list[int], int, int]:
+    """Returns (quantised coefficients, best candidate index, best SAD)."""
+    best_idx, best_sad = 0, None
+    for idx, (dx, dy) in enumerate(CANDIDATES):
+        s = sad(cur, ref, dx, dy)
+        if best_sad is None or s < best_sad:
+            best_sad, best_idx = s, idx
+    coeffs = _scaled(wht2d(cur), QUAD_MULS)
+    qs = [quantise(c) for c in coeffs]
+    return qs, best_idx, best_sad
+
+
+def decode_block(qs: list[int], ref: list[int], cand_idx: int) -> list[int]:
+    dx, dy = CANDIDATES[cand_idx]
+    dq = _scaled([dequantise(q) for q in qs], DEC_MULS)
+    spatial = wht2d(dq)
+    out = []
+    activity = 0
+    for y in range(N):
+        for x in range(N):
+            p0 = ref[(y + dy) * REF_W + (x + dx)]
+            p1 = ref[(y + dy) * REF_W + (x + dx + 1)]
+            pred = (p0 + p1 + 1) >> 1
+            res = (spatial[y * N + x] + 32) >> 6
+            activity += abs(res)     # block-activity metric (extra chain)
+            out.append(py_clamp255(pred + res - 128))
+    return out, activity
+
+
+def encode_reference(blocks, refs) -> dict[str, list[int]]:
+    out_q: list[int] = []
+    out_mv: list[int] = []
+    checksum = 0
+    for cur, ref in zip(blocks, refs):
+        qs, idx, best = encode_block(cur, ref)
+        out_q.extend(qs)
+        out_mv.append(idx)
+        # per-coefficient signatures (extra distinct chains in the loop)
+        sig = sum(((q << 1) ^ q) >> 1 for q in qs)
+        sig2 = sum((5 * q) >> 2 for q in qs)
+        checksum += sum(qs) + idx + best + sig + sig2
+    return {"out_q": out_q, "out_mv": out_mv, "out_sum": [checksum]}
+
+
+def decode_reference(all_qs, refs, mvs) -> dict[str, list[int]]:
+    out_pix: list[int] = []
+    checksum = 0
+    total_activity = 0
+    for i, ref in enumerate(refs):
+        qs = all_qs[i * N * N : (i + 1) * N * N]
+        pix, activity = decode_block(qs, ref, mvs[i])
+        out_pix.extend(pix)
+        checksum += sum(pix)
+        total_activity += activity
+    return {
+        "out_pix": out_pix,
+        "out_sum": [checksum],
+        "out_act": [total_activity],
+    }
+
+
+# ----------------------------------------------------------------------
+# assembly emitters
+
+_ROW_REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7"]
+
+
+def _emit_wht8_regs(b: AsmBuilder) -> None:
+    """Butterfly network over the 8 values held in $t0..$t7 ($a0 scratch)."""
+    dist = 1
+    while dist < N:
+        for base in range(0, N, 2 * dist):
+            for i in range(base, base + dist):
+                ra, rc = _ROW_REGS[i], _ROW_REGS[i + dist]
+                b.ins(
+                    f"move $a0, {ra}",
+                    f"addu {ra}, $a0, {rc}",
+                    f"subu {rc}, $a0, {rc}",
+                )
+        dist *= 2
+
+
+def _emit_wht2d(b: AsmBuilder, base_reg: str) -> None:
+    """In-place 2D WHT of the 8x8 block at ``base_reg``.
+
+    Clobbers $s5/$s6/$s7/$a0 and $t0-$t7; the base register is latched in
+    $s5 first because the butterfly network scratches $a0.
+    """
+    b.ins(f"move $s5, {base_reg}")
+    for which in ("rows", "cols"):
+        step = N * 4 if which == "rows" else 4
+        stride = 4 if which == "rows" else N * 4
+        b.ins("move $s6, $s5")
+        with b.counted_loop("$s7", N):
+            for i, reg in enumerate(_ROW_REGS):
+                b.ins(f"lw {reg}, {i * stride}($s6)")
+            _emit_wht8_regs(b)
+            for i, reg in enumerate(_ROW_REGS):
+                b.ins(f"sw {reg}, {i * stride}($s6)")
+            b.ins(f"addiu $s6, $s6, {step}")
+
+
+def _emit_quadrant_scale(b: AsmBuilder, base_reg: str, muls) -> None:
+    """Apply the per-quadrant shift-add scalings in-place."""
+    for (row_hi, col_hi), rule in muls.items():
+        if rule is None:
+            continue
+        mul, shift = rule
+        row0 = 4 if row_hi else 0
+        col0 = 4 if col_hi else 0
+        b.ins(f"addiu $s6, {base_reg}, {(row0 * N + col0) * 4}")
+        with b.counted_loop("$s7", 4):          # four rows of the quadrant
+            b.ins("move $t8, $s6")
+            with b.counted_loop("$a3", 4):      # four coefficients per row
+                b.ins("lw $t0, 0($t8)")
+                emit_mulc(b, "$t0", "$t0", mul, "$t1", "$t2")
+                b.ins(f"sra $t0, $t0, {shift}", "sw $t0, 0($t8)")
+                b.ins("addiu $t8, $t8, 4")
+            b.ins(f"addiu $s6, $s6, {N * 4}")
+
+
+def build_mpeg2_encode(scale: int = 1) -> Workload:
+    """MPEG-2 encoder over 6*scale blocks."""
+    n_blocks = 6 * scale
+    blocks = [image_tile(N, N, seed=0x9E6 + i) for i in range(n_blocks)]
+    refs = [image_tile(REF_W, REF_W, seed=0x8E4 + i) for i in range(n_blocks)]
+    expected = encode_reference(blocks, refs)
+
+    b = AsmBuilder("mpeg2_encode")
+    b.word("in_cur", [p for blk in blocks for p in blk])
+    b.word("in_ref", [p for r in refs for p in r])
+    b.space("buf_blk", N * N * 4)
+    b.space("out_q", N * N * n_blocks * 4)
+    b.space("out_mv", n_blocks * 4)
+    b.space("out_sum", 4)
+
+    b.label("main")
+    b.ins("la $s1, in_cur", "la $s2, in_ref", "la $s3, out_q", "la $s4, out_mv")
+    b.ins("li $v1, 0")
+    with b.counted_loop("$s0", n_blocks):
+        # ---- motion search over the candidate displacements ----
+        b.ins("lui $a1, 0x7fff", "ori $a1, $a1, 0xffff")   # best SAD
+        b.ins("li $a2, 0")                                 # best index
+        for idx, (dx, dy) in enumerate(CANDIDATES):
+            b.ins("li $t9, 0")                             # SAD accumulator
+            b.ins("move $t8, $s1", f"addiu $s6, $s2, {(dy * REF_W + dx) * 4}")
+            with b.counted_loop("$s7", N):
+                for x in range(N):
+                    b.ins(
+                        f"lw $t0, {x * 4}($t8)",
+                        f"lw $t1, {x * 4}($s6)",
+                        "subu $t2, $t0, $t1",
+                        "sra $t3, $t2, 31",
+                        "xor $t2, $t2, $t3",
+                        "subu $t2, $t2, $t3",
+                        "addu $t9, $t9, $t2",
+                    )
+                b.ins(f"addiu $t8, $t8, {N * 4}",
+                      f"addiu $s6, $s6, {REF_W * 4}")
+            keep = b.fresh("mv")
+            b.ins("slt $t0, $t9, $a1", f"beq $t0, $zero, {keep}")
+            b.ins("move $a1, $t9", f"li $a2, {idx}")
+            b.label(keep)
+        b.ins("sw $a2, 0($s4)", "addiu $s4, $s4, 4")
+        b.ins("addu $v1, $v1, $a2", "addu $v1, $v1, $a1")
+        # ---- transform ----
+        b.ins("la $t8, buf_blk", "move $t9, $s1")
+        with b.counted_loop("$s7", N * N):
+            b.ins("lw $t0, 0($t9)", "sw $t0, 0($t8)",
+                  "addiu $t8, $t8, 4", "addiu $t9, $t9, 4")
+        b.ins("la $a0, buf_blk")
+        _emit_wht2d(b, "$a0")
+        b.ins("la $a0, buf_blk")
+        _emit_quadrant_scale(b, "$a0", QUAD_MULS)
+        # ---- quantisation ----
+        b.ins("la $t9, buf_blk")
+        with b.counted_loop("$s7", N * N):
+            b.ins("lw $t0, 0($t9)", "addiu $t9, $t9, 4")
+            b.ins("sra $t1, $t0, 31",
+                  "xor $t2, $t0, $t1",
+                  "subu $t2, $t2, $t1",
+                  f"addiu $t2, $t2, {QBIAS}",
+                  f"sra $t2, $t2, {QSHIFT}",
+                  "xor $t2, $t2, $t1",
+                  "subu $t2, $t2, $t1")
+            b.ins("sw $t2, 0($s3)", "addiu $s3, $s3, 4", "addu $v1, $v1, $t2")
+            b.ins("sll $t4, $t2, 1",      # gray-code signature chain
+                  "xor $t4, $t4, $t2",
+                  "sra $t4, $t4, 1",
+                  "addu $v1, $v1, $t4")
+            b.ins("sll $t5, $t2, 2",      # 5q/4 rate-estimate chain
+                  "addu $t5, $t5, $t2",
+                  "sra $t5, $t5, 2",
+                  "addu $v1, $v1, $t5")
+        b.ins(f"addiu $s1, $s1, {N * N * 4}",
+              f"addiu $s2, $s2, {REF_W * REF_W * 4}")
+    b.ins("la $t0, out_sum", "sw $v1, 0($t0)", "move $v0, $v1", "halt")
+
+    return Workload(
+        name="mpeg2_encode",
+        program=b.build(),
+        expected=expected,
+        description="MPEG-2 encoder: motion search (SAD), 8x8 butterfly "
+        "transform, quadrant scaling, quantisation",
+        scale=scale,
+    )
+
+
+def build_mpeg2_decode(scale: int = 1) -> Workload:
+    """MPEG-2 decoder over 8*scale blocks."""
+    n_blocks = 8 * scale
+    blocks = [image_tile(N, N, seed=0xDE6 + i) for i in range(n_blocks)]
+    refs = [image_tile(REF_W, REF_W, seed=0xDF4 + i) for i in range(n_blocks)]
+    enc = encode_reference(blocks, refs)
+    qs, mvs = enc["out_q"], enc["out_mv"]
+    expected = decode_reference(qs, refs, mvs)
+
+    b = AsmBuilder("mpeg2_decode")
+    b.word("in_q", qs)
+    b.word("in_ref", [p for r in refs for p in r])
+    b.word("in_mv", mvs)
+    b.word("cand_off", [(dy * REF_W + dx) * 4 for dx, dy in CANDIDATES])
+    b.space("buf_blk", N * N * 4)
+    b.space("out_pix", N * N * n_blocks * 4)
+    b.space("out_sum", 4)
+    b.space("out_act", 4)
+
+    b.label("main")
+    b.ins("la $s1, in_q", "la $s2, in_ref", "la $s3, out_pix", "la $s4, in_mv")
+    b.ins("li $v1, 0", "li $fp, 0")
+    with b.counted_loop("$s0", n_blocks):
+        # ---- dequantise into working buffer ----
+        b.ins("la $t8, buf_blk")
+        with b.counted_loop("$s7", N * N):
+            b.ins("lw $t0, 0($s1)", "addiu $s1, $s1, 4")
+            b.ins("sra $t1, $t0, 31",
+                  "xor $t2, $t0, $t1",
+                  "subu $t2, $t2, $t1",
+                  f"sll $t2, $t2, {QSHIFT}",
+                  f"addiu $t2, $t2, {QBIAS}",
+                  "xor $t2, $t2, $t1",
+                  "subu $t2, $t2, $t1")
+            b.ins("sw $t2, 0($t8)", "addiu $t8, $t8, 4")
+        b.ins("la $a0, buf_blk")
+        _emit_quadrant_scale(b, "$a0", DEC_MULS)
+        b.ins("la $a0, buf_blk")
+        _emit_wht2d(b, "$a0")
+        # ---- motion compensation + reconstruction ----
+        b.ins("lw $t0, 0($s4)", "addiu $s4, $s4, 4")        # candidate index
+        b.ins("sll $t0, $t0, 2", "la $t1, cand_off", "addu $t1, $t1, $t0",
+              "lw $a1, 0($t1)")                             # byte offset
+        b.ins("addu $a1, $s2, $a1")                         # pred base
+        b.ins("la $t8, buf_blk")
+        with b.counted_loop("$s7", N):
+            # rolled pixel loop: several distinct dependent chains per
+            # iteration (average, residual scaling, saturation) — the
+            # interleaving that makes greedy selection thrash small PFU
+            # banks (§4.1)
+            with b.counted_loop("$a2", N):
+                b.ins(
+                    "lw $t0, 0($a1)",
+                    "lw $t1, 4($a1)",
+                    "addu $t2, $t0, $t1",
+                    "addiu $t2, $t2, 1",
+                    "sra $t2, $t2, 1",                      # half-pel average
+                    "lw $t3, 0($t8)",
+                    "addiu $t3, $t3, 32",
+                    "sra $t3, $t3, 6",
+                    "addu $t2, $t2, $t3",
+                    "addiu $t2, $t2, -128",
+                )
+                b.ins("sra $t0, $t3, 31",     # block-activity chain
+                      "xor $t1, $t3, $t0",
+                      "subu $t1, $t1, $t0",
+                      "addu $fp, $fp, $t1")
+                emit_clamp255(b, "$t2", "$t2", "$t4", "$t5", "$t6")
+                b.ins("sw $t2, 0($s3)", "addu $v1, $v1, $t2")
+                b.ins("addiu $a1, $a1, 4", "addiu $t8, $t8, 4",
+                      "addiu $s3, $s3, 4")
+            b.ins(f"addiu $a1, $a1, {(REF_W - N) * 4}")
+        b.ins(f"addiu $s2, $s2, {REF_W * REF_W * 4}")
+    b.ins("la $t0, out_act", "sw $fp, 0($t0)")
+    b.ins("la $t0, out_sum", "sw $v1, 0($t0)", "move $v0, $v1", "halt")
+
+    return Workload(
+        name="mpeg2_decode",
+        program=b.build(),
+        expected=expected,
+        description="MPEG-2 decoder: dequantisation, inverse transform, "
+        "half-pel motion compensation, saturation",
+        scale=scale,
+    )

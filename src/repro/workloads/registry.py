@@ -1,0 +1,67 @@
+"""Workload registry: the paper's eight MediaBench applications."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+_BUILDERS: dict[str, Callable[[int], Workload]] = {}
+
+
+def _register(name: str):
+    def deco(fn: Callable[[int], Workload]):
+        _BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+def _load_builders() -> None:
+    # Imported lazily to keep module import costs low and avoid cycles.
+    from repro.workloads import epic, g721, gsm, mpeg2
+
+    _BUILDERS.update(
+        {
+            "unepic": epic.build_unepic,
+            "epic": epic.build_epic,
+            "gsm_decode": gsm.build_gsm_decode,
+            "gsm_encode": gsm.build_gsm_encode,
+            "g721_decode": g721.build_g721_decode,
+            "g721_encode": g721.build_g721_encode,
+            "mpeg2_decode": mpeg2.build_mpeg2_decode,
+            "mpeg2_encode": mpeg2.build_mpeg2_encode,
+        }
+    )
+
+
+#: Paper order (Figure 2/6 x-axis).
+WORKLOAD_NAMES = (
+    "unepic",
+    "epic",
+    "gsm_decode",
+    "gsm_encode",
+    "g721_decode",
+    "g721_encode",
+    "mpeg2_decode",
+    "mpeg2_encode",
+)
+
+
+def build_workload(name: str, scale: int = 1) -> Workload:
+    """Build one of the eight benchmark workloads by name."""
+    if not _BUILDERS:
+        _load_builders()
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOAD_NAMES)}"
+        ) from None
+    return builder(scale)
+
+
+def build_all(scale: int = 1) -> dict[str, Workload]:
+    """All eight workloads (paper order)."""
+    return {name: build_workload(name, scale) for name in WORKLOAD_NAMES}

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.functional import ExecutionResult, FunctionalSimulator
+
+
+def run_asm(source: str, **kwargs) -> ExecutionResult:
+    """Assemble and execute assembly source, returning the result."""
+    program = assemble(source)
+    return FunctionalSimulator(program).run(**kwargs)
+
+
+def loop_program(body_lines: list[str], iterations: int = 100) -> str:
+    """Wrap body lines in a counted loop with a halt."""
+    body = "\n".join(f"    {line}" for line in body_lines)
+    return (
+        f".text\nmain:\n    li $s0, {iterations}\nloop:\n{body}\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def gsm_encode_lab():
+    from repro.harness.runner import WorkloadLab
+
+    return WorkloadLab("gsm_encode", scale=1)
+
+
+@pytest.fixture(scope="session")
+def epic_lab():
+    from repro.harness.runner import WorkloadLab
+
+    return WorkloadLab("epic", scale=1)

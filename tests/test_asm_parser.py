@@ -1,0 +1,108 @@
+"""Tests for assembler line parsing."""
+
+import pytest
+
+from repro.asm.parser import (
+    parse_int,
+    parse_line,
+    parse_mem_operand,
+    split_operands,
+    strip_comment,
+)
+from repro.errors import AssemblerError
+
+
+class TestStripComment:
+    def test_hash(self):
+        assert strip_comment("addu $1,$2,$3  # hi") == "addu $1,$2,$3"
+
+    def test_semicolon(self):
+        assert strip_comment("nop ; note") == "nop"
+
+    def test_whole_line(self):
+        assert strip_comment("# only comment") == ""
+
+    def test_whitespace_trim(self):
+        assert strip_comment("   nop   ") == "nop"
+
+
+class TestParseLine:
+    def test_blank_returns_none(self):
+        assert parse_line("", 1) is None
+        assert parse_line("   # comment", 2) is None
+
+    def test_instruction(self):
+        line = parse_line("addu $t0, $t1, $t2", 3)
+        assert line.mnemonic == "addu"
+        assert line.operands == ["$t0", "$t1", "$t2"]
+        assert line.lineno == 3
+
+    def test_label_only(self):
+        line = parse_line("main:", 1)
+        assert line.labels == ["main"]
+        assert line.mnemonic is None
+
+    def test_label_with_instruction(self):
+        line = parse_line("loop: addiu $t0, $t0, -1", 1)
+        assert line.labels == ["loop"]
+        assert line.mnemonic == "addiu"
+
+    def test_multiple_labels(self):
+        line = parse_line("a: b: nop", 1)
+        assert line.labels == ["a", "b"]
+
+    def test_mnemonic_lowercased(self):
+        assert parse_line("ADDU $1,$2,$3", 1).mnemonic == "addu"
+
+    def test_directive(self):
+        line = parse_line(".word 1, 2, 3", 1)
+        assert line.mnemonic == ".word"
+        assert line.operands == ["1", "2", "3"]
+
+
+class TestParseInt:
+    def test_decimal(self):
+        assert parse_int("42") == 42
+        assert parse_int("-7") == -7
+
+    def test_hex(self):
+        assert parse_int("0x10") == 16
+        assert parse_int("-0x10") == -16
+        assert parse_int("0XFF") == 255
+
+    def test_binary(self):
+        assert parse_int("0b101") == 5
+
+    def test_char(self):
+        assert parse_int("'A'") == 65
+
+    def test_bad_literal(self):
+        with pytest.raises(AssemblerError):
+            parse_int("12abc", lineno=9)
+
+    def test_error_carries_line(self):
+        with pytest.raises(AssemblerError, match="line 9"):
+            parse_int("zz", lineno=9)
+
+
+class TestMemOperand:
+    def test_simple(self):
+        assert parse_mem_operand("4($sp)") == ("4", "$sp")
+
+    def test_empty_offset(self):
+        assert parse_mem_operand("($t0)") == ("0", "$t0")
+
+    def test_negative_offset(self):
+        assert parse_mem_operand("-8($fp)") == ("-8", "$fp")
+
+    def test_malformed(self):
+        with pytest.raises(AssemblerError):
+            parse_mem_operand("4[$sp]")
+
+
+class TestSplitOperands:
+    def test_empty(self):
+        assert split_operands("  ") == []
+
+    def test_trimming(self):
+        assert split_operands(" a ,  b ,c") == ["a", "b", "c"]

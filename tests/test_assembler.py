@@ -1,0 +1,184 @@
+"""Tests for the two-pass assembler: directives, pseudo-ops, symbols,
+and diagnostics."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa.opcodes import Opcode
+from repro.program.program import DATA_BASE
+
+
+class TestDataSegment:
+    def test_word_layout(self):
+        p = assemble(".data\nv: .word 1, -2, 3\n.text\nmain: halt")
+        assert p.symbols["v"] == DATA_BASE
+        assert p.data[0:4] == (1).to_bytes(4, "little")
+        assert p.data[4:8] == (-2).to_bytes(4, "little", signed=True)
+
+    def test_half_and_byte(self):
+        p = assemble(
+            ".data\nh: .half 258\nb: .byte -1\n.text\nmain: halt"
+        )
+        assert p.data[0:2] == (258).to_bytes(2, "little")
+        assert p.symbols["b"] == DATA_BASE + 2
+        assert p.data[2] == 0xFF
+
+    def test_word_alignment_after_bytes(self):
+        p = assemble(
+            ".data\nb: .byte 1\nw: .word 5\n.text\nmain: halt"
+        )
+        assert p.symbols["w"] == DATA_BASE + 4   # aligned past the byte
+
+    def test_space_reserves_zeroes(self):
+        p = assemble(".data\nbuf: .space 12\n.text\nmain: halt")
+        assert len(p.data) == 12
+        assert p.data == b"\x00" * 12
+
+    def test_align_directive(self):
+        p = assemble(
+            ".data\nb: .byte 1\n.align 3\nv: .word 2\n.text\nmain: halt"
+        )
+        assert p.symbols["v"] % 8 == 0
+
+    def test_asciiz(self):
+        p = assemble('.data\ns: .asciiz "hi"\n.text\nmain: halt')
+        assert p.data[:3] == b"hi\x00"
+
+    def test_duplicate_data_symbol(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(".data\nx: .word 1\nx: .word 2\n.text\nmain: halt")
+
+    def test_word_value_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nv: .word 0x1ffffffff\n.text\nmain: halt")
+
+    def test_unsigned_word_values_allowed(self):
+        p = assemble(".data\nv: .word 0xffffffff\n.text\nmain: halt")
+        assert p.data[:4] == b"\xff\xff\xff\xff"
+
+
+class TestTextSegment:
+    def test_labels_map_to_indices(self):
+        p = assemble(".text\nmain: nop\nloop: nop\n halt")
+        assert p.labels == {"main": 0, "loop": 1}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(".text\na: nop\na: halt")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nmain: frobnicate $t0\n halt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble(".text\nmain: addu $t0, $t1\n halt")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(Exception, match="nowhere|undefined"):
+            assemble(".text\nmain: b nowhere\n halt")
+
+    def test_directive_in_text_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nmain: .word 5\n halt")
+
+    def test_shift_amount_range(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nmain: sll $t0, $t0, 32\n halt")
+
+    def test_text_is_default_section(self):
+        p = assemble("main: halt")
+        assert p.text[0].op is Opcode.HALT
+
+
+class TestPseudoOps:
+    def test_li_small(self):
+        p = assemble(".text\nmain: li $t0, 5\n halt")
+        assert p.text[0].op is Opcode.ADDIU and p.text[0].imm == 5
+
+    def test_li_negative(self):
+        p = assemble(".text\nmain: li $t0, -5\n halt")
+        assert p.text[0].op is Opcode.ADDIU and p.text[0].imm == -5
+
+    def test_li_unsigned_16bit(self):
+        p = assemble(".text\nmain: li $t0, 0xFFFF\n halt")
+        assert p.text[0].op is Opcode.ORI
+
+    def test_li_large_two_instructions(self):
+        p = assemble(".text\nmain: li $t0, 0x12345678\n halt")
+        assert [i.op for i in p.text[:2]] == [Opcode.LUI, Opcode.ORI]
+
+    def test_li_large_round_value_single_lui(self):
+        p = assemble(".text\nmain: li $t0, 0x10000\n halt")
+        assert p.text[0].op is Opcode.LUI
+        assert p.text[1].op is Opcode.HALT
+
+    def test_la_resolves_data_symbol(self):
+        p = assemble(".data\nv: .word 1\n.text\nmain: la $t0, v\n halt")
+        assert p.text[0].op is Opcode.LUI
+
+    def test_la_unknown_symbol(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble(".text\nmain: la $t0, nope\n halt")
+
+    def test_move(self):
+        p = assemble(".text\nmain: move $t0, $t1\n halt")
+        ins = p.text[0]
+        assert ins.op is Opcode.ADDU and ins.rt == 0
+
+    def test_not_neg(self):
+        p = assemble(".text\nmain: not $t0, $t1\n neg $t2, $t3\n halt")
+        assert p.text[0].op is Opcode.NOR
+        assert p.text[1].op is Opcode.SUBU and p.text[1].rs == 0
+
+    def test_unconditional_b(self):
+        p = assemble(".text\nmain: b end\nend: halt")
+        ins = p.text[0]
+        assert ins.op is Opcode.BEQ and ins.rs == 0 and ins.rt == 0
+
+    def test_beqz_bnez(self):
+        p = assemble(".text\nmain: beqz $t0, end\n bnez $t1, end\nend: halt")
+        assert p.text[0].op is Opcode.BEQ
+        assert p.text[1].op is Opcode.BNE
+
+    def test_compare_branches_expand_to_two(self):
+        p = assemble(".text\nmain: blt $t0, $t1, end\nend: halt")
+        assert p.text[0].op is Opcode.SLT and p.text[0].rd == 1  # $at
+        assert p.text[1].op is Opcode.BNE
+
+    def test_bge_uses_beq(self):
+        p = assemble(".text\nmain: bge $t0, $t1, end\nend: halt")
+        assert p.text[1].op is Opcode.BEQ
+
+    def test_bgt_swaps_operands(self):
+        p = assemble(".text\nmain: bgt $t0, $t1, end\nend: halt")
+        slt = p.text[0]
+        assert (slt.rs, slt.rt) == (9, 8)   # $t1, $t0 swapped
+
+    def test_unsigned_compare_branches(self):
+        p = assemble(".text\nmain: bltu $t0, $t1, end\nend: halt")
+        assert p.text[0].op is Opcode.SLTU
+
+    def test_subiu(self):
+        p = assemble(".text\nmain: subiu $t0, $t0, 3\n halt")
+        assert p.text[0].op is Opcode.ADDIU and p.text[0].imm == -3
+
+
+class TestLabelsAcrossPseudo:
+    def test_label_attaches_to_first_expansion(self):
+        p = assemble(".text\nmain: li $t0, 0x12345678\n b main\n halt")
+        assert p.labels["main"] == 0
+
+    def test_branch_to_label_after_expansion(self):
+        src = """
+        .text
+        main:
+            li $t9, 0x70001
+        top:
+            addiu $t9, $t9, -1
+            bgtz $t9, top
+            halt
+        """
+        p = assemble(src)
+        assert p.labels["top"] == 2  # li expanded to lui+ori

@@ -1,0 +1,107 @@
+"""Unit + property tests for the 32-bit arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK32,
+    bit_width_signed,
+    bit_width_unsigned,
+    effective_width,
+    sign_extend,
+    to_s32,
+    to_u32,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+s32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestConversions:
+    def test_to_u32_masks_high_bits(self):
+        assert to_u32(0x1_2345_6789) == 0x2345_6789
+
+    def test_to_u32_negative(self):
+        assert to_u32(-1) == 0xFFFF_FFFF
+        assert to_u32(-2) == 0xFFFF_FFFE
+
+    def test_to_s32_positive(self):
+        assert to_s32(5) == 5
+        assert to_s32(0x7FFF_FFFF) == 2**31 - 1
+
+    def test_to_s32_negative(self):
+        assert to_s32(0xFFFF_FFFF) == -1
+        assert to_s32(0x8000_0000) == -(2**31)
+
+    @given(s32)
+    def test_roundtrip_signed(self, x):
+        assert to_s32(to_u32(x)) == x
+
+    @given(u32)
+    def test_roundtrip_unsigned(self, x):
+        assert to_u32(to_s32(x)) == x
+
+
+class TestSignExtend:
+    def test_positive_value_unchanged(self):
+        assert sign_extend(0x12, 8) == 0x12
+
+    def test_negative_byte(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x80, 8) == -128
+
+    def test_sixteen_bit(self):
+        assert sign_extend(0x8000, 16) == -32768
+        assert sign_extend(0x7FFF, 16) == 32767
+
+    def test_ignores_high_bits(self):
+        assert sign_extend(0xABCD_00FF, 8) == -1
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=1, max_value=32), st.integers())
+    def test_range(self, bits, value):
+        out = sign_extend(value, bits)
+        assert -(1 << (bits - 1)) <= out < (1 << (bits - 1))
+
+
+class TestBitWidths:
+    def test_zero_needs_one_bit(self):
+        assert bit_width_unsigned(0) == 1
+        assert effective_width(0) == 1
+
+    def test_unsigned_widths(self):
+        assert bit_width_unsigned(1) == 1
+        assert bit_width_unsigned(255) == 8
+        assert bit_width_unsigned(256) == 9
+
+    def test_signed_width_of_small_negative(self):
+        # -1 is narrow in two's complement
+        assert bit_width_signed(to_u32(-1)) == 1
+        assert bit_width_signed(to_u32(-3)) == 3
+
+    def test_signed_width_includes_sign_bit(self):
+        assert bit_width_signed(127) == 8
+        assert bit_width_signed(128) == 9
+
+    def test_effective_width_picks_narrow_view(self):
+        assert effective_width(to_u32(-2)) == 2       # 32 unsigned, 2 signed
+        assert effective_width(0x0003_0000) == 18
+
+    def test_paper_threshold_examples(self):
+        # 18-bit values pass the paper's candidate filter; 19-bit don't
+        assert effective_width((1 << 17) - 1) <= 18
+        assert effective_width(1 << 18) > 18
+
+    @given(u32)
+    def test_effective_is_min_of_views(self, x):
+        assert effective_width(x) == min(
+            bit_width_unsigned(x), bit_width_signed(x)
+        )
+
+    @given(u32)
+    def test_widths_bounded(self, x):
+        assert 1 <= effective_width(x) <= 32

@@ -1,0 +1,76 @@
+"""Tests for the programmatic assembly builder."""
+
+from repro.asm import AsmBuilder
+from repro.sim import run_program
+
+
+class TestAsmBuilder:
+    def test_data_helpers(self):
+        b = AsmBuilder("t")
+        b.word("w", [1, 2])
+        b.half("h", [3])
+        b.byte("c", [4])
+        b.space("s", 8)
+        b.label("main")
+        b.ins("halt")
+        p = b.build()
+        assert set(p.symbols) == {"w", "h", "c", "s"}
+
+    def test_word_scalar(self):
+        b = AsmBuilder()
+        b.word("v", 7)
+        b.label("main")
+        b.ins("la $t0, v", "lw $v0, 0($t0)", "halt")
+        r = run_program(b.build())
+        assert r.reg(2) == 7
+
+    def test_fresh_labels_unique(self):
+        b = AsmBuilder()
+        names = {b.fresh("x") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_counted_loop_runs_n_times(self):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins("li $v0, 0")
+        with b.counted_loop("$t9", 13):
+            b.ins("addiu $v0, $v0, 1")
+        b.ins("halt")
+        r = run_program(b.build())
+        assert r.reg(2) == 13
+
+    def test_counted_loop_register_count(self):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins("li $v0, 0", "li $t5, 6")
+        with b.counted_loop("$t9", "$t5"):
+            b.ins("addiu $v0, $v0, 1")
+        b.ins("halt")
+        r = run_program(b.build())
+        assert r.reg(2) == 6
+
+    def test_nested_loops(self):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins("li $v0, 0")
+        with b.counted_loop("$t8", 4):
+            with b.counted_loop("$t9", 5):
+                b.ins("addiu $v0, $v0, 1")
+        b.ins("halt")
+        r = run_program(b.build())
+        assert r.reg(2) == 20
+
+    def test_comment_is_inert(self):
+        b = AsmBuilder()
+        b.label("main")
+        b.comment("nothing to see")
+        b.ins("halt")
+        assert len(b.build().text) == 1
+
+    def test_source_contains_sections(self):
+        b = AsmBuilder()
+        b.word("v", [1])
+        b.label("main")
+        b.ins("halt")
+        src = b.source()
+        assert ".data" in src and ".text" in src

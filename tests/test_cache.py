@@ -1,0 +1,154 @@
+"""Tests for caches, TLBs, and the memory hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import (
+    Cache,
+    CacheConfig,
+    HierarchyConfig,
+    MemoryHierarchy,
+    TLB,
+    TLBConfig,
+)
+
+
+def small_cache(nsets=4, assoc=2, line=16) -> Cache:
+    return Cache(CacheConfig("test", nsets=nsets, assoc=assoc,
+                             line_size=line, hit_latency=1))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.stats.accesses == 2
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_hits(self):
+        c = small_cache(line=16)
+        c.access(0x100)
+        assert c.access(0x10F)
+        assert not c.access(0x110)   # next line
+
+    def test_sets_index_correctly(self):
+        c = small_cache(nsets=4, assoc=1, line=16)
+        # addresses mapping to different sets never conflict
+        assert not c.access(0x00)
+        assert not c.access(0x10)
+        assert c.access(0x00)
+
+    def test_conflict_eviction_direct_mapped(self):
+        c = small_cache(nsets=4, assoc=1, line=16)
+        a, b = 0x000, 0x040   # same set (4 sets x 16B line = 64B stride)
+        c.access(a)
+        c.access(b)
+        assert not c.access(a)   # evicted
+        assert c.stats.evictions >= 1
+
+    def test_lru_within_set(self):
+        c = small_cache(nsets=1, assoc=2, line=16)
+        c.access(0x00)
+        c.access(0x10)
+        c.access(0x00)          # refresh
+        c.access(0x20)          # evicts 0x10 (LRU)
+        assert c.access(0x00)
+        assert not c.access(0x10)
+
+    def test_writeback_counted(self):
+        c = small_cache(nsets=1, assoc=1, line=16)
+        c.access(0x00, is_write=True)
+        c.access(0x10)           # evicts the dirty line
+        assert c.stats.writebacks == 1
+
+    def test_probe_does_not_touch(self):
+        c = small_cache()
+        c.access(0x100)
+        before = c.stats.accesses
+        assert c.probe(0x100)
+        assert not c.probe(0x999000)
+        assert c.stats.accesses == before
+
+    def test_flush(self):
+        c = small_cache()
+        c.access(0x100, is_write=True)
+        c.flush()
+        assert not c.probe(0x100)
+        assert c.stats.writebacks == 1
+
+    def test_miss_rate(self):
+        c = small_cache()
+        assert c.stats.miss_rate == 0.0
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == 0.5
+
+
+class TestCacheConfigValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", nsets=3, assoc=1, line_size=16, hit_latency=1)
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", nsets=4, assoc=1, line_size=24, hit_latency=1)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", nsets=4, assoc=1, line_size=16, hit_latency=0)
+
+    def test_size_bytes(self):
+        cfg = CacheConfig("x", nsets=128, assoc=4, line_size=32, hit_latency=1)
+        assert cfg.size_bytes == 16 * 1024
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBConfig("t", entries=4, assoc=2, miss_penalty=30))
+        assert tlb.translate(0x1000) == 30
+        assert tlb.translate(0x1234) == 0    # same page
+
+    def test_page_granularity(self):
+        tlb = TLB(TLBConfig("t", entries=4, assoc=2, page_size=4096))
+        tlb.translate(0x0000)
+        assert tlb.translate(0x1000) == 30   # different page misses
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TLBConfig("t", entries=5, assoc=2)
+
+
+class TestHierarchy:
+    def test_ifetch_cold_cost(self):
+        h = MemoryHierarchy()
+        cold = h.ifetch(0x0040_0000)
+        # itlb miss + L1 miss + L2 miss + memory
+        cfg = h.config
+        assert cold == (
+            h.itlb.config.miss_penalty
+            + cfg.il1.hit_latency
+            + cfg.ul2.hit_latency
+            + cfg.mem_latency
+        )
+        assert h.ifetch(0x0040_0000) == cfg.il1.hit_latency
+
+    def test_l2_shared_between_sides(self):
+        h = MemoryHierarchy()
+        h.dload(0x1000_0000)                 # fills L2
+        lat = h.dload(0x1000_0000 + 16)      # same L1 line -> L1 hit
+        assert lat == h.config.dl1.hit_latency
+
+    def test_l2_hit_path(self):
+        h = MemoryHierarchy()
+        h.dload(0x1000_0000)
+        # evict from L1 with conflicting lines, keep in L2
+        dl1 = h.config.dl1
+        stride = dl1.nsets * dl1.line_size
+        for k in range(1, dl1.assoc + 1):
+            h.dload(0x1000_0000 + k * stride)
+        lat = h.dload(0x1000_0000)
+        assert lat == dl1.hit_latency + h.config.ul2.hit_latency
+
+    def test_store_counts_as_write(self):
+        h = MemoryHierarchy()
+        h.dstore(0x2000_0000)
+        assert h.dl1.stats.accesses == 1

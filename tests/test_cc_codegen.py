@@ -1,0 +1,239 @@
+"""Tests for minic code generation: compiled programs vs expected
+behaviour, including a property test against Python's own evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_source
+from repro.cc.compiler import compile_and_run
+from repro.cc.lexer import CompileError
+from repro.utils.bitops import to_s32
+
+
+def run_main(body: str, prelude: str = "") -> int:
+    src = f"{prelude}\nint main() {{ {body} }}"
+    return compile_and_run(src).reg_signed(2)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run_main("return 2 + 3 * 4 - 1;") == 13
+
+    def test_division_truncates(self):
+        assert run_main("return -7 / 2;") == -3
+        assert run_main("return 7 % -2;") == 1
+
+    def test_shifts(self):
+        assert run_main("return 1 << 10;") == 1024
+        assert run_main("return -16 >> 2;") == -4   # arithmetic shift
+
+    def test_bitwise(self):
+        assert run_main("return (12 & 10) | (1 ^ 3);") == 10
+
+    def test_comparisons(self):
+        assert run_main("return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3);") == 3
+        assert run_main("return (5 == 5) + (5 != 5);") == 1
+
+    def test_unary(self):
+        assert run_main("return -(3) + ~0 + !5 + !0;") == -3
+
+    def test_logical_values(self):
+        assert run_main("return (7 && 3) + (0 || 9);") == 2
+
+    def test_short_circuit_and(self):
+        # the right side would divide by zero if evaluated
+        prelude = "int z;"
+        assert run_main("z = 0; return 0 && (1 / z);", prelude) == 0
+
+    def test_short_circuit_or(self):
+        prelude = "int z;"
+        assert run_main("z = 0; return 1 || (1 / z);", prelude) == 1
+
+    def test_deep_expression_rejected(self):
+        deep = "1 + (1 + (1 + (1 + (1 + (1 + (1 + (1 + (1 + 1))))))))"
+        with pytest.raises(CompileError, match="too deeply"):
+            compile_source(f"int main() {{ return {deep}; }}")
+
+
+class TestVariablesAndControl:
+    def test_locals(self):
+        assert run_main("int a = 4; int b = a * a; return b + a;") == 20
+
+    def test_block_scoping(self):
+        body = "int x = 1; { int x = 2; } return x;"
+        assert run_main(body) == 1
+
+    def test_shadowing_reads_inner(self):
+        body = "int x = 1; int y = 0; { int x = 2; y = x; } return y;"
+        assert run_main(body) == 2
+
+    def test_while_loop(self):
+        assert run_main(
+            "int n = 0; int i = 10; while (i > 0) { n += i; i--; } return n;"
+        ) == 55
+
+    def test_for_loop(self):
+        assert run_main(
+            "int n = 0; for (int i = 1; i <= 5; i++) { n += i * i; } return n;"
+        ) == 55
+
+    def test_nested_loops(self):
+        body = ("int n = 0; for (int i = 0; i < 4; i++) {"
+                " for (int j = 0; j < 5; j++) { n++; } } return n;")
+        assert run_main(body) == 20
+
+    def test_if_else(self):
+        body = "int x = 7; if (x > 5) { return 1; } else { return 2; }"
+        assert run_main(body) == 1
+
+    def test_else_if_ladder(self):
+        body = ("int x = 2; if (x == 1) { return 10; }"
+                " else if (x == 2) { return 20; } else { return 30; }")
+        assert run_main(body) == 20
+
+    def test_compound_assignment(self):
+        assert run_main("int x = 10; x <<= 2; x -= 5; x %= 7; return x;") == 0
+
+    def test_fall_off_returns_zero(self):
+        assert run_main("int x = 5;") == 0
+
+
+class TestGlobalsAndArrays:
+    PRELUDE = "int g = 3;\nint arr[5] = {10, 20, 30, 40, 50};"
+
+    def test_global_read_write(self):
+        assert run_main("g = g + 39; return g;", self.PRELUDE) == 42
+
+    def test_array_read(self):
+        assert run_main("return arr[3];", self.PRELUDE) == 40
+
+    def test_array_write(self):
+        assert run_main("arr[1] = 99; return arr[1];", self.PRELUDE) == 99
+
+    def test_array_computed_index(self):
+        assert run_main(
+            "int i = 2; return arr[i + 1] + arr[i - 1];", self.PRELUDE
+        ) == 60
+
+    def test_array_sum_loop(self):
+        body = ("int total = 0; for (int i = 0; i < 5; i++)"
+                " { total += arr[i]; } return total;")
+        assert run_main(body, self.PRELUDE) == 150
+
+    def test_globals_visible_in_memory(self):
+        src = self.PRELUDE + "\nint main() { g = 77; return 0; }"
+        program = compile_source(src)
+        result = compile_and_run(src)
+        assert result.memory.read_word(program.symbols["g_g"]) == 77
+
+    def test_zero_initialised(self):
+        assert run_main("return g2;", "int g2;") == 0
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        prelude = "int add3(int a, int b, int c) { return a + b + c; }"
+        assert run_main("return add3(1, 2, 3);", prelude) == 6
+
+    def test_recursion_factorial(self):
+        prelude = ("int fact(int n) { if (n <= 1) { return 1; }"
+                   " return n * fact(n - 1); }")
+        assert run_main("return fact(6);", prelude) == 720
+
+    def test_recursion_fibonacci(self):
+        prelude = ("int fib(int n) { if (n < 2) { return n; }"
+                   " return fib(n - 1) + fib(n - 2); }")
+        assert run_main("return fib(12);", prelude) == 144
+
+    def test_temps_survive_calls(self):
+        prelude = "int id(int x) { return x; }"
+        # left operand is live in a temp across the call
+        assert run_main("return 100 - id(1) - id(2);", prelude) == 97
+
+    def test_nested_call_arguments(self):
+        prelude = ("int add(int a, int b) { return a + b; }"
+                   "int dbl(int x) { return x + x; }")
+        assert run_main("return add(dbl(3), add(1, dbl(2)));", prelude) == 11
+
+    def test_void_function_side_effect(self):
+        prelude = "int g; void set(int v) { g = v; }"
+        assert run_main("set(31); return g;", prelude) == 31
+
+    def test_mutual_recursion(self):
+        prelude = (
+            "int is_odd(int n);"
+            if False
+            else "int is_even(int n) { if (n == 0) { return 1; }"
+            " return is_odd(n - 1); }"
+            "int is_odd(int n) { if (n == 0) { return 0; }"
+            " return is_even(n - 1); }"
+        )
+        assert run_main("return is_even(10) + is_odd(10);", prelude) == 1
+
+
+class TestCompileErrors:
+    def test_no_main(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_source("int f() { return 1; }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_source("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_source("int main() { return nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="arguments"):
+            compile_source(
+                "int f(int a) { return a; } int main() { return f(1, 2); }"
+            )
+
+    def test_redeclaration(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            compile_source("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_indexing_scalar(self):
+        with pytest.raises(CompileError, match="scalar"):
+            compile_source("int g; int main() { return g[0]; }")
+
+    def test_array_without_index(self):
+        with pytest.raises(CompileError, match="array"):
+            compile_source("int a[4]; int main() { return a; }")
+
+    def test_too_many_params(self):
+        with pytest.raises(CompileError, match="parameters"):
+            compile_source(
+                "int f(int a, int b, int c, int d, int e) { return a; }"
+                "int main() { return 0; }"
+            )
+
+
+# ----------------------------------------------------------------------
+# differential property test vs Python
+
+_leaf = st.sampled_from(["x", "y", "3", "7", "12", "100"])
+_binop = st.sampled_from(["+", "-", "*", "&", "|", "^"])
+
+
+@st.composite
+def expr_text(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(_leaf)
+    a = draw(expr_text(depth + 1))  # type: ignore[call-arg]
+    b = draw(expr_text(depth + 1))  # type: ignore[call-arg]
+    op = draw(_binop)
+    return f"({a} {op} {b})"
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(expr_text(), st.integers(-50, 50), st.integers(-50, 50))
+    def test_expressions_match_python(self, text, x, y):
+        src = (f"int main() {{ int x = {x}; int y = {y}; "
+               f"return {text}; }}")
+        got = compile_and_run(src).reg_signed(2)
+        want = to_s32(eval(text, {}, {"x": x, "y": y}))
+        assert got == want

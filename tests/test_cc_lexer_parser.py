@@ -1,0 +1,169 @@
+"""Tests for the minic lexer and parser."""
+
+import pytest
+
+from repro.cc import ast
+from repro.cc.lexer import CompileError, tokenize
+from repro.cc.parser import parse
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("int foo while whilex")
+        assert [t.kind for t in toks[:-1]] == ["kw", "ident", "kw", "ident"]
+
+    def test_numbers(self):
+        toks = tokenize("42 0x1F 0")
+        assert [t.value for t in toks[:-1]] == [42, 31, 0]
+
+    def test_operators_longest_match(self):
+        toks = tokenize("a <<= b << c <= d < e")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<<=", "<<", "<=", "<"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_line_comment(self):
+        toks = tokenize("a // comment\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = tokenize("a /* x\ny */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParserToplevel:
+    def test_global_scalar(self):
+        unit = parse("int x; int main() { return 0; }")
+        assert unit.globals[0].name == "x"
+        assert unit.globals[0].size is None
+
+    def test_global_with_init(self):
+        unit = parse("int x = -5; int main() { return 0; }")
+        assert unit.globals[0].init == (-5,)
+
+    def test_global_array(self):
+        unit = parse("int a[4] = {1, 2}; int main() { return 0; }")
+        g = unit.globals[0]
+        assert g.size == 4 and g.init == (1, 2)
+
+    def test_array_size_inferred(self):
+        unit = parse("int a[] = {7, 8, 9}; int main() { return 0; }")
+        assert unit.globals[0].size == 3
+
+    def test_too_many_initialisers(self):
+        with pytest.raises(CompileError, match="too many"):
+            parse("int a[1] = {1, 2}; int main() { return 0; }")
+
+    def test_function_params(self):
+        unit = parse("int f(int a, int b) { return a; } int main() { return 0; }")
+        assert unit.function("f").params == ("a", "b")
+
+    def test_void_function(self):
+        unit = parse("void f() { } int main() { return 0; }")
+        assert not unit.function("f").returns_value
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 1; } int main() { return 0; }")
+        assert unit.function("f").params == ()
+
+
+class TestParserStatements:
+    def _main_body(self, body: str) -> ast.Block:
+        return parse("int g; int a[4]; int main() { %s }" % body).function(
+            "main"
+        ).body
+
+    def test_declaration_with_init(self):
+        block = self._main_body("int x = 1 + 2;")
+        decl = block.statements[0]
+        assert isinstance(decl, ast.Declare)
+        assert isinstance(decl.init, ast.BinOp)
+
+    def test_compound_assignment_desugars(self):
+        block = self._main_body("int x = 0; x += 5;")
+        assign = block.statements[1]
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.BinOp)
+        assert assign.value.op == "+"
+
+    def test_increment_desugars(self):
+        block = self._main_body("int x = 0; x++;")
+        assign = block.statements[1]
+        assert isinstance(assign.value, ast.BinOp) and assign.value.op == "+"
+
+    def test_if_else_chain(self):
+        block = self._main_body(
+            "int x = 0; if (x) { } else if (x) { } else { }"
+        )
+        stmt = block.statements[1]
+        assert isinstance(stmt, ast.If)
+        nested = stmt.orelse.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.orelse is not None
+
+    def test_for_parts_optional(self):
+        block = self._main_body("for (;;) { return 0; }")
+        loop = block.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_array_assignment(self):
+        block = self._main_body("a[2] = 9;")
+        assign = block.statements[0]
+        assert isinstance(assign.target, ast.Index)
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError, match="unterminated|expected"):
+            parse("int main() { return 0;")
+
+
+class TestParserExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        unit = parse(f"int main() {{ return {text}; }}")
+        return unit.function("main").body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = self._expr("1 << 2 + 3")
+        assert e.op == "<<" and e.right.op == "+"
+
+    def test_left_associativity(self):
+        e = self._expr("10 - 3 - 2")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_unary_chain(self):
+        e = self._expr("-~!0")
+        assert e.op == "-" and e.operand.op == "~" and e.operand.operand.op == "!"
+
+    def test_call_args(self):
+        unit = parse(
+            "int f(int a, int b) { return a; }"
+            "int main() { return f(1, 2 + 3); }"
+        )
+        call = unit.function("main").body.statements[0].value
+        assert isinstance(call, ast.Call) and len(call.args) == 2
+
+    def test_logical_precedence(self):
+        e = self._expr("1 || 2 && 3")
+        assert e.op == "||" and e.right.op == "&&"

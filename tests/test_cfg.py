@@ -1,0 +1,132 @@
+"""Tests for basic-block formation and the CFG, cross-checked against
+networkx where useful."""
+
+import networkx as nx
+
+from repro.asm import assemble
+from repro.program import build_cfg
+from repro.program.dominators import dominator_sets, immediate_dominators
+
+DIAMOND = """
+.text
+main:
+    bgtz $a0, then
+    addiu $t0, $zero, 1
+    b join
+then:
+    addiu $t0, $zero, 2
+join:
+    addu $v0, $t0, $zero
+    halt
+"""
+
+
+class TestBlockFormation:
+    def test_straight_line_single_block(self):
+        p = assemble(".text\nmain: nop\n nop\n halt")
+        cfg = build_cfg(p)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].start == 0 and cfg.blocks[0].end == 3
+
+    def test_diamond_blocks(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert len(cfg.blocks) == 4
+
+    def test_block_of_covers_every_instruction(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        for i in range(len(cfg.program.text)):
+            blk = cfg.blocks[cfg.block_of[i]]
+            assert blk.start <= i < blk.end
+
+    def test_branch_target_starts_block(self):
+        p = assemble(DIAMOND)
+        cfg = build_cfg(p)
+        then_idx = p.labels["then"]
+        assert any(b.start == then_idx for b in cfg.blocks)
+
+
+class TestEdges:
+    def test_diamond_edges(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        # entry has two successors; join has two predecessors
+        assert len(cfg.blocks[0].succs) == 2
+        join = cfg.block_of[cfg.program.labels["join"]]
+        assert sorted(cfg.blocks[join].preds) == sorted(
+            set(cfg.blocks[join].preds)
+        )
+        assert len(cfg.blocks[join].preds) == 2
+
+    def test_halt_has_no_successors(self):
+        cfg = build_cfg(assemble(".text\nmain: halt"))
+        assert cfg.blocks[0].succs == []
+
+    def test_jr_terminates(self):
+        p = assemble(".text\nmain: jal f\n halt\nf: jr $ra")
+        cfg = build_cfg(p)
+        f_block = cfg.block_of[p.labels["f"]]
+        assert cfg.blocks[f_block].succs == []
+
+    def test_call_falls_through(self):
+        p = assemble(".text\nmain: jal f\n halt\nf: jr $ra")
+        cfg = build_cfg(p)
+        assert cfg.blocks[0].succs == [cfg.block_of[1]]
+
+    def test_unconditional_jump_no_fallthrough(self):
+        p = assemble(".text\nmain: j end\n nop\nend: halt")
+        cfg = build_cfg(p)
+        end_block = cfg.block_of[p.labels["end"]]
+        assert cfg.blocks[0].succs == [end_block]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == 0
+        # every reachable block appears exactly once
+        assert len(rpo) == len(set(rpo)) == 4
+
+
+class TestDominatorsAgainstNetworkx:
+    def _nx_idom(self, cfg):
+        g = nx.DiGraph()
+        g.add_nodes_from(b.bid for b in cfg.blocks)
+        for b in cfg.blocks:
+            for s in b.succs:
+                g.add_edge(b.bid, s)
+        idom = dict(nx.immediate_dominators(g, cfg.entry))
+        idom[cfg.entry] = cfg.entry   # normalise root self-mapping
+        return idom
+
+    def test_diamond(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert immediate_dominators(cfg) == self._nx_idom(cfg)
+
+    def test_loop_program(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+        outer:
+            li $t1, 3
+        inner:
+            addiu $t1, $t1, -1
+            bgtz $t1, inner
+            addiu $t0, $t0, -1
+            bgtz $t0, outer
+            halt
+        """
+        cfg = build_cfg(assemble(src))
+        assert immediate_dominators(cfg) == self._nx_idom(cfg)
+
+    def test_workload_cfgs_match(self):
+        from repro.workloads import build_workload
+
+        for name in ("gsm_encode", "g721_decode"):
+            cfg = build_cfg(build_workload(name).program)
+            assert immediate_dominators(cfg) == self._nx_idom(cfg)
+
+    def test_dominator_sets_consistency(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        doms = dominator_sets(cfg)
+        assert doms[0] == {0}
+        for bid, ds in doms.items():
+            assert 0 in ds and bid in ds

@@ -1,0 +1,36 @@
+"""Tests for the all-in-one report command."""
+
+from repro.harness.cli import main
+
+
+class TestReportCommand:
+    def test_writes_all_artefacts(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        assert main(["report", "--out", str(out)]) == 0
+        expected = {
+            "fig2_greedy.txt",
+            "fig6_selective.txt",
+            "fig7_lut_distribution.txt",
+            "greedy_stats.txt",
+            "reconfig_sweep.txt",
+            "pfu_sweep.txt",
+            "INDEX.md",
+        }
+        assert {p.name for p in out.iterdir()} == expected
+
+    def test_artefact_contents(self, tmp_path):
+        out = tmp_path / "report"
+        main(["report", "--out", str(out)])
+        fig2 = (out / "fig2_greedy.txt").read_text()
+        assert "Figure 2" in fig2 and "gsm_encode" in fig2
+        fig7 = (out / "fig7_lut_distribution.txt").read_text()
+        assert "LUTs" in fig7
+        index = (out / "INDEX.md").read_text()
+        assert "fig6_selective.txt" in index
+
+    def test_idempotent(self, tmp_path):
+        out = tmp_path / "report"
+        main(["report", "--out", str(out)])
+        first = (out / "fig2_greedy.txt").read_text()
+        main(["report", "--out", str(out)])
+        assert (out / "fig2_greedy.txt").read_text() == first

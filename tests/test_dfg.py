@@ -1,0 +1,108 @@
+"""Tests for per-block dataflow graphs."""
+
+from repro.asm import assemble
+from repro.program import build_cfg, compute_liveness
+from repro.program.dfg import build_all_dfgs, build_block_dfg
+
+
+def dfg_of(src: str, block: int = 0):
+    cfg = build_cfg(assemble(src))
+    lv = compute_liveness(cfg)
+    return cfg, build_block_dfg(cfg, lv, block)
+
+
+CHAIN = """
+.text
+main:
+    li $t1, 3
+    sll $t2, $t1, 4
+    addu $t2, $t2, $t1
+    sll $t2, $t2, 2
+    sw $t2, 0($s1)
+    halt
+"""
+
+
+class TestProducers:
+    def test_chain_edges(self):
+        cfg, dfg = dfg_of(CHAIN)
+        # instr 2 (addu) reads t2 from 1 and t1 from 0
+        assert dfg.producers[2] == (1, 0)
+        # instr 3 reads t2 from 2
+        assert dfg.producers[3] == (2,)
+
+    def test_external_input_has_no_producer(self):
+        cfg, dfg = dfg_of(CHAIN)
+        assert dfg.producers[1] == (0,)
+        # store reads $s1 externally
+        assert dfg.producers[4][0] is None
+
+    def test_consumers(self):
+        cfg, dfg = dfg_of(CHAIN)
+        assert dfg.consumers[0] == [1, 2]
+        assert dfg.consumers[2] == [3]
+        assert dfg.consumers[3] == [4]
+
+    def test_redefinition_cuts_consumers(self):
+        src = """
+        .text
+        main:
+            li $t0, 1
+            li $t0, 2
+            addu $v0, $t0, $zero
+            halt
+        """
+        cfg, dfg = dfg_of(src)
+        assert dfg.consumers[0] == []     # overwritten before any use
+        assert dfg.consumers[1] == [2]
+
+
+class TestEscapes:
+    def test_final_def_of_live_out_escapes(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            bgtz $t0, out
+            nop
+        out:
+            addu $v0, $t0, $zero
+            halt
+        """
+        cfg, dfg = dfg_of(src)
+        assert dfg.escapes[0]    # $t0 read in a later block
+
+    def test_overwritten_def_does_not_escape(self):
+        cfg, dfg = dfg_of(CHAIN)
+        assert not dfg.escapes[1]   # t2 redefined at 2 and 3
+        assert not dfg.escapes[2]
+
+    def test_store_never_escapes(self):
+        cfg, dfg = dfg_of(CHAIN)
+        assert not dfg.escapes[4]
+
+
+class TestExternalInputs:
+    def test_inputs_of_chain(self):
+        cfg, dfg = dfg_of(CHAIN)
+        # nodes {1,2,3}: only external register input is $t1 (from instr 0)
+        assert dfg.external_inputs({1, 2, 3}) == [9]  # $t1
+
+    def test_zero_not_an_input(self):
+        src = ".text\nmain: addu $t0, $zero, $zero\n halt"
+        cfg, dfg = dfg_of(src)
+        assert dfg.external_inputs({0}) == []
+
+    def test_value_used_outside(self):
+        cfg, dfg = dfg_of(CHAIN)
+        assert dfg.value_used_outside(3, {3})       # consumed by the store
+        assert not dfg.value_used_outside(1, {1, 2})
+
+
+class TestBuildAll:
+    def test_all_blocks_covered(self):
+        p = assemble(CHAIN)
+        cfg = build_cfg(p)
+        lv = compute_liveness(cfg)
+        dfgs = build_all_dfgs(cfg, lv)
+        assert set(dfgs) == {b.bid for b in cfg.blocks}

@@ -1,0 +1,153 @@
+"""Tests for binary encoding/decoding, including whole-program round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.asm.disassembler import disassemble_program, encode_program
+from repro.errors import EncodingError
+from repro.isa.encoding import MAX_CONF, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+class TestRoundTrips:
+    def test_r3(self):
+        ins = Instruction(Opcode.ADDU, rd=3, rs=4, rt=5)
+        out, tgt = decode(encode(ins))
+        assert out == ins and tgt is None
+
+    def test_shift_imm(self):
+        ins = Instruction(Opcode.SLL, rd=3, rs=4, imm=31)
+        assert decode(encode(ins))[0] == ins
+
+    def test_i_type_signed(self):
+        ins = Instruction(Opcode.ADDIU, rt=3, rs=4, imm=-32768)
+        assert decode(encode(ins))[0] == ins
+
+    def test_i_type_unsigned(self):
+        ins = Instruction(Opcode.ORI, rt=3, rs=4, imm=0xFFFF)
+        assert decode(encode(ins))[0] == ins
+
+    def test_lui(self):
+        ins = Instruction(Opcode.LUI, rt=3, imm=0xABCD)
+        assert decode(encode(ins))[0] == ins
+
+    def test_mem(self):
+        for op in (Opcode.LW, Opcode.LB, Opcode.LBU, Opcode.LH, Opcode.LHU,
+                   Opcode.SW, Opcode.SH, Opcode.SB):
+            ins = Instruction(op, rt=7, rs=8, imm=-4)
+            assert decode(encode(ins))[0] == ins
+
+    def test_branch_offset(self):
+        ins = Instruction(Opcode.BEQ, rs=1, rt=2, target="x")
+        out, tgt = decode(encode(ins, numeric_target=-5))
+        assert out.op is Opcode.BEQ and tgt == -5
+
+    def test_regimm_branches(self):
+        for op in (Opcode.BLTZ, Opcode.BGEZ):
+            ins = Instruction(op, rs=9, target="x")
+            out, tgt = decode(encode(ins, numeric_target=7))
+            assert out.op is op and out.rs == 9 and tgt == 7
+
+    def test_jumps(self):
+        out, tgt = decode(encode(Instruction(Opcode.JAL, target="f"), 0x100))
+        assert out.op is Opcode.JAL and tgt == 0x100
+
+    def test_jr_jalr(self):
+        assert decode(encode(Instruction(Opcode.JR, rs=31)))[0] == \
+            Instruction(Opcode.JR, rs=31)
+        assert decode(encode(Instruction(Opcode.JALR, rd=2, rs=5)))[0] == \
+            Instruction(Opcode.JALR, rd=2, rs=5)
+
+    def test_nop_is_zero_word(self):
+        assert encode(Instruction(Opcode.NOP)) == 0
+        assert decode(0)[0].op is Opcode.NOP
+
+    def test_halt(self):
+        assert decode(encode(Instruction(Opcode.HALT)))[0].op is Opcode.HALT
+
+    def test_ext_with_conf(self):
+        ins = Instruction(Opcode.EXT, rd=3, rs=4, rt=5, conf=MAX_CONF)
+        assert decode(encode(ins))[0] == ins
+
+    @given(regs, regs, regs)
+    def test_r3_random_registers(self, rd, rs, rt):
+        ins = Instruction(Opcode.XOR, rd=rd, rs=rs, rt=rt)
+        assert decode(encode(ins))[0] == ins
+
+    @given(regs, regs, st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_addiu_random(self, rt, rs, imm):
+        ins = Instruction(Opcode.ADDIU, rt=rt, rs=rs, imm=imm)
+        assert decode(encode(ins))[0] == ins
+
+    @given(st.integers(min_value=0, max_value=MAX_CONF))
+    def test_ext_conf_range(self, conf):
+        ins = Instruction(Opcode.EXT, rd=1, rs=2, rt=3, conf=conf)
+        assert decode(encode(ins))[0].conf == conf
+
+
+class TestErrors:
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADDIU, rt=1, rs=1, imm=40000))
+
+    def test_unsigned_imm_negative(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ANDI, rt=1, rs=1, imm=-1))
+
+    def test_branch_without_target(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.BEQ, rs=1, rt=2, target="sym"))
+
+    def test_conf_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.EXT, rd=1, rs=2, rt=3, conf=MAX_CONF + 1))
+
+    def test_decode_bad_word(self):
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_decode_unknown_primary(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26)
+
+
+class TestProgramLevel:
+    SOURCE = """
+    .data
+    v: .word 42
+    .text
+    main:
+        la $t0, v
+        lw $t1, 0($t0)
+    loop:
+        addiu $t1, $t1, -1
+        bgtz $t1, loop
+        jal helper
+        halt
+    helper:
+        jr $ra
+    """
+
+    def test_encode_program_words(self):
+        program = assemble(self.SOURCE)
+        words = encode_program(program)
+        assert len(words) == len(program.text)
+        assert all(0 <= w < 2**32 for w in words)
+
+    def test_program_roundtrip_structure(self):
+        program = assemble(self.SOURCE)
+        words = encode_program(program)
+        for word, instr in zip(words, program.text):
+            decoded, _ = decode(word)
+            assert decoded.op is instr.op
+
+    def test_disassembly_mentions_targets(self):
+        program = assemble(self.SOURCE)
+        text = disassemble_program(encode_program(program))
+        assert "bgtz" in text and "jal" in text
+        assert "0x00400000" in text.splitlines()[0]

@@ -1,0 +1,149 @@
+"""Tests for extended-instruction definitions (PFU configurations)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExtInstError
+from repro.extinst.extdef import ExtInstDef, ExtOp, sequential_chain
+from repro.isa.opcodes import Opcode as O
+from repro.isa.semantics import alu_eval
+from repro.utils.bitops import to_u32
+
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+def paper_chain() -> ExtInstDef:
+    """The Figure 3 example: sll #4; addu; sll #2."""
+    return sequential_chain([
+        (O.SLL, ("in", 0), ("imm", 4)),
+        (O.ADDU, ("node", 0), ("in", 0)),
+        (O.SLL, ("node", 1), ("imm", 2)),
+    ])
+
+
+class TestEvaluate:
+    def test_paper_chain_value(self):
+        d = paper_chain()
+        # ((x<<4)+x)<<2 = 68x
+        assert d.evaluate(3) == 3 * 68
+
+    @given(u32)
+    def test_paper_chain_model(self, x):
+        assert paper_chain().evaluate(x) == to_u32(((x << 4) + x) << 2)
+
+    def test_two_input_dag(self):
+        d = sequential_chain([
+            (O.XOR, ("in", 0), ("in", 1)),
+            (O.AND, ("node", 0), ("in", 0)),
+        ])
+        assert d.n_inputs == 2
+        assert d.evaluate(0b1100, 0b1010) == (0b1100 ^ 0b1010) & 0b1100
+
+    def test_zero_operand(self):
+        d = sequential_chain([(O.NOR, ("in", 0), ("zero",))])
+        assert d.evaluate(0) == 0xFFFF_FFFF
+
+    def test_negative_immediate(self):
+        d = sequential_chain([(O.ADDIU, ("in", 0), ("imm", -1))])
+        assert d.evaluate(0) == 0xFFFF_FFFF
+
+    @given(u32, u32)
+    def test_matches_alu_eval_composition(self, a, b):
+        d = sequential_chain([
+            (O.ADDU, ("in", 0), ("in", 1)),
+            (O.SRA, ("node", 0), ("imm", 3)),
+        ])
+        expect = alu_eval(O.SRA, alu_eval(O.ADDU, a, b), 3)
+        assert d.evaluate(a, b) == expect
+
+
+class TestDepthAndGain:
+    def test_chain_depth(self):
+        assert paper_chain().depth == 3
+        assert paper_chain().gain_per_execution == 2   # §2.1's example
+
+    def test_parallel_nodes_share_depth(self):
+        d = sequential_chain([
+            (O.SLL, ("in", 0), ("imm", 1)),
+            (O.SRL, ("in", 0), ("imm", 1)),
+            (O.OR, ("node", 0), ("node", 1)),
+        ])
+        assert d.depth == 2
+
+    def test_single_node(self):
+        d = sequential_chain([(O.ADDU, ("in", 0), ("in", 1))])
+        assert d.depth == 1 and d.gain_per_execution == 0
+
+
+class TestCanonicalKey:
+    def test_same_structure_same_key(self):
+        assert paper_chain().key == paper_chain().key
+
+    def test_immediates_distinguish(self):
+        other = sequential_chain([
+            (O.SLL, ("in", 0), ("imm", 5)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+            (O.SLL, ("node", 1), ("imm", 2)),
+        ])
+        assert other.key != paper_chain().key
+
+    def test_opcode_distinguishes(self):
+        other = sequential_chain([
+            (O.SLL, ("in", 0), ("imm", 4)),
+            (O.SUBU, ("node", 0), ("in", 0)),
+            (O.SLL, ("node", 1), ("imm", 2)),
+        ])
+        assert other.key != paper_chain().key
+
+    def test_key_hashable(self):
+        assert len({paper_chain().key, paper_chain().key}) == 1
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ExtInstError):
+            ExtInstDef(nodes=(), n_inputs=1)
+
+    def test_bad_input_count(self):
+        with pytest.raises(ExtInstError):
+            ExtInstDef(
+                nodes=(ExtOp(O.ADDU, ("in", 0), ("in", 1)),), n_inputs=5
+            )
+
+    def test_three_inputs_allowed_for_analysis_only(self):
+        d = ExtInstDef(
+            nodes=(
+                ExtOp(O.ADDU, ("in", 0), ("in", 1)),
+                ExtOp(O.SUBU, ("in", 2), ("node", 0)),
+            ),
+            n_inputs=3,
+        )
+        assert d.evaluate(1, 2, 10) == 10 - 3
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ExtInstError):
+            ExtInstDef(
+                nodes=(ExtOp(O.ADDU, ("node", 0), ("in", 0)),), n_inputs=1
+            )
+
+    def test_input_slot_out_of_range(self):
+        with pytest.raises(ExtInstError):
+            ExtInstDef(
+                nodes=(ExtOp(O.ADDU, ("in", 1), ("in", 0)),), n_inputs=1
+            )
+
+    def test_non_alu_opcode_rejected(self):
+        with pytest.raises(ExtInstError):
+            ExtOp(O.LW, ("in", 0), ("imm", 0))
+
+    def test_bad_ref_kind_rejected(self):
+        with pytest.raises(ExtInstError):
+            ExtOp(O.ADDU, ("bogus", 0), ("in", 0))
+
+
+class TestDescribe:
+    def test_describe_lists_nodes(self):
+        text = paper_chain().describe()
+        assert "sll(in0, #4)" in text
+        assert "depth 3" in text

@@ -1,0 +1,180 @@
+"""Tests for the optional model extensions: bitstream-proportional
+reconfiguration (§6 hook), mapped extended-instruction latency (§3.1
+hook), and the bimodal branch predictor (vs. the paper's perfect
+prediction)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import ConfigurationError
+from repro.extinst.extdef import sequential_chain
+from repro.isa.opcodes import Opcode as O
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator
+from repro.sim.ooo.branchpred import BimodalPredictor
+
+
+def run(program, defs, config):
+    trace = FunctionalSimulator(program, ext_defs=defs).run(
+        collect_trace=True
+    ).trace
+    return OoOSimulator(program, config, ext_defs=defs).simulate(trace)
+
+
+def ext_loop(n_configs=2, iters=300):
+    defs = {
+        c: sequential_chain([
+            (O.SLL, ("in", 0), ("imm", c + 1)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+        ])
+        for c in range(n_configs)
+    }
+    body = "\n".join(
+        f"    ext $t{1 + c}, $t0, $zero, {c}" for c in range(n_configs)
+    )
+    src = (f".text\nmain: li $s0, {iters}\n li $t0, 3\nloop:\n{body}\n"
+           "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+    return assemble(src), defs
+
+
+class TestConfigValidation:
+    def test_bad_reconfig_model(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(reconfig_model="psychic")
+
+    def test_bad_ext_latency_model(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(ext_latency_model="zero")
+
+    def test_bad_predictor(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(branch_predictor="oracle2")
+
+    def test_bpred_entries_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(bpred_entries=1000)
+
+
+class TestBitstreamReconfig:
+    def test_latency_scales_with_config_size(self):
+        program, defs = ext_loop(n_configs=3)
+        narrow = run(program, defs, MachineConfig(
+            n_pfus=2, reconfig_model="bitstream", config_bits_per_cycle=4000
+        ))
+        wide = run(program, defs, MachineConfig(
+            n_pfus=2, reconfig_model="bitstream", config_bits_per_cycle=100
+        ))
+        assert wide.reconfig_cycles > narrow.reconfig_cycles
+        assert wide.cycles > narrow.cycles
+
+    def test_fixed_model_ignores_bitstream(self):
+        program, defs = ext_loop(n_configs=2)
+        a = run(program, defs, MachineConfig(n_pfus=2, reconfig_latency=10))
+        assert a.reconfig_cycles == 2 * 10
+
+    def test_small_configs_load_fast(self):
+        """§6's point: small instructions mean small configurations."""
+        program, defs = ext_loop(n_configs=1)
+        stats = run(program, defs, MachineConfig(
+            n_pfus=1, reconfig_model="bitstream", config_bits_per_cycle=800
+        ))
+        # a 2-op chain's bitstream is a few KiB: ~10-30 cycles to load
+        assert 1 <= stats.reconfig_cycles <= 40
+
+
+class TestMappedExtLatency:
+    def test_shallow_config_stays_single_cycle(self):
+        program, defs = ext_loop(n_configs=1)
+        single = run(program, defs, MachineConfig(n_pfus=1))
+        mapped = run(program, defs, MachineConfig(
+            n_pfus=1, ext_latency_model="mapped"
+        ))
+        assert mapped.cycles == single.cycles
+
+    def test_deep_config_takes_longer(self):
+        # ten chained adders exceed one 8-level cycle budget
+        deep = sequential_chain(
+            [(O.ADDU, ("in", 0), ("in", 1))]
+            + [(O.ADDU, ("node", k), ("in", 0)) for k in range(9)]
+        )
+        defs = {0: deep}
+        src = (".text\nmain: li $s0, 400\n li $t0, 3\n li $t1, 5\nloop:\n"
+               "    ext $t2, $t0, $t1, 0\n"
+               "    addu $t0, $t2, $zero\n"       # dependent chain
+               "    andi $t0, $t0, 255\n"
+               "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+        program = assemble(src)
+        fast = run(program, defs, MachineConfig(n_pfus=1))
+        slow = run(program, defs, MachineConfig(
+            n_pfus=1, ext_latency_model="mapped", lut_levels_per_cycle=4
+        ))
+        assert slow.cycles > fast.cycles
+
+
+class TestBimodalPredictor:
+    def test_unit_loop_branch_learns(self):
+        p = BimodalPredictor(16)
+        results = [p.predict_conditional(0x400000, True) for _ in range(20)]
+        assert all(results)   # starts weakly-taken, stays correct
+
+    def test_alternating_branch_hurts(self):
+        p = BimodalPredictor(16)
+        outcomes = [bool(i % 2) for i in range(40)]
+        correct = sum(
+            p.predict_conditional(0x400000, t) for t in outcomes
+        )
+        assert correct < 30
+
+    def test_ras_predicts_matched_calls(self):
+        p = BimodalPredictor(16)
+        p.note_call(0x400100)
+        p.note_call(0x400200)
+        assert p.predict_return(0x400200)
+        assert p.predict_return(0x400100)
+        assert not p.predict_return(0x400500)   # underflow
+
+    def test_entries_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(12)
+
+    def test_accuracy_property(self):
+        p = BimodalPredictor(16)
+        assert p.accuracy == 1.0
+        p.predict_conditional(0, False)  # weakly-taken start: mispredict
+        assert p.accuracy < 1.0
+
+
+class TestBimodalInPipeline:
+    def test_loopy_code_predicts_well(self):
+        src = (".text\nmain: li $s0, 2000\nloop:\n    addu $t0, $t0, $t1\n"
+               "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+        program = assemble(src)
+        stats = run(program, None, MachineConfig(branch_predictor="bimodal"))
+        assert stats.bpred_lookups >= 2000
+        assert stats.bpred_mispredictions <= 5
+
+    def test_perfect_is_upper_bound(self):
+        src = (".text\nmain: li $s0, 500\nloop:\n"
+               "    andi $t1, $s0, 1\n"
+               "    beq $t1, $zero, even\n"
+               "    addiu $t2, $t2, 1\n"
+               "    b join\n"
+               "even:\n    addiu $t3, $t3, 1\njoin:\n"
+               "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+        program = assemble(src)
+        perfect = run(program, None, MachineConfig())
+        bimodal = run(program, None,
+                      MachineConfig(branch_predictor="bimodal"))
+        assert perfect.bpred_lookups == 0
+        # the alternating inner branch mispredicts heavily
+        assert bimodal.bpred_mispredictions > 200
+        assert bimodal.cycles > perfect.cycles
+
+    def test_calls_and_returns_predicted(self):
+        src = (".text\nmain: li $s0, 300\nloop:\n    jal f\n"
+               "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+               "f: addu $v0, $a0, $a0\n   jr $ra\n")
+        program = assemble(src)
+        stats = run(program, None, MachineConfig(branch_predictor="bimodal"))
+        # returns hit the RAS; only the loop branch's exit mispredicts
+        assert stats.bpred_mispredictions <= 4

@@ -1,0 +1,246 @@
+"""Tests for candidate-sequence extraction: every §4 constraint."""
+
+from repro.asm import assemble
+from repro.extinst.extraction import (
+    ExtractionParams,
+    extract_candidate_sequences,
+)
+from repro.profiling import profile_program
+
+
+def extract(src: str, **params):
+    profile = profile_program(assemble(src))
+    return extract_candidate_sequences(
+        profile, ExtractionParams(**params) if params else None
+    )
+
+
+def hot_loop(body: list[str], n: int = 200, out_reg: str = "$t4") -> str:
+    lines = "\n".join(f"    {x}" for x in body)
+    return (
+        f".text\nmain: li $s0, {n}\n li $t1, 3\nloop:\n{lines}\n"
+        f"    sw {out_reg}, 0($sp)\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+    )
+
+
+CHAIN3 = ["sll $t2, $t1, 4", "addu $t2, $t2, $t1", "sll $t4, $t2, 2"]
+
+
+class TestBasicExtraction:
+    def test_finds_dependent_chain(self):
+        seqs = extract(hot_loop(CHAIN3))
+        assert any(len(s.nodes) == 3 for s in seqs)
+
+    def test_sequence_metadata(self):
+        seqs = extract(hot_loop(CHAIN3))
+        seq = max(seqs, key=lambda s: len(s.nodes))
+        assert seq.exec_count == 200
+        assert seq.output_reg == 12          # $t4
+        assert seq.input_regs == (9,)        # $t1
+        assert seq.loop_header is not None
+
+    def test_extdef_semantics_match(self):
+        seqs = extract(hot_loop(CHAIN3))
+        seq = max(seqs, key=lambda s: len(s.nodes))
+        assert seq.extdef.evaluate(3) == ((3 << 4) + 3) << 2
+
+    def test_no_candidates_in_empty_program(self):
+        assert extract(".text\nmain: halt") == []
+
+    def test_straightline_also_mined(self):
+        src = """
+        .text
+        main:
+            li $t1, 3
+            sll $t2, $t1, 4
+            addu $t2, $t2, $t1
+            sll $t2, $t2, 2
+            sw $t2, 0($sp)
+            halt
+        """
+        seqs = extract(src)
+        assert any(len(s.nodes) >= 3 for s in seqs)
+        assert all(s.loop_header is None for s in seqs)
+
+
+class TestInputConstraint:
+    def test_three_input_expression_splits(self):
+        # d = x1 - ((x0+x2)>>1): 3 external inputs -> cannot fold whole
+        body = [
+            "addu $t4, $t5, $t6",
+            "sra $t4, $t4, 1",
+            "subu $t4, $t7, $t4",
+        ]
+        src = hot_loop(
+            ["li $t5, 1", "li $t6, 2", "li $t7, 3"] + body
+        )
+        seqs = extract(src)
+        for seq in seqs:
+            assert len(seq.input_regs) <= 2
+
+    def test_two_inputs_allowed(self):
+        # $t5/$t6 defined outside the loop: genuine register inputs
+        src = (
+            ".text\nmain: li $s0, 200\n li $t5, 9\n li $t6, 5\nloop:\n"
+            "    xor $t2, $t5, $t6\n    andi $t4, $t2, 255\n"
+            "    sw $t4, 0($sp)\n    addiu $s0, $s0, -1\n"
+            "    bgtz $s0, loop\n    halt\n"
+        )
+        seqs = extract(src)
+        assert any(len(s.nodes) == 2 and len(s.input_regs) == 2 for s in seqs)
+
+    def test_constant_producers_fold_into_config(self):
+        # li inside the loop: the constants become part of the PFU config
+        body = ["xor $t2, $t5, $t6", "andi $t4, $t2, 255"]
+        seqs = extract(hot_loop(["li $t5, 9", "li $t6, 5"] + body))
+        big = max(seqs, key=lambda s: len(s.nodes))
+        assert len(big.nodes) == 4 and big.input_regs == ()
+        assert big.extdef.evaluate(0) == (9 ^ 5) & 255
+
+    def test_max_inputs_parameter(self):
+        src = (
+            ".text\nmain: li $s0, 200\n li $t5, 9\n li $t6, 5\nloop:\n"
+            "    xor $t2, $t5, $t6\n    andi $t4, $t2, 255\n"
+            "    sw $t4, 0($sp)\n    addiu $s0, $s0, -1\n"
+            "    bgtz $s0, loop\n    halt\n"
+        )
+        profile = profile_program(assemble(src))
+        seqs = extract_candidate_sequences(
+            profile, ExtractionParams(max_inputs=1)
+        )
+        assert all(len(s.input_regs) <= 1 for s in seqs)
+
+
+class TestLivenessConstraint:
+    def test_intermediate_used_elsewhere_blocks_fold(self):
+        # $t2 (intermediate) is also stored -> cannot be deleted
+        body = [
+            "sll $t2, $t1, 4",
+            "addu $t3, $t2, $t1",
+            "sll $t4, $t3, 2",
+            "sw $t2, 4($sp)",
+        ]
+        seqs = extract(hot_loop(body))
+        for seq in seqs:
+            # node defining $t2 must not be interior to any sequence
+            interior = seq.nodes[:-1]
+            program = assemble(hot_loop(body))
+            for idx in interior:
+                assert program.text[idx].defs() != (10,)  # $t2
+
+    def test_escaping_value_can_be_root(self):
+        body = ["sll $t2, $t1, 4", "addu $t4, $t2, $t1"]
+        seqs = extract(hot_loop(body))
+        assert any(len(s.nodes) == 2 for s in seqs)
+
+
+class TestBitwidthConstraint:
+    def test_wide_values_excluded(self):
+        # $t1 is 2**20: operand width ~21 bits > 18 -> not a candidate
+        body = ["sll $t2, $t1, 1", "addu $t4, $t2, $t1"]
+        src = (
+            ".text\nmain: li $s0, 50\n lui $t1, 16\nloop:\n    "
+            + "\n    ".join(body)
+            + "\n    sw $t4, 0($sp)\n    addiu $s0, $s0, -1\n"
+            "    bgtz $s0, loop\n    halt\n"
+        )
+        assert extract(src) == []
+
+    def test_threshold_parameter_widens(self):
+        body = ["sll $t2, $t1, 1", "addu $t4, $t2, $t1"]
+        src = (
+            ".text\nmain: li $s0, 50\n lui $t1, 16\nloop:\n    "
+            + "\n    ".join(body)
+            + "\n    sw $t4, 0($sp)\n    addiu $s0, $s0, -1\n"
+            "    bgtz $s0, loop\n    halt\n"
+        )
+        profile = profile_program(assemble(src))
+        seqs = extract_candidate_sequences(
+            profile, ExtractionParams(width_threshold=32)
+        )
+        assert len(seqs) >= 1
+
+    def test_unexecuted_code_skipped(self):
+        src = """
+        .text
+        main:
+            b end
+            sll $t2, $t1, 4
+            addu $t4, $t2, $t1
+        end:
+            halt
+        """
+        assert extract(src) == []
+
+
+class TestStructuralConstraints:
+    def test_sequences_within_single_block(self):
+        seqs = extract(hot_loop(CHAIN3))
+        program = assemble(hot_loop(CHAIN3))
+        from repro.program import build_cfg
+
+        cfg = build_cfg(program)
+        for seq in seqs:
+            blocks = {cfg.block_of[i] for i in seq.nodes}
+            assert len(blocks) == 1
+
+    def test_max_nodes_respected(self):
+        body = [f"addiu $t1, $t1, {k}" for k in range(1, 12)] + [
+            "andi $t1, $t1, 63", "addu $t4, $t1, $zero"
+        ]
+        seqs = extract(hot_loop(body), max_nodes=4)
+        assert all(len(s.nodes) <= 4 for s in seqs)
+
+    def test_sequences_disjoint(self):
+        seqs = extract(hot_loop(CHAIN3 + ["srl $t5, $t1, 1",
+                                          "xor $t5, $t5, $t1",
+                                          "sw $t5, 4($sp)"]))
+        seen: set[int] = set()
+        for seq in seqs:
+            assert seen.isdisjoint(seq.nodes)
+            seen.update(seq.nodes)
+
+    def test_loads_never_folded(self):
+        body = ["lw $t2, 0($sp)", "addu $t3, $t2, $t1", "sll $t4, $t3, 2"]
+        seqs = extract(hot_loop(body))
+        program = assemble(hot_loop(body))
+        for seq in seqs:
+            for idx in seq.nodes:
+                assert not program.text[idx].is_mem
+
+
+class TestInputConsistency:
+    def test_input_redefined_between_reads_blocks_fold(self):
+        # $t1 is overwritten between the chain's first read and its root
+        # by a NON-sequence instruction (a load), so folding would read
+        # the wrong value at the root.
+        body = [
+            "sll $t2, $t1, 4",
+            "lw $t1, 0($sp)",          # clobbers the chain's input
+            "addu $t4, $t2, $t1",
+        ]
+        seqs = extract(hot_loop(body))
+        # the two ALU ops must not be folded together across the clobber
+        for seq in seqs:
+            assert not (len(seq.nodes) == 2 and seq.nodes[-1] - seq.nodes[0] == 2)
+
+    def test_chain_through_same_register_ok(self):
+        # Interior redefinitions of the input register are deleted with
+        # the fold, so they don't break input consistency: the addiu+andi
+        # pair chains through $t1, whose first node both reads (external)
+        # and writes $t1. The final $t1 write stays (loop-carried).
+        body = ["addiu $t1, $t1, 5", "andi $t1, $t1, 63", "sll $t4, $t1, 2"]
+        seqs = extract(hot_loop(body))
+        chained = [s for s in seqs if s.input_regs == (9,)]
+        assert any(len(s.nodes) >= 2 for s in chained)
+
+    def test_loop_carried_final_def_never_interior(self):
+        # the last write to a loop-carried register is live around the
+        # back edge and must survive folding
+        body = ["addiu $t1, $t1, 5", "andi $t1, $t1, 63", "sll $t4, $t1, 2"]
+        program = assemble(hot_loop(body))
+        seqs = extract(hot_loop(body))
+        final_t1_def = 3  # the andi
+        for seq in seqs:
+            assert final_t1_def not in seq.nodes[:-1]

@@ -1,0 +1,86 @@
+"""Tests for the differential fuzzing module."""
+
+import random
+
+import pytest
+
+from repro.asm import assemble
+from repro.fuzz import (
+    FuzzResult,
+    check_program,
+    random_asm_program,
+    random_minic_program,
+    run_campaign,
+)
+
+
+class TestGenerators:
+    def test_asm_generator_deterministic(self):
+        a = random_asm_program(random.Random(7))
+        b = random_asm_program(random.Random(7))
+        assert a == b
+
+    def test_asm_generator_assembles(self):
+        for seed in range(5):
+            program = assemble(random_asm_program(random.Random(seed)))
+            program.validate()
+
+    def test_minic_generator_compiles(self):
+        from repro.cc import compile_source
+
+        for seed in range(5):
+            compile_source(random_minic_program(random.Random(seed)))
+
+    def test_generators_vary_with_seed(self):
+        texts = {random_asm_program(random.Random(s)) for s in range(8)}
+        assert len(texts) == 8
+
+
+class TestCheckProgram:
+    def test_folds_and_validates(self):
+        program = assemble(random_asm_program(random.Random(3)))
+        folded = check_program(program)
+        assert folded >= 0
+
+    def test_campaign_clean(self):
+        result = run_campaign(n_programs=6, seed=123)
+        assert result.ok
+        assert result.runs == 6
+        assert "OK" in result.summary()
+
+    def test_campaign_reproducible(self):
+        a = run_campaign(n_programs=4, seed=9)
+        b = run_campaign(n_programs=4, seed=9)
+        assert a.folded_sites == b.folded_sites
+
+    def test_flavors(self):
+        for flavor in ("asm", "minic"):
+            result = run_campaign(n_programs=2, seed=1, flavor=flavor)
+            assert result.ok
+
+    def test_bad_flavor(self):
+        with pytest.raises(ValueError):
+            run_campaign(n_programs=1, flavor="cobol")
+
+    def test_cli(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fuzz", "-n", "3", "--seed", "5"]) == 0
+        assert "fuzz:" in capsys.readouterr().out
+
+
+class TestFailureReporting:
+    def test_failure_detected_and_reported(self, monkeypatch):
+        """Inject a fault into the rewriter and check the campaign
+        reports it instead of crashing."""
+        import repro.fuzz as fuzz_mod
+
+        def broken_check(program, n_pfus_choices=(2,)):
+            raise AssertionError("injected fault")
+
+        monkeypatch.setattr(fuzz_mod, "check_program", broken_check)
+        result = fuzz_mod.run_campaign(n_programs=2, seed=0)
+        assert not result.ok
+        assert len(result.failures) == 2
+        assert "injected fault" in result.failures[0]["error"]
+        assert "seed" in result.failures[0]

@@ -1,0 +1,172 @@
+"""Tests for the XC4000 LUT cost model."""
+
+from repro.extinst.extdef import sequential_chain
+from repro.hwcost import XC4000, config_bits, estimate_cost, fits_single_cycle
+from repro.hwcost.area import AreaDistribution, distribution_for_defs
+from repro.hwcost.xc4000 import clbs_for_luts
+from repro.isa.opcodes import Opcode as O
+
+
+def chain(*ops):
+    return sequential_chain(list(ops))
+
+
+class TestOperatorCosts:
+    def test_const_shift_is_free(self):
+        d = chain((O.SLL, ("in", 0), ("imm", 4)))
+        cost = estimate_cost(d, (16,))
+        assert cost.luts == 0
+        assert cost.levels == 0
+
+    def test_adder_costs_width(self):
+        d = chain((O.ADDU, ("in", 0), ("in", 1)))
+        assert estimate_cost(d, (16, 16)).luts == 16
+        assert estimate_cost(d, (8, 8)).luts == 8
+
+    def test_width_propagates_through_shift(self):
+        d = chain(
+            (O.SLL, ("in", 0), ("imm", 4)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+        )
+        # 18-bit input shifted by 4 -> 22-bit adder
+        assert estimate_cost(d, (18,)).luts == 22
+
+    def test_compare_costs_width_outputs_one_bit(self):
+        d = chain((O.SLT, ("in", 0), ("in", 1)))
+        cost = estimate_cost(d, (10, 10))
+        assert cost.luts == 10
+        assert cost.node_widths[-1] == 1
+
+    def test_variable_shift_expensive(self):
+        var = chain((O.SLLV, ("in", 0), ("in", 1)))
+        const = chain((O.SLL, ("in", 0), ("imm", 3)))
+        assert estimate_cost(var, (16, 5)).luts > estimate_cost(
+            const, (16,)
+        ).luts
+
+    def test_single_bitwise_costs_width(self):
+        d = chain((O.XOR, ("in", 0), ("in", 1)))
+        assert estimate_cost(d, (12, 12)).luts == 12
+
+
+class TestBitwisePacking:
+    def test_three_gate_cascade_packs_to_one_lut_per_bit(self):
+        d = chain(
+            (O.AND, ("in", 0), ("in", 1)),
+            (O.OR, ("node", 0), ("in", 1)),
+            (O.XOR, ("node", 1), ("in", 0)),
+        )
+        cost = estimate_cost(d, (16, 16))
+        assert cost.luts == 16      # one cone
+        assert cost.levels == 1
+
+    def test_fanout_blocks_packing(self):
+        # node 0 feeds two consumers: cannot merge into a single cone
+        d = sequential_chain([
+            (O.AND, ("in", 0), ("in", 1)),
+            (O.OR, ("node", 0), ("in", 1)),
+            (O.XOR, ("node", 0), ("in", 0)),
+            (O.OR, ("node", 1), ("node", 2)),
+        ])
+        cost = estimate_cost(d, (8, 8))
+        assert cost.luts >= 16      # at least two cones
+
+    def test_packing_respects_leaf_budget(self):
+        # five cascaded gates need a second LUT level
+        ops = [(O.AND, ("in", 0), ("in", 1))]
+        for k in range(4):
+            ops.append((O.XOR, ("node", k), ("in", 0)))
+        cost = estimate_cost(sequential_chain(ops), (8, 8))
+        assert cost.levels == 2
+        assert cost.luts == 16      # two cones of width 8
+
+
+class TestCriticalPath:
+    def test_chain_levels_accumulate(self):
+        d = chain(
+            (O.ADDU, ("in", 0), ("in", 1)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+            (O.ADDU, ("node", 1), ("in", 1)),
+        )
+        assert estimate_cost(d, (8, 8)).levels == 3
+
+    def test_wide_adder_extra_level(self):
+        narrow = chain((O.ADDU, ("in", 0), ("in", 1)))
+        assert estimate_cost(narrow, (8, 8)).levels == 1
+        assert estimate_cost(narrow, (20, 20)).levels == 2  # carry segments
+
+    def test_fits_single_cycle(self):
+        d = chain((O.ADDU, ("in", 0), ("in", 1)))
+        assert fits_single_cycle(estimate_cost(d, (8, 8)))
+        deep = sequential_chain(
+            [(O.ADDU, ("in", 0), ("in", 1))]
+            + [(O.ADDU, ("node", k), ("in", 0)) for k in range(9)]
+        )
+        assert not fits_single_cycle(estimate_cost(deep, (8, 8)), max_levels=8)
+
+
+class TestPaperCalibration:
+    def test_paper_example_chain_is_small(self):
+        """The §2.1 example (3 dependent logic ops) needs very little
+        hardware — well under one CLB column."""
+        d = chain(
+            (O.AND, ("in", 0), ("in", 1)),
+            (O.OR, ("node", 0), ("in", 1)),
+            (O.XOR, ("node", 1), ("in", 0)),
+        )
+        assert estimate_cost(d, (18, 18)).luts <= 20
+
+    def test_typical_selected_instruction_under_150(self):
+        """§1: selected instructions fit in PFUs of <150 LUTs."""
+        d = chain(
+            (O.SLL, ("in", 0), ("imm", 4)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+            (O.SLL, ("node", 1), ("imm", 2)),
+            (O.ADDU, ("node", 2), ("in", 1)),
+            (O.SRA, ("node", 3), ("imm", 3)),
+        )
+        assert estimate_cost(d, (18, 18)).luts < 150
+
+    def test_monotone_in_input_width(self):
+        d = chain(
+            (O.ADDU, ("in", 0), ("in", 1)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+        )
+        costs = [estimate_cost(d, (w, w)).luts for w in (4, 8, 12, 18, 24)]
+        assert costs == sorted(costs)
+
+
+class TestConfigBits:
+    def test_clbs_round_up(self):
+        assert clbs_for_luts(1) == 1
+        assert clbs_for_luts(2) == 1
+        assert clbs_for_luts(3) == 2
+
+    def test_config_bits_grow_with_luts(self):
+        assert config_bits(100) > config_bits(10) > 0
+
+    def test_overhead_floor(self):
+        assert config_bits(0) == XC4000.config_overhead_bits
+
+
+class TestAreaDistribution:
+    def test_bucketing(self):
+        dist = AreaDistribution(costs=[5, 25, 25, 70, 140])
+        counts = dict(dist.bucket_counts())
+        assert counts["1-20 LUTs"] == 1
+        assert counts["21-40 LUTs"] == 2
+        assert counts["61-80 LUTs"] == 1
+        assert counts["101-150 LUTs"] == 1
+
+    def test_overflow_bucket(self):
+        dist = AreaDistribution(costs=[500])
+        assert any(">150" in label for label, _ in dist.bucket_counts())
+
+    def test_distribution_for_defs(self):
+        defs = {
+            0: chain((O.ADDU, ("in", 0), ("in", 1))),
+            1: chain((O.XOR, ("in", 0), ("in", 1))),
+        }
+        dist = distribution_for_defs(defs)
+        assert len(dist.costs) == 2
+        assert dist.max_luts >= 18

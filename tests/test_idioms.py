@@ -1,0 +1,108 @@
+"""Tests that each asm idiom emitter matches its Python reference
+bit-exactly over representative value ranges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.builder import AsmBuilder
+from repro.sim import run_program
+from repro.workloads.idioms import (
+    emit_abs,
+    emit_avg,
+    emit_clamp255,
+    emit_clamp_pow2,
+    emit_mulc,
+    py_abs,
+    py_avg,
+    py_clamp255,
+    py_clamp_pow2,
+    py_mulc,
+    shift_add_terms,
+)
+
+
+def run_unary(emit, x: int, **kwargs) -> int:
+    """Run a unary idiom on input x (placed in $t0), result in $v0."""
+    b = AsmBuilder()
+    b.label("main")
+    b.ins(f"li $t0, {x}")
+    emit(b, "$v0", "$t0", **kwargs)
+    b.ins("halt")
+    return run_program(b.build()).reg_signed(2)
+
+
+class TestAbs:
+    @pytest.mark.parametrize("x", [0, 1, -1, 127, -127, 32767, -32768])
+    def test_values(self, x):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins(f"li $t0, {x}")
+        emit_abs(b, "$v0", "$t0", "$t1")
+        b.ins("halt")
+        assert run_program(b.build()).reg_signed(2) == py_abs(x)
+
+
+class TestClamp255:
+    @pytest.mark.parametrize("x", [-500, -1, 0, 1, 128, 255, 256, 9999])
+    def test_values(self, x):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins(f"li $t0, {x}")
+        emit_clamp255(b, "$v0", "$t0", "$t1", "$t2", "$t3")
+        b.ins("halt")
+        assert run_program(b.build()).reg_signed(2) == py_clamp255(x)
+
+
+class TestClampPow2:
+    @pytest.mark.parametrize("hi", [31, 255, 1023])
+    @pytest.mark.parametrize("x", [-40, 0, 17, 5000])
+    def test_values(self, x, hi):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins(f"li $t0, {x}")
+        emit_clamp_pow2(b, "$v0", "$t0", hi, "$t1", "$t2", "$t3")
+        b.ins("halt")
+        assert run_program(b.build()).reg_signed(2) == py_clamp_pow2(x, hi)
+
+    def test_non_pow2_rejected(self):
+        b = AsmBuilder()
+        with pytest.raises(AssertionError):
+            emit_clamp_pow2(b, "$v0", "$t0", 100, "$t1", "$t2", "$t3")
+
+
+class TestMulc:
+    def test_shift_add_terms(self):
+        assert shift_add_terms(1) == [0]
+        assert shift_add_terms(10) == [1, 3]
+        assert shift_add_terms(55) == [0, 1, 2, 4, 5]
+
+    @pytest.mark.parametrize("const", [1, 2, 3, 5, 13, 55, 255])
+    @pytest.mark.parametrize("x", [-9, 0, 7, 1000])
+    def test_exact(self, const, x):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins(f"li $t0, {x}")
+        emit_mulc(b, "$v0", "$t0", const, "$t8", "$t9")
+        b.ins("halt")
+        assert run_program(b.build()).reg_signed(2) == py_mulc(x, const)
+
+    @given(st.integers(min_value=-2000, max_value=2000))
+    def test_mulc_55_property(self, x):
+        b = AsmBuilder()
+        b.label("main")
+        b.ins(f"li $t0, {x}")
+        emit_mulc(b, "$v0", "$t0", 55, "$t8", "$t9")
+        b.ins("halt")
+        assert run_program(b.build()).reg_signed(2) == 55 * x
+
+
+class TestAvg:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (255, 254), (-3, 5)])
+    def test_values(self, a, b):
+        builder = AsmBuilder()
+        builder.label("main")
+        builder.ins(f"li $t0, {a}", f"li $t1, {b}")
+        emit_avg(builder, "$v0", "$t0", "$t1")
+        builder.ins("halt")
+        assert run_program(builder.build()).reg_signed(2) == py_avg(a, b)

@@ -1,0 +1,117 @@
+"""Tests for the Instruction record: dataflow accessors and rendering."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestDefsUses:
+    def test_r3(self):
+        ins = Instruction(Opcode.ADDU, rd=3, rs=4, rt=5)
+        assert ins.defs() == (3,)
+        assert ins.uses() == (4, 5)
+
+    def test_r2_imm(self):
+        ins = Instruction(Opcode.ADDIU, rt=3, rs=4, imm=7)
+        assert ins.defs() == (3,)
+        assert ins.uses() == (4,)
+
+    def test_shift_imm(self):
+        ins = Instruction(Opcode.SLL, rd=3, rs=4, imm=2)
+        assert ins.defs() == (3,)
+        assert ins.uses() == (4,)
+
+    def test_lui_reads_nothing(self):
+        ins = Instruction(Opcode.LUI, rt=3, imm=7)
+        assert ins.defs() == (3,)
+        assert ins.uses() == ()
+
+    def test_load(self):
+        ins = Instruction(Opcode.LW, rt=3, rs=4, imm=0)
+        assert ins.defs() == (3,)
+        assert ins.uses() == (4,)
+
+    def test_store_reads_both(self):
+        ins = Instruction(Opcode.SW, rt=3, rs=4, imm=0)
+        assert ins.defs() == ()
+        assert ins.uses() == (4, 3)
+
+    def test_branches(self):
+        assert Instruction(Opcode.BEQ, rs=1, rt=2, target="x").uses() == (1, 2)
+        assert Instruction(Opcode.BGTZ, rs=1, target="x").uses() == (1,)
+        assert Instruction(Opcode.BEQ, rs=1, rt=2, target="x").defs() == ()
+
+    def test_jal_defines_ra(self):
+        assert Instruction(Opcode.JAL, target="f").defs() == (31,)
+
+    def test_jr_uses_rs(self):
+        assert Instruction(Opcode.JR, rs=31).uses() == (31,)
+
+    def test_jalr(self):
+        ins = Instruction(Opcode.JALR, rd=2, rs=5)
+        assert ins.defs() == (2,)
+        assert ins.uses() == (5,)
+
+    def test_ext_two_inputs(self):
+        ins = Instruction(Opcode.EXT, rd=3, rs=4, rt=5, conf=0)
+        assert ins.defs() == (3,)
+        assert ins.uses() == (4, 5)
+
+    def test_ext_one_input_drops_zero_rt(self):
+        ins = Instruction(Opcode.EXT, rd=3, rs=4, rt=0, conf=0)
+        assert ins.uses() == (4,)
+
+    def test_halt_nop(self):
+        assert Instruction(Opcode.HALT).defs() == ()
+        assert Instruction(Opcode.NOP).uses() == ()
+
+
+class TestProperties:
+    def test_is_mem(self):
+        assert Instruction(Opcode.LW, rt=1, rs=2, imm=0).is_load
+        assert Instruction(Opcode.SB, rt=1, rs=2, imm=0).is_store
+        assert not Instruction(Opcode.ADDU, rd=1, rs=2, rt=3).is_mem
+
+    def test_is_control(self):
+        assert Instruction(Opcode.BEQ, rs=1, rt=2, target="x").is_control
+        assert Instruction(Opcode.J, target="x").is_control
+        assert Instruction(Opcode.HALT).is_control
+        assert not Instruction(Opcode.ADDU, rd=1, rs=2, rt=3).is_control
+
+    def test_is_ext(self):
+        assert Instruction(Opcode.EXT, rd=1, rs=2, rt=0, conf=3).is_ext
+
+
+class TestRender:
+    def test_r3(self):
+        assert Instruction(Opcode.ADDU, rd=8, rs=9, rt=10).render() == \
+            "addu $t0, $t1, $t2"
+
+    def test_imm_signed(self):
+        assert Instruction(Opcode.ADDIU, rt=8, rs=8, imm=-1).render() == \
+            "addiu $t0, $t0, -1"
+
+    def test_mem(self):
+        assert Instruction(Opcode.LW, rt=8, rs=29, imm=4).render() == \
+            "lw $t0, 4($sp)"
+
+    def test_branch_symbolic(self):
+        assert Instruction(Opcode.BNE, rs=8, rt=0, target="loop").render() == \
+            "bne $t0, $zero, loop"
+
+    def test_ext(self):
+        text = Instruction(Opcode.EXT, rd=8, rs=9, rt=10, conf=5).render()
+        assert text == "ext $t0, $t1, $t2, 5"
+
+
+class TestWithRegs:
+    def test_renames_operands(self):
+        ins = Instruction(Opcode.ADDU, rd=1, rs=2, rt=3)
+        out = ins.with_regs({1: 10, 2: 20, 3: 30})
+        assert out.defs() == (10,)
+        assert out.uses() == (20, 30)
+
+    def test_partial_mapping(self):
+        ins = Instruction(Opcode.ADDU, rd=1, rs=2, rt=3)
+        out = ins.with_regs({2: 9})
+        assert out.uses() == (9, 3)
+        assert out.defs() == (1,)

@@ -1,0 +1,107 @@
+"""Tests for the backward liveness analysis."""
+
+from repro.asm import assemble
+from repro.program import build_cfg, compute_liveness
+from repro.isa.registers import reg_num
+
+
+def analyse(src: str):
+    cfg = build_cfg(assemble(src))
+    return cfg, compute_liveness(cfg)
+
+
+class TestLiveness:
+    def test_used_later_is_live_in(self):
+        src = """
+        .text
+        main:
+            bgtz $a0, other
+            addu $v0, $s0, $zero
+            halt
+        other:
+            addu $v0, $s1, $zero
+            halt
+        """
+        cfg, lv = analyse(src)
+        # $s0 and $s1 are both live into the entry block
+        assert reg_num("$s0") in lv.live_in[0]
+        assert reg_num("$s1") in lv.live_in[0]
+        assert reg_num("$a0") in lv.live_in[0]
+
+    def test_defined_before_use_not_live_in(self):
+        src = """
+        .text
+        main:
+            li $t0, 1
+            addu $v0, $t0, $zero
+            halt
+        """
+        cfg, lv = analyse(src)
+        assert reg_num("$t0") not in lv.live_in[0]
+
+    def test_loop_carried_register_live_around(self):
+        src = """
+        .text
+        main: li $t0, 5
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+        cfg, lv = analyse(src)
+        loop_block = cfg.block_of[cfg.program.labels["loop"]]
+        assert reg_num("$t0") in lv.live_in[loop_block]
+        assert reg_num("$t0") in lv.live_out[loop_block]
+
+    def test_halt_liveout_is_result_registers(self):
+        cfg, lv = analyse(".text\nmain: halt")
+        assert lv.live_out[0] == frozenset({reg_num("$v0"), reg_num("$v1")})
+
+    def test_return_liveout_includes_callee_saved(self):
+        src = ".text\nmain: jal f\n halt\nf: jr $ra"
+        cfg, lv = analyse(src)
+        ret_block = cfg.block_of[cfg.program.labels["f"]]
+        out = lv.live_out[ret_block]
+        assert reg_num("$s0") in out and reg_num("$sp") in out
+        assert reg_num("$t0") not in out  # caller-saved temps die
+
+    def test_zero_never_live(self):
+        src = ".text\nmain: addu $t0, $zero, $zero\n halt"
+        cfg, lv = analyse(src)
+        assert 0 not in lv.live_in[0]
+
+
+class TestLiveAfter:
+    # A non-terminal first block (terminal blocks are conservatively
+    # all-live, see module docstring): the tail block reads only $v0.
+    SRC = """
+    .text
+    main:
+        li $t0, 1
+        li $t1, 2
+        addu $t2, $t0, $t1
+        addu $v0, $t2, $t2
+        b out
+    out:
+        sw $v0, 0($sp)
+        halt
+    """
+
+    def test_dead_after_last_use(self):
+        cfg, lv = analyse(self.SRC)
+        # after the addu into $t2, $t0/$t1 are dead ($t2 still needed)
+        live = lv.live_after(0, 2)
+        assert reg_num("$t2") in live
+        assert reg_num("$t0") not in live
+        assert reg_num("$t1") not in live
+
+    def test_before_use_still_live(self):
+        cfg, lv = analyse(self.SRC)
+        live = lv.live_after(0, 1)
+        assert reg_num("$t0") in live and reg_num("$t1") in live
+
+    def test_index_outside_block_rejected(self):
+        import pytest
+
+        cfg, lv = analyse(self.SRC)
+        with pytest.raises(ValueError):
+            lv.live_after(0, 99)

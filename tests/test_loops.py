@@ -1,0 +1,107 @@
+"""Tests for natural-loop detection."""
+
+from repro.asm import assemble
+from repro.program import build_cfg, find_natural_loops
+from repro.program.loops import innermost_loop_of_block
+
+
+def loops_of(src: str):
+    cfg = build_cfg(assemble(src))
+    return cfg, find_natural_loops(cfg)
+
+
+class TestSimpleLoops:
+    def test_no_loops(self):
+        _, loops = loops_of(".text\nmain: nop\n halt")
+        assert loops == []
+
+    def test_single_loop(self):
+        src = """
+        .text
+        main: li $t0, 3
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+        cfg, loops = loops_of(src)
+        assert len(loops) == 1
+        loop = loops[0]
+        header_block = cfg.block_of[cfg.program.labels["loop"]]
+        assert loop.header == header_block
+        assert loop.depth == 1
+
+    def test_loop_instr_indices(self):
+        src = """
+        .text
+        main: li $t0, 3
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+        cfg, loops = loops_of(src)
+        indices = loops[0].instr_indices(cfg)
+        assert cfg.program.labels["loop"] in indices
+        assert 0 not in indices   # preheader excluded
+
+
+class TestNestedLoops:
+    SRC = """
+    .text
+    main:  li $t0, 4
+    outer: li $t1, 5
+    inner: addiu $t1, $t1, -1
+           bgtz $t1, inner
+           addiu $t0, $t0, -1
+           bgtz $t0, outer
+           halt
+    """
+
+    def test_two_loops(self):
+        _, loops = loops_of(self.SRC)
+        assert len(loops) == 2
+
+    def test_depths(self):
+        cfg, loops = loops_of(self.SRC)
+        by_header = {lp.header: lp for lp in loops}
+        inner_h = cfg.block_of[cfg.program.labels["inner"]]
+        outer_h = cfg.block_of[cfg.program.labels["outer"]]
+        assert by_header[inner_h].depth == 2
+        assert by_header[outer_h].depth == 1
+
+    def test_inner_body_subset_of_outer(self):
+        cfg, loops = loops_of(self.SRC)
+        by_depth = sorted(loops, key=lambda lp: lp.depth)
+        assert by_depth[0].body > by_depth[1].body  # outer contains inner
+
+    def test_innermost_lookup(self):
+        cfg, loops = loops_of(self.SRC)
+        inner_h = cfg.block_of[cfg.program.labels["inner"]]
+        found = innermost_loop_of_block(loops, inner_h)
+        assert found is not None and found.depth == 2
+
+    def test_sorted_by_depth(self):
+        _, loops = loops_of(self.SRC)
+        assert [lp.depth for lp in loops] == sorted(lp.depth for lp in loops)
+
+
+class TestMultipleBackEdges:
+    def test_continue_style_merged(self):
+        src = """
+        .text
+        main: li $t0, 9
+        loop: addiu $t0, $t0, -1
+              blt $t0, $t1, loop
+              bgtz $t0, loop
+              halt
+        """
+        _, loops = loops_of(src)
+        assert len(loops) == 1   # same header -> one merged loop
+
+    def test_workload_loops_found(self):
+        from repro.workloads import build_workload
+
+        cfg = build_cfg(build_workload("gsm_encode").program)
+        loops = find_natural_loops(cfg)
+        # frame loop + stage loops (preemphasis, 4 SAD loops, quantise)
+        assert len(loops) >= 6
+        assert max(lp.depth for lp in loops) >= 2

@@ -1,0 +1,66 @@
+"""Tests for the LRU recency tracker."""
+
+import pytest
+
+from repro.utils.lru import LRUTracker
+
+
+class TestLRUTracker:
+    def test_empty_victim_raises(self):
+        with pytest.raises(KeyError):
+            LRUTracker().victim()
+
+    def test_single_key(self):
+        lru = LRUTracker()
+        lru.touch("a")
+        assert lru.victim() == "a"
+        assert "a" in lru
+        assert len(lru) == 1
+
+    def test_victim_is_least_recent(self):
+        lru = LRUTracker()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        assert lru.victim() == "a"
+
+    def test_touch_refreshes(self):
+        lru = LRUTracker()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.touch("a")
+        assert lru.victim() == "b"
+
+    def test_evict_removes(self):
+        lru = LRUTracker()
+        lru.touch("a")
+        lru.touch("b")
+        lru.evict("a")
+        assert "a" not in lru
+        assert lru.victim() == "b"
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(KeyError):
+            LRUTracker().evict("missing")
+
+    def test_keys_in_recency_order(self):
+        lru = LRUTracker()
+        for key in ("x", "y", "z"):
+            lru.touch(key)
+        lru.touch("x")
+        assert lru.keys() == ["y", "z", "x"]
+
+    def test_reference_model(self):
+        """Cross-check against an ordered-list reference model."""
+        import random
+
+        rng = random.Random(42)
+        lru = LRUTracker()
+        model: list[int] = []
+        for _ in range(500):
+            key = rng.randrange(12)
+            lru.touch(key)
+            if key in model:
+                model.remove(key)
+            model.append(key)
+            assert lru.victim() == model[0]
+            assert lru.keys() == model

@@ -1,0 +1,134 @@
+"""Unit + property tests for the sparse memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFault
+from repro.sim.memory import PAGE_SIZE, Memory
+
+
+class TestTypedAccess:
+    def test_byte_roundtrip(self):
+        m = Memory()
+        m.write_byte(0x1000, 0xAB)
+        assert m.read_byte(0x1000) == 0xAB
+
+    def test_half_little_endian(self):
+        m = Memory()
+        m.write_half(0x1000, 0x1234)
+        assert m.read_byte(0x1000) == 0x34
+        assert m.read_byte(0x1001) == 0x12
+
+    def test_word_little_endian(self):
+        m = Memory()
+        m.write_word(0x1000, 0x12345678)
+        assert m.read_block(0x1000, 4) == b"\x78\x56\x34\x12"
+
+    def test_word_truncates_to_32_bits(self):
+        m = Memory()
+        m.write_word(0, 0x1_FFFF_FFFF)
+        assert m.read_word(0) == 0xFFFF_FFFF
+
+    def test_unwritten_reads_zero(self):
+        m = Memory()
+        assert m.read_word(0xDEAD000) == 0
+
+    def test_cross_page_block(self):
+        m = Memory()
+        base = PAGE_SIZE - 2
+        for i in range(4):
+            m.write_byte(base + i, i + 1)
+        assert m.read_block(base, 4) == b"\x01\x02\x03\x04"
+
+
+class TestAlignment:
+    def test_misaligned_word(self):
+        m = Memory()
+        with pytest.raises(MemoryFault):
+            m.read_word(0x1002)
+        with pytest.raises(MemoryFault):
+            m.write_word(0x1001, 0)
+
+    def test_misaligned_half(self):
+        m = Memory()
+        with pytest.raises(MemoryFault):
+            m.read_half(0x1001)
+
+    def test_fault_carries_address(self):
+        m = Memory()
+        try:
+            m.read_word(0x1002)
+        except MemoryFault as fault:
+            assert fault.address == 0x1002
+
+
+class TestStrictMode:
+    def test_strict_rejects_unmapped_read(self):
+        m = Memory(strict=True)
+        with pytest.raises(MemoryFault):
+            m.read_word(0x5000)
+
+    def test_strict_allows_written_pages(self):
+        m = Memory(strict=True)
+        m.write_word(0x5000, 7)
+        assert m.read_word(0x5004) == 0  # same page
+
+
+class TestImageLoading:
+    def test_load_image(self):
+        m = Memory()
+        m.load_image(0x1000_0000, b"\x01\x02\x03\x04")
+        assert m.read_word(0x1000_0000) == 0x04030201
+
+    def test_words_helper(self):
+        m = Memory()
+        m.load_image(0, (5).to_bytes(4, "little") + (9).to_bytes(4, "little"))
+        assert m.words(0, 2) == [5, 9]
+
+    def test_mapped_pages_sparse(self):
+        m = Memory()
+        m.write_byte(0, 1)
+        m.write_byte(0x8000_0000, 1)
+        assert m.mapped_pages() == 2
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFF),
+                st.integers(min_value=0, max_value=0xFF),
+            ),
+            max_size=60,
+        )
+    )
+    def test_byte_writes_match_dict(self, writes):
+        m = Memory()
+        model: dict[int, int] = {}
+        for addr, value in writes:
+            m.write_byte(addr, value)
+            model[addr] = value
+        for addr, value in model.items():
+            assert m.read_byte(addr) == value
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0x3FFF),
+                st.integers(min_value=0, max_value=0xFFFF_FFFF),
+            ),
+            max_size=40,
+        )
+    )
+    def test_word_writes_match_dict(self, writes):
+        m = Memory()
+        model: dict[int, int] = {}
+        for addr, value in writes:
+            addr &= ~3
+            m.write_word(addr, value)
+            model[addr] = value
+        for addr, value in model.items():
+            assert m.read_word(addr) == value

@@ -1,0 +1,186 @@
+"""Self-calibration microbenchmarks: measure the simulated machine's
+parameters from the outside (as one would probe real hardware) and check
+they equal the configuration. This is the evidence that the timing model
+means what its knobs say.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator
+
+
+def cycles_of(src: str, machine: MachineConfig | None = None) -> int:
+    program = assemble(src)
+    trace = FunctionalSimulator(program).run(collect_trace=True).trace
+    return OoOSimulator(program, machine).simulate(trace).cycles
+
+
+def loop(body: list[str], n: int) -> str:
+    lines = "\n".join(f"    {x}" for x in body)
+    return (f".text\nmain: li $s0, {n}\nloop:\n{lines}\n"
+            "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+
+
+def per_iter_delta(body_a, body_b, n=2000, machine=None) -> float:
+    """Marginal cycles per iteration of body_b's extra work vs body_a."""
+    a = cycles_of(loop(body_a, n), machine)
+    b = cycles_of(loop(body_b, n), machine)
+    return (b - a) / n
+
+
+class TestLatencyProbes:
+    def test_alu_latency_is_one(self):
+        base = ["addu $t0, $t0, $t1"] * 4
+        extra = ["addu $t0, $t0, $t1"] * 8
+        delta = per_iter_delta(base, extra)
+        assert 3.7 <= delta <= 4.3       # 4 extra dependent 1-cycle adds
+
+    def test_mul_latency_is_three(self):
+        base = ["mul $t0, $t0, $t1"] * 2
+        extra = ["mul $t0, $t0, $t1"] * 4
+        delta = per_iter_delta(base, extra)
+        assert 5.4 <= delta <= 6.6       # 2 extra dependent 3-cycle muls
+
+    def test_load_use_latency_hit(self):
+        # a true pointer chase: a self-pointing word, each load's address
+        # depends on the previous load -> per-chase cost = L1 hit latency
+        def chase(depth: int) -> str:
+            chases = "\n".join("    lw $t9, 0($t9)" for _ in range(depth))
+            return (
+                ".data\ncell: .word 0\n.text\nmain:\n"
+                "    la $t9, cell\n    sw $t9, 0($t9)\n"
+                "    li $s0, 2000\nloop:\n" + chases +
+                "\n    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+            )
+
+        a = cycles_of(chase(2))
+        b = cycles_of(chase(6))
+        delta = (b - a) / 2000 / 4     # marginal cost per extra chase
+        assert 0.8 <= delta <= 1.4     # configured L1 hit latency: 1
+
+    def test_div_latency_dominates(self):
+        delta = per_iter_delta([], ["div $t0, $t2, $t1"], n=400)
+        assert delta >= 18               # configured 20-cycle divider
+
+
+class TestBandwidthProbes:
+    def test_issue_width_observable(self):
+        body = [f"addiu $t{i}, $zero, 1" for i in range(8)] * 2
+        for width, lo, hi in ((1, 16, 30), (2, 8, 14), (4, 4, 8)):
+            machine = MachineConfig(
+                fetch_width=width, decode_width=width,
+                issue_width=width, commit_width=width,
+            )
+            program = assemble(loop(body, 2000))
+            trace = FunctionalSimulator(program).run(collect_trace=True).trace
+            stats = OoOSimulator(program, machine).simulate(trace)
+            per_iter = stats.cycles / 2000
+            assert lo <= per_iter <= hi, (width, per_iter)
+
+    def test_alu_count_observable(self):
+        body = [f"addiu $t{i}, $zero, 1" for i in range(8)]
+        wide = MachineConfig(fetch_width=8, decode_width=8,
+                             issue_width=8, commit_width=8, n_ialu=8)
+        narrow = MachineConfig(fetch_width=8, decode_width=8,
+                               issue_width=8, commit_width=8, n_ialu=2)
+        fast = cycles_of(loop(body, 2000), wide)
+        slow = cycles_of(loop(body, 2000), narrow)
+        assert slow > 1.5 * fast
+
+    def test_mem_port_count_observable(self):
+        body = [f"lw $t{i}, {4 * i}($sp)" for i in range(4)]
+        two = cycles_of(loop(body, 2000), MachineConfig(n_memports=2))
+        one = cycles_of(loop(body, 2000), MachineConfig(n_memports=1))
+        assert one > 1.3 * two
+
+
+class TestMemoryHierarchyProbes:
+    @staticmethod
+    def _ring_chase(stride: int, count: int, chases: int) -> str:
+        """Build a ring of pointers ``stride`` bytes apart, then chase it
+        (dependent loads: no memory-level parallelism hides misses)."""
+        return (
+            f".text\nmain:\n"
+            "    lui $t9, 0x1000\n"
+            "    move $t0, $t9\n"
+            f"    li $t8, {count - 1}\n"
+            "build:\n"
+            f"    addiu $t1, $t0, {stride}\n"
+            "    sw $t1, 0($t0)\n"
+            "    move $t0, $t1\n"
+            "    addiu $t8, $t8, -1\n"
+            "    bgtz $t8, build\n"
+            "    sw $t9, 0($t0)\n"         # close the ring
+            f"    li $s0, {chases}\n"
+            "chase:\n"
+            "    lw $t9, 0($t9)\n"
+            "    addiu $s0, $s0, -1\n"
+            "    bgtz $s0, chase\n"
+            "    halt\n"
+        )
+
+    def test_fit_vs_thrash_l1(self):
+        # 4 KiB ring fits L1 (hits after warm-up); a 64 KiB ring of
+        # distinct lines misses L1 on every chase (L2 hits: +6 cycles)
+        fit = cycles_of(self._ring_chase(32, 128, 4000))
+        thrash = cycles_of(self._ring_chase(64, 1024, 4000))
+        assert thrash > 2.5 * fit
+
+    def test_compulsory_misses_then_hits(self):
+        # an 8 KiB ring: first lap misses every line, later laps hit
+        program = assemble(self._ring_chase(64, 128, 128 * 6))
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        stats = OoOSimulator(program, MachineConfig()).simulate(trace)
+        dl1 = stats.cache["dl1"]
+        # ~128 compulsory misses (+ the build pass), then steady hits
+        assert dl1["misses"] <= 150
+        assert dl1["hits"] > 600
+
+    def test_l2_latency_magnitude(self):
+        # 64 KiB ring: every chase costs ~L1 + L2 latency
+        chases = 4000
+        thrash = cycles_of(self._ring_chase(64, 1024, chases))
+        fit = cycles_of(self._ring_chase(32, 128, chases))
+        extra_per_chase = (thrash - fit) / chases
+        assert 4.0 <= extra_per_chase <= 9.0   # configured L2 hit: +6
+
+    def test_dtlb_misses_counted(self):
+        program = assemble(self._ring_chase(4096, 200, 400))
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        stats = OoOSimulator(program, MachineConfig()).simulate(trace)
+        assert stats.cache["dtlb"]["misses"] >= 128
+
+
+class TestPFUProbes:
+    def test_reconfig_latency_observable(self):
+        """Measure the configured reconfiguration latency from timing."""
+        from repro.extinst.extdef import sequential_chain
+        from repro.isa.opcodes import Opcode as O
+
+        defs = {
+            c: sequential_chain([
+                (O.SLL, ("in", 0), ("imm", c + 1)),
+                (O.ADDU, ("node", 0), ("in", 0)),
+            ])
+            for c in range(3)
+        }
+        body = "\n".join(f"    ext $t{1 + c}, $t0, $zero, {c}"
+                         for c in range(3))
+        src = (".text\nmain: li $s0, 500\n li $t0, 3\nloop:\n" + body +
+               "\n    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+        program = assemble(src)
+        trace = FunctionalSimulator(program, ext_defs=defs).run(
+            collect_trace=True
+        ).trace
+
+        def run(lat):
+            machine = MachineConfig(n_pfus=2, reconfig_latency=lat)
+            return OoOSimulator(program, machine, ext_defs=defs).simulate(trace)
+
+        a, b = run(10), run(30)
+        # 3 thrashing reconfigs per iteration; two PFUs reload in
+        # parallel, so ~2 serialised loads of +20 cycles each show up
+        per_iter = (b.cycles - a.cycles) / 500
+        assert 30 <= per_iter <= 65

@@ -1,0 +1,63 @@
+"""Tests for opcode metadata."""
+
+from repro.isa.opcodes import (
+    CANDIDATE_OPCODES,
+    Fmt,
+    OpClass,
+    Opcode,
+    opcode_by_name,
+    opcode_info,
+)
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            info = opcode_info(op)
+            assert info.latency >= 1
+
+    def test_lookup_by_name(self):
+        assert opcode_by_name("addu") is Opcode.ADDU
+        assert opcode_by_name("ADDU") is Opcode.ADDU
+        assert opcode_by_name("not_an_op") is None
+
+    def test_latencies_follow_simplescalar(self):
+        assert opcode_info(Opcode.ADDU).latency == 1
+        assert opcode_info(Opcode.MUL).latency == 3
+        assert opcode_info(Opcode.DIV).latency == 20
+
+    def test_classes(self):
+        assert opcode_info(Opcode.LW).op_class is OpClass.LOAD
+        assert opcode_info(Opcode.SW).op_class is OpClass.STORE
+        assert opcode_info(Opcode.BEQ).op_class is OpClass.BRANCH
+        assert opcode_info(Opcode.JAL).op_class is OpClass.JUMP
+        assert opcode_info(Opcode.EXT).op_class is OpClass.EXT
+
+    def test_imm_signedness(self):
+        assert opcode_info(Opcode.ADDIU).signed_imm
+        assert not opcode_info(Opcode.ANDI).signed_imm
+        assert not opcode_info(Opcode.ORI).signed_imm
+
+
+class TestCandidateSet:
+    """§4: candidates are arithmetic/logic ops — never memory, control,
+    multiply, or divide."""
+
+    def test_alu_ops_are_candidates(self):
+        for op in (Opcode.ADDU, Opcode.SUBU, Opcode.AND, Opcode.XOR,
+                   Opcode.SLL, Opcode.SRA, Opcode.SLT, Opcode.ADDIU):
+            assert op in CANDIDATE_OPCODES
+
+    def test_non_alu_excluded(self):
+        for op in (Opcode.LW, Opcode.SW, Opcode.BEQ, Opcode.J, Opcode.JAL,
+                   Opcode.MUL, Opcode.DIV, Opcode.HALT, Opcode.EXT,
+                   Opcode.LUI):
+            assert op not in CANDIDATE_OPCODES
+
+    def test_candidates_all_single_cycle(self):
+        for op in CANDIDATE_OPCODES:
+            assert opcode_info(op).latency == 1
+
+    def test_candidate_formats(self):
+        for op in CANDIDATE_OPCODES:
+            assert opcode_info(op).fmt in (Fmt.R3, Fmt.R2_IMM, Fmt.SHIFT_IMM)

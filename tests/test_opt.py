@@ -1,0 +1,304 @@
+"""Tests for the optimisation passes, including differential property
+tests (optimised programs must be observably equivalent)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.cc import compile_source
+from repro.cc.compiler import compile_and_run
+from repro.extinst.validate import validate_equivalence
+from repro.isa.opcodes import Opcode
+from repro.opt import (
+    copy_propagation,
+    dead_code_elimination,
+    optimize_program,
+    store_to_load_forwarding,
+)
+from repro.sim.functional import FunctionalSimulator
+
+
+class TestDeadCodeElimination:
+    def test_removes_dead_alu(self):
+        src = """
+        .text
+        main:
+            li $t0, 5          # dead
+            li $v0, 7
+            halt
+        """
+        program, removed = dead_code_elimination(assemble(src))
+        assert removed == 1
+        assert all(i.imm != 5 for i in program.text if i.imm is not None)
+
+    def test_keeps_live_values(self):
+        src = ".text\nmain: li $t0, 5\n addu $v0, $t0, $t0\n halt"
+        program, removed = dead_code_elimination(assemble(src))
+        assert removed == 0
+
+    def test_cascading_removal(self):
+        # t1 depends on t0; both dead
+        src = """
+        .text
+        main:
+            li $t0, 5
+            addu $t1, $t0, $t0
+            li $v0, 1
+            halt
+        """
+        program, removed = dead_code_elimination(assemble(src))
+        assert removed == 2
+
+    def test_keeps_stores_and_loads(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 0($sp)
+            lw $t1, 0($sp)
+            halt
+        """
+        program, removed = dead_code_elimination(assemble(src))
+        # the load's result is dead... but loads are not pure-class here
+        assert all(i.op in (Opcode.ADDIU, Opcode.SW, Opcode.LW, Opcode.HALT)
+                   for i in program.text)
+        assert any(i.op is Opcode.LW for i in program.text)
+
+    def test_removes_nops(self):
+        src = ".text\nmain: nop\n nop\n halt"
+        program, removed = dead_code_elimination(assemble(src))
+        assert removed == 2 and len(program.text) == 1
+
+    def test_labels_remapped(self):
+        src = """
+        .text
+        main:
+            li $t0, 1
+        target:
+            li $v0, 2
+            b target2
+        target2:
+            halt
+        """
+        program, removed = dead_code_elimination(assemble(src))
+        program.validate()
+        assert removed == 1   # dead li $t0
+
+    def test_loop_carried_value_kept(self):
+        src = """
+        .text
+        main: li $t0, 5
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+        _, removed = dead_code_elimination(assemble(src))
+        assert removed == 0
+
+
+class TestCopyPropagation:
+    def test_propagates_through_move(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            move $t1, $t0
+            addu $v0, $t1, $t1
+            halt
+        """
+        program, changed = copy_propagation(assemble(src))
+        assert changed == 1
+        addu = program.text[2]
+        assert addu.rs == 8 and addu.rt == 8   # $t0
+
+    def test_invalidated_by_redefinition(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            move $t1, $t0
+            li $t0, 9
+            addu $v0, $t1, $zero
+            halt
+        """
+        program, changed = copy_propagation(assemble(src))
+        # $t0 was redefined: the use of $t1 must NOT be rewritten to $t0
+        addu = program.text[3]
+        assert addu.rs == 9   # still $t1
+
+    def test_chained_copies_root(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            move $t1, $t0
+            move $t2, $t1
+            addu $v0, $t2, $zero
+            halt
+        """
+        program, changed = copy_propagation(assemble(src))
+        assert program.text[3].rs == 8   # rooted at $t0
+
+    def test_store_operand_propagated(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            move $t1, $t0
+            sw $t1, 0($sp)
+            halt
+        """
+        program, changed = copy_propagation(assemble(src))
+        sw = next(i for i in program.text if i.op is Opcode.SW)
+        assert sw.rt == 8
+
+    def test_no_propagation_across_blocks(self):
+        src = """
+        .text
+        main:
+            move $t1, $t0
+            b next
+        next:
+            addu $v0, $t1, $zero
+            halt
+        """
+        program, changed = copy_propagation(assemble(src))
+        assert program.text[2].rs == 9   # untouched across the block edge
+
+
+class TestStoreToLoadForwarding:
+    def test_forwards_same_slot(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 8($sp)
+            lw $t1, 8($sp)
+            addu $v0, $t1, $t1
+            halt
+        """
+        program, changed = store_to_load_forwarding(assemble(src))
+        assert changed == 1
+        assert program.text[2].op is Opcode.ADDU   # became a move
+
+    def test_different_offset_not_forwarded(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 8($sp)
+            lw $t1, 12($sp)
+            halt
+        """
+        _, changed = store_to_load_forwarding(assemble(src))
+        assert changed == 0
+
+    def test_intervening_store_blocks(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 8($sp)
+            sw $t2, 0($t3)
+            lw $t1, 8($sp)
+            halt
+        """
+        _, changed = store_to_load_forwarding(assemble(src))
+        assert changed == 0
+
+    def test_base_redefinition_blocks(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 8($sp)
+            addiu $sp, $sp, -16
+            lw $t1, 8($sp)
+            halt
+        """
+        _, changed = store_to_load_forwarding(assemble(src))
+        assert changed == 0
+
+    def test_source_redefinition_blocks(self):
+        src = """
+        .text
+        main:
+            li $t0, 5
+            sw $t0, 8($sp)
+            li $t0, 9
+            lw $t1, 8($sp)
+            halt
+        """
+        _, changed = store_to_load_forwarding(assemble(src))
+        assert changed == 0
+
+
+class TestPipeline:
+    def test_compiled_code_shrinks(self):
+        src = """
+        int a[8];
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 8; i++) { a[i] = i * i; }
+            for (int i = 0; i < 8; i++) { s += a[i]; }
+            return s;
+        }
+        """
+        plain = compile_source(src)
+        optimized = compile_source(src, optimize=True)
+        assert len(optimized.text) < len(plain.text)
+        # equivalence of observable behaviour
+        validate_equivalence(plain, optimized, {})
+
+    def test_optimized_results_match(self):
+        src = """
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() { return fib(10); }
+        """
+        plain = compile_source(src)
+        optimized = compile_source(src, optimize=True)
+        a = FunctionalSimulator(plain).run()
+        b = FunctionalSimulator(optimized).run()
+        assert a.reg(2) == b.reg(2) == 55
+        assert b.steps <= a.steps
+
+    def test_fixpoint_terminates(self):
+        program = compile_source("int main() { return 1 + 2; }")
+        optimized, stats = optimize_program(program)
+        again, stats2 = optimize_program(optimized)
+        assert sum(stats2.values()) == 0
+
+
+# ----------------------------------------------------------------------
+# differential property tests
+
+_ops = st.sampled_from(["+", "-", "&", "|", "^"])
+
+
+@st.composite
+def minic_program(draw):
+    stmts = []
+    names = ["a", "b", "c", "d"]
+    decls = " ".join(f"int {n} = {draw(st.integers(0, 99))};" for n in names)
+    for _ in range(draw(st.integers(2, 8))):
+        dst = draw(st.sampled_from(names))
+        x = draw(st.sampled_from(names))
+        y = draw(st.sampled_from(names))
+        stmts.append(f"{dst} = ({x} {draw(_ops)} {y}) & 255;")
+    body = " ".join(stmts)
+    return (
+        "int out;\nint main() { " + decls +
+        f" for (int i = 0; i < 9; i++) {{ {body} }}"
+        " out = a + b + c + d; return out; }"
+    )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(minic_program())
+def test_optimizer_preserves_semantics(source):
+    plain = compile_source(source)
+    optimized, _ = optimize_program(plain)
+    validate_equivalence(plain, optimized, {})
+    assert len(optimized.text) <= len(plain.text)

@@ -1,0 +1,137 @@
+"""Tests for the PFU bank and PFU timing behaviour in the pipeline."""
+
+from repro.asm import assemble
+from repro.extinst.extdef import sequential_chain
+from repro.isa.opcodes import Opcode as O
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator, PFUBank
+
+
+class TestPFUBankFinite:
+    def test_cold_miss_then_hit(self):
+        bank = PFUBank(n_pfus=2, reconfig_latency=10)
+        ready, slot = bank.acquire(7, cycle=100)
+        assert ready == 110 and slot is not None
+        assert bank.misses == 1
+        ready2, slot2 = bank.acquire(7, cycle=120)
+        assert ready2 == 110 and slot2 == slot
+        assert bank.hits == 1
+
+    def test_fills_empty_slots_first(self):
+        bank = PFUBank(2, 10)
+        _, s0 = bank.acquire(1, 0)
+        _, s1 = bank.acquire(2, 0)
+        assert s0 != s1
+        assert bank.resident_configs() == {1, 2}
+
+    def test_lru_eviction(self):
+        bank = PFUBank(2, 10)
+        bank.acquire(1, 0)
+        bank.acquire(2, 1)
+        bank.acquire(1, 2)          # touch 1 -> 2 becomes LRU
+        bank.acquire(3, 3)          # evicts 2
+        assert bank.resident_configs() == {1, 3}
+        bank.acquire(2, 4)
+        assert bank.misses == 4     # 1,2,3 cold + 2 again
+
+    def test_thrashing_pattern(self):
+        bank = PFUBank(2, 10)
+        for i in range(30):
+            bank.acquire(i % 3, cycle=i * 20)
+        assert bank.misses == 30    # 3 configs round-robin in 2 slots
+        assert bank.hits == 0
+
+    def test_reconfig_waits_for_inflight_ops(self):
+        bank = PFUBank(1, 10)
+        _, slot = bank.acquire(1, 0)
+        bank.note_issue(slot, 50)          # an op of conf 1 issues at 50
+        ready, _ = bank.acquire(2, 20)     # reprogram requested earlier
+        assert ready == 61                 # waits until 51, then +10
+
+    def test_reconfig_cycles_accounted(self):
+        bank = PFUBank(1, 25)
+        bank.acquire(1, 0)
+        bank.acquire(2, 0)
+        assert bank.reconfig_cycles == 50
+
+    def test_zero_latency(self):
+        bank = PFUBank(2, 0)
+        ready, _ = bank.acquire(1, 5)
+        assert ready == 5
+
+
+class TestPFUBankUnlimited:
+    def test_every_config_gets_a_slot(self):
+        bank = PFUBank(None, 10)
+        for conf in range(100):
+            bank.acquire(conf, 0)
+        assert bank.misses == 100
+        for conf in range(100):
+            bank.acquire(conf, 1000)
+        assert bank.hits == 100
+
+    def test_no_structural_slot(self):
+        bank = PFUBank(None, 10)
+        _, slot = bank.acquire(1, 0)
+        assert slot is None
+
+
+def _ext_program(n_configs: int, iters: int = 400):
+    """A loop alternating between ``n_configs`` extended instructions."""
+    defs = {}
+    for c in range(n_configs):
+        defs[c] = sequential_chain([
+            (O.SLL, ("in", 0), ("imm", c + 1)),
+            (O.ADDU, ("node", 0), ("in", 0)),
+        ])
+    body = "\n".join(f"    ext $t{1 + c}, $t0, $zero, {c}" for c in range(n_configs))
+    src = (f".text\nmain: li $s0, {iters}\n li $t0, 3\nloop:\n{body}\n"
+           "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n")
+    return assemble(src), defs
+
+
+class TestPipelinePFUTiming:
+    def _run(self, program, defs, config):
+        trace = FunctionalSimulator(program, ext_defs=defs).run(
+            collect_trace=True
+        ).trace
+        return OoOSimulator(program, config, ext_defs=defs).simulate(trace)
+
+    def test_steady_state_no_misses_when_configs_fit(self):
+        program, defs = _ext_program(2)
+        stats = self._run(program, defs, MachineConfig(n_pfus=2))
+        assert stats.pfu_misses == 2           # cold only
+        assert stats.pfu_hits == 2 * 400 - 2
+
+    def test_thrashing_when_configs_exceed_pfus(self):
+        program, defs = _ext_program(3)
+        stats = self._run(program, defs, MachineConfig(n_pfus=2))
+        assert stats.pfu_misses == 3 * 400     # every dispatch misses
+
+    def test_reconfig_latency_costs_cycles(self):
+        program, defs = _ext_program(3)
+        cheap = self._run(program, defs,
+                          MachineConfig(n_pfus=2, reconfig_latency=0))
+        dear = self._run(program, defs,
+                         MachineConfig(n_pfus=2, reconfig_latency=50))
+        # every iteration serialises on reconfigurations (two PFUs can
+        # reload in parallel, so the bound is per-iteration, not per-miss)
+        assert dear.cycles > cheap.cycles + 400 * 45
+
+    def test_unlimited_pfus_cold_cost_only(self):
+        program, defs = _ext_program(3)
+        stats = self._run(program, defs,
+                          MachineConfig(n_pfus=None, reconfig_latency=10))
+        assert stats.pfu_misses == 3
+        assert stats.ext_instructions == 3 * 400
+
+    def test_ext_counts_in_stats(self):
+        program, defs = _ext_program(1)
+        stats = self._run(program, defs, MachineConfig(n_pfus=1))
+        assert stats.class_counts["ext"] == 400
+        assert stats.pfu_hit_rate > 0.99
+
+    def test_same_config_shares_one_pfu(self):
+        program, defs = _ext_program(1)
+        stats = self._run(program, defs, MachineConfig(n_pfus=1))
+        assert stats.pfu_misses == 1

@@ -1,0 +1,94 @@
+"""Tests for the program profiler."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.profiling import profile_program
+
+SRC = """
+.text
+main:
+    li $s0, 40
+outer:
+    li $s1, 10
+inner:
+    addu $t0, $s1, $s1
+    addiu $s1, $s1, -1
+    bgtz $s1, inner
+    addiu $s0, $s0, -1
+    bgtz $s0, outer
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_program(assemble(SRC))
+
+
+class TestCounts:
+    def test_exec_counts(self, profile):
+        # inner body runs 400 times, outer body 40
+        labels = profile.program.labels
+        assert profile.exec_counts[labels["inner"]] == 400
+        assert profile.exec_counts[labels["outer"]] == 40
+        assert profile.exec_counts[0] == 1
+
+    def test_dynamic_instructions(self, profile):
+        assert profile.dynamic_instructions == sum(profile.exec_counts)
+
+    def test_base_cycles_estimate(self, profile):
+        # all ops single-cycle here
+        assert profile.base_cycles_estimate == profile.dynamic_instructions
+
+    def test_base_cycles_weights_latency(self):
+        prof = profile_program(
+            assemble(".text\nmain: mul $t0, $t1, $t2\n halt")
+        )
+        assert prof.base_cycles_estimate == 3 + 1
+
+    def test_block_count(self, profile):
+        labels = profile.program.labels
+        inner_bid = profile.cfg.block_of[labels["inner"]]
+        assert profile.block_count(inner_bid) == 400
+
+
+class TestLoopQueries:
+    def test_loops_found(self, profile):
+        assert len(profile.loops) == 2
+
+    def test_innermost_vs_outermost(self, profile):
+        labels = profile.program.labels
+        inner_idx = labels["inner"]
+        inner = profile.innermost_loop_of(inner_idx)
+        outer = profile.outermost_loop_of(inner_idx)
+        assert inner is not None and outer is not None
+        assert inner.depth == 2 and outer.depth == 1
+
+    def test_not_in_loop(self, profile):
+        assert profile.innermost_loop_of(0) is None
+        assert profile.outermost_loop_of(0) is None
+
+    def test_hottest_loops_ranked(self, profile):
+        ranked = profile.hottest_loops()
+        weights = [w for _, w in ranked]
+        assert weights == sorted(weights, reverse=True)
+        # the outer loop's weight includes the nested inner loop, so it
+        # ranks first; the inner loop carries most of that weight
+        assert ranked[0][0].depth == 1
+        assert ranked[1][0].depth == 2
+        assert ranked[1][1] > ranked[0][1] * 0.7
+
+
+class TestBitwidths:
+    def test_widths_recorded(self, profile):
+        labels = profile.program.labels
+        inner = labels["inner"]
+        # operands <= 10 -> width <= 4 bits... (value 10 = 4 bits)
+        assert 1 <= profile.max_operand_width[inner] <= 5
+
+    def test_unexecuted_instruction_width_zero(self):
+        prof = profile_program(
+            assemble(".text\nmain: b e\n addu $t0, $t1, $t2\ne: halt")
+        )
+        assert prof.max_operand_width[1] == 0

@@ -1,0 +1,112 @@
+"""Property-based end-to-end test: for *random* programs, extraction +
+selection + rewriting must preserve architectural semantics.
+
+Hypothesis generates random loops of narrow ALU operations (the candidate
+class), the pipeline folds whatever it finds, and we assert the rewritten
+program leaves identical observable state. This is the strongest invariant
+in the system: any bug in liveness, input-consistency checking, operand
+wiring, canonicalisation, or label remapping breaks it.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.extinst import (
+    apply_selection,
+    greedy_select,
+    selective_select,
+    validate_equivalence,
+)
+from repro.profiling import profile_program
+
+# registers the generator plays with ($t0-$t7)
+_REGS = [f"$t{i}" for i in range(8)]
+
+_op2 = st.sampled_from(
+    ["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]
+)
+_opi = st.sampled_from(["addiu", "andi", "ori", "xori", "slti"])
+_shop = st.sampled_from(["sll", "srl", "sra"])
+_reg = st.sampled_from(_REGS)
+
+
+@st.composite
+def random_body(draw):
+    """A random loop body of 4-14 candidate ops plus a store."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    lines = []
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        dst = draw(_reg)
+        a = draw(_reg)
+        if kind == 0:
+            lines.append(f"{draw(_op2)} {dst}, {a}, {draw(_reg)}")
+        elif kind == 1:
+            imm = draw(st.integers(min_value=0, max_value=255))
+            lines.append(f"{draw(_opi)} {dst}, {a}, {imm}")
+        else:
+            sh = draw(st.integers(min_value=0, max_value=7))
+            lines.append(f"{draw(_shop)} {dst}, {a}, {sh}")
+        # keep values narrow so ops stay candidates
+        lines.append(f"andi {dst}, {dst}, 1023")
+    stored = draw(_reg)
+    lines.append(f"sw {stored}, 0($sp)")
+    return lines
+
+
+def build_random_program(body: list[str], iters: int = 30) -> str:
+    init = "\n".join(
+        f"    li {reg}, {13 * (i + 1) % 257}" for i, reg in enumerate(_REGS)
+    )
+    lines = "\n".join(f"    {x}" for x in body)
+    return (
+        f".text\nmain:\n{init}\n    li $s0, {iters}\nloop:\n{lines}\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n"
+        "    move $v0, $t0\n    move $v1, $t3\n    halt\n"
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_body())
+def test_greedy_rewrite_preserves_semantics(body):
+    program = assemble(build_random_program(body))
+    profile = profile_program(program)
+    selection = greedy_select(profile)
+    rewritten, defs = apply_selection(program, selection)
+    validate_equivalence(program, rewritten, defs)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_body(), st.sampled_from([1, 2, 4]))
+def test_selective_rewrite_preserves_semantics(body, n_pfus):
+    program = assemble(build_random_program(body))
+    profile = profile_program(program)
+    selection = selective_select(profile, n_pfus)
+    rewritten, defs = apply_selection(program, selection)
+    validate_equivalence(program, rewritten, defs)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_body())
+def test_folding_never_lengthens_dynamic_count(body):
+    from repro.sim.functional import FunctionalSimulator
+
+    program = assemble(build_random_program(body))
+    profile = profile_program(program)
+    rewritten, defs = apply_selection(program, greedy_select(profile))
+    steps_orig = FunctionalSimulator(program).run().steps
+    steps_new = FunctionalSimulator(rewritten, ext_defs=defs).run().steps
+    assert steps_new <= steps_orig

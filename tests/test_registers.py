@@ -1,0 +1,56 @@
+"""Tests for register naming/parsing."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.registers import NUM_REGS, REG_NAMES, reg_name, reg_num
+
+
+class TestRegisterNames:
+    def test_thirty_two_registers(self):
+        assert NUM_REGS == 32
+        assert len(REG_NAMES) == 32
+
+    def test_conventional_names(self):
+        assert reg_name(0) == "zero"
+        assert reg_name(1) == "at"
+        assert reg_name(2) == "v0"
+        assert reg_name(29) == "sp"
+        assert reg_name(31) == "ra"
+
+    def test_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestRegisterParsing:
+    def test_symbolic(self):
+        assert reg_num("$t0") == 8
+        assert reg_num("$s0") == 16
+        assert reg_num("$ra") == 31
+
+    def test_numeric(self):
+        assert reg_num("$5") == 5
+        assert reg_num("$31") == 31
+
+    def test_r_prefix(self):
+        assert reg_num("$r10") == 10
+
+    def test_without_dollar(self):
+        assert reg_num("t0") == 8
+
+    def test_case_insensitive(self):
+        assert reg_num("$T0") == 8
+
+    def test_whitespace_tolerated(self):
+        assert reg_num("  $a0 ") == 4
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            reg_num("$bogus")
+
+    def test_roundtrip_all(self):
+        for num in range(NUM_REGS):
+            assert reg_num(f"${reg_name(num)}") == num

@@ -1,0 +1,62 @@
+"""Whole-program round-trip tests across the toolchain: every workload
+and compiled program survives encode/decode and render/re-assemble."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.disassembler import encode_program
+from repro.cc import compile_source
+from repro.isa.encoding import decode
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestWorkloadRoundTrips:
+    def test_encode_decode_opcodes(self, name):
+        program = build_workload(name).program
+        words = encode_program(program)
+        for word, instr in zip(words, program.text):
+            decoded, _ = decode(word)
+            assert decoded.op is instr.op
+
+    def test_encode_decode_registers(self, name):
+        program = build_workload(name).program
+        words = encode_program(program)
+        for word, instr in zip(words, program.text):
+            decoded, _ = decode(word)
+            assert decoded.defs() == instr.defs()
+
+    def test_render_reassemble(self, name):
+        program = build_workload(name).program
+        again = assemble(program.render(), name=name)
+        assert len(again.text) == len(program.text)
+        assert [i.op for i in again.text] == [i.op for i in program.text]
+        assert again.labels == program.labels
+
+
+class TestCompiledRoundTrips:
+    SRC = """
+    int data[6] = {9, 8, 7, 6, 5, 4};
+    int helper(int x) { return (x << 1) ^ x; }
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 6; i++) { s += helper(data[i]); }
+        return s;
+    }
+    """
+
+    def test_compiled_program_encodes(self):
+        program = compile_source(self.SRC)
+        words = encode_program(program)
+        assert len(words) == len(program.text)
+
+    def test_compiled_program_reassembles(self):
+        program = compile_source(self.SRC)
+        again = assemble(program.render())
+        assert [i.op for i in again.text] == [i.op for i in program.text]
+
+    def test_branch_targets_preserved(self):
+        program = compile_source(self.SRC)
+        again = assemble(program.render())
+        for a, b in zip(program.text, again.text):
+            assert a.target == b.target

@@ -1,0 +1,155 @@
+"""Tests for the selective algorithm (§5) and the greedy baseline (§4)."""
+
+from repro.asm import assemble
+from repro.extinst import greedy_select, selective_select
+from repro.extinst.selective import SelectiveParams
+from repro.profiling import profile_program
+
+from test_matrix import FIG3
+
+
+def fig3_profile():
+    return profile_program(assemble(FIG3))
+
+
+class TestGreedy:
+    def test_takes_every_maximal_sequence(self):
+        sel = greedy_select(fig3_profile())
+        assert len(sel.sites) == 3          # I, J, J
+        assert sel.n_configs == 2           # J's two occurrences share one
+
+    def test_meta_records_lengths(self):
+        sel = greedy_select(fig3_profile())
+        assert sorted(sel.meta["sequence_lengths"]) == [2, 2, 3]
+
+    def test_describe(self):
+        text = greedy_select(fig3_profile()).describe()
+        assert "greedy" in text and "configuration" in text
+
+
+class TestSelectiveWholesale:
+    def test_all_fit_when_pfus_sufficient(self):
+        sel = selective_select(fig3_profile(), n_pfus=4)
+        assert sel.n_configs == 2
+        assert not sel.meta["per_loop_phase"]
+
+    def test_unlimited_pfus(self):
+        sel = selective_select(fig3_profile(), n_pfus=None)
+        assert sel.n_configs == 2
+        assert len(sel.sites) == 3
+
+
+class TestSelectivePerLoop:
+    def test_one_pfu_prefers_common_subsequence(self):
+        """The paper's §5.1 example: with one PFU, the common sll/addu
+        subsequence (3 appearances x gain 1) beats the maximal
+        sll/addu/sll (1 appearance x gain 2)."""
+        sel = selective_select(fig3_profile(), n_pfus=1)
+        assert sel.n_configs == 1
+        (conf, extdef), = sel.ext_defs.items()
+        assert len(extdef.nodes) == 2        # the J pattern
+        # the J pattern is folded at all three sites, including inside I
+        assert len(sel.sites) == 3
+
+    def test_two_pfus_cover_both_patterns(self):
+        sel = selective_select(fig3_profile(), n_pfus=2)
+        assert sel.n_configs == 2
+        lengths = sorted(len(d.nodes) for d in sel.ext_defs.values())
+        assert lengths == [2, 3]
+
+    def test_per_loop_cap_enforced(self):
+        for n_pfus in (1, 2):
+            sel = selective_select(fig3_profile(), n_pfus=n_pfus)
+            # all sites are in one loop: distinct configs <= n_pfus
+            assert len(sel.configs_in_sites()) <= n_pfus
+
+    def test_sites_never_overlap(self):
+        sel = selective_select(fig3_profile(), n_pfus=2)
+        seen: set[int] = set()
+        for site in sel.sites:
+            assert seen.isdisjoint(site.nodes)
+            seen.update(site.nodes)
+
+
+class TestGainThreshold:
+    def test_cold_sequences_filtered(self):
+        # a candidate chain outside the hot loop, executed once
+        src = FIG3.replace(
+            "main:",
+            "main:\n    sll $t6, $t1, 3\n    addu $t6, $t6, $t1\n"
+            "    xor $t6, $t6, $t1\n    sw $t6, 12($sp)\n",
+        )
+        profile = profile_program(assemble(src))
+        sel = selective_select(profile, n_pfus=8)
+        # the cold chain contributes ~1/1000th of runtime: filtered out
+        for site in sel.sites:
+            assert profile.exec_counts[site.root] > 1
+
+    def test_threshold_parameter(self):
+        profile = fig3_profile()
+        loose = selective_select(
+            profile, 8, SelectiveParams(gain_threshold=0.0)
+        )
+        tight = selective_select(
+            profile, 8, SelectiveParams(gain_threshold=0.9)
+        )
+        assert len(tight.sites) == 0
+        assert len(loose.sites) >= len(tight.sites)
+
+    def test_meta_counts(self):
+        sel = selective_select(fig3_profile(), n_pfus=1)
+        meta = sel.meta
+        assert meta["n_maximal_sequences"] == 3
+        assert meta["n_pfus"] == 1
+        assert meta["per_loop_phase"] is True
+
+
+class TestMultiLoopBudget:
+    TWO_LOOPS = """
+    .text
+    main:
+        li $s0, 100
+        li $t1, 3
+    loop1:
+        sll $t2, $t1, 4
+        addu $t2, $t2, $t1
+        sll $t2, $t2, 2
+        sw $t2, 0($sp)
+        addiu $s0, $s0, -1
+        bgtz $s0, loop1
+        li $s0, 100
+    loop2:
+        srl $t3, $t1, 1
+        xor $t3, $t3, $t1
+        andi $t3, $t3, 255
+        sw $t3, 4($sp)
+        addiu $s0, $s0, -1
+        bgtz $s0, loop2
+        halt
+    """
+
+    def test_budget_is_per_loop(self):
+        profile = profile_program(assemble(self.TWO_LOOPS))
+        sel = selective_select(profile, n_pfus=1)
+        # each top-level loop gets its own PFU budget: 2 configs total,
+        # but at most 1 distinct config inside each loop
+        per_loop: dict[int | None, set[int]] = {}
+        for site in sel.sites:
+            header = None
+            for loop in profile.loops:
+                if profile.cfg.block_of[site.root] in loop.body:
+                    header = loop.header
+            per_loop.setdefault(header, set()).add(site.conf)
+        for confs in per_loop.values():
+            assert len(confs) <= 1
+
+    def test_shared_config_counts_once(self):
+        # same chain shape in both loops: one config serves both
+        src = self.TWO_LOOPS.replace(
+            "srl $t3, $t1, 1\n        xor $t3, $t3, $t1\n        andi $t3, $t3, 255",
+            "sll $t3, $t1, 4\n        addu $t3, $t3, $t1\n        sll $t3, $t3, 2",
+        )
+        profile = profile_program(assemble(src))
+        sel = selective_select(profile, n_pfus=1)
+        assert sel.n_configs == 1
+        assert len(sel.sites) == 2

@@ -1,0 +1,140 @@
+"""Unit + property tests for ALU operation semantics.
+
+The property tests compare :func:`alu_eval` against an independent
+big-int model for every evaluable opcode.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import alu_eval, has_alu_semantics
+from repro.utils.bitops import to_s32, to_u32
+
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert alu_eval(Opcode.ADDU, 0xFFFF_FFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu_eval(Opcode.SUBU, 0, 1) == 0xFFFF_FFFF
+
+    def test_add_and_addu_agree(self):
+        # trap-free semantics: add == addu
+        assert alu_eval(Opcode.ADD, 2**31 - 1, 1) == alu_eval(
+            Opcode.ADDU, 2**31 - 1, 1
+        )
+
+    @given(u32, u32)
+    def test_add_model(self, a, b):
+        assert alu_eval(Opcode.ADDU, a, b) == (a + b) & 0xFFFF_FFFF
+
+    @given(u32, u32)
+    def test_sub_model(self, a, b):
+        assert alu_eval(Opcode.SUBU, a, b) == (a - b) & 0xFFFF_FFFF
+
+
+class TestLogic:
+    @given(u32, u32)
+    def test_and_or_xor_nor(self, a, b):
+        assert alu_eval(Opcode.AND, a, b) == a & b
+        assert alu_eval(Opcode.OR, a, b) == a | b
+        assert alu_eval(Opcode.XOR, a, b) == a ^ b
+        assert alu_eval(Opcode.NOR, a, b) == (~(a | b)) & 0xFFFF_FFFF
+
+    def test_nor_with_zero_is_not(self):
+        assert alu_eval(Opcode.NOR, 0x0F0F_0F0F, 0) == 0xF0F0_F0F0
+
+
+class TestShifts:
+    def test_sll(self):
+        assert alu_eval(Opcode.SLL, 1, 4) == 16
+
+    def test_sll_discards_high_bits(self):
+        assert alu_eval(Opcode.SLL, 0x8000_0001, 1) == 2
+
+    def test_srl_is_logical(self):
+        assert alu_eval(Opcode.SRL, 0x8000_0000, 31) == 1
+
+    def test_sra_is_arithmetic(self):
+        assert alu_eval(Opcode.SRA, to_u32(-8), 1) == to_u32(-4)
+        assert alu_eval(Opcode.SRA, to_u32(-1), 31) == to_u32(-1)
+
+    def test_shift_amount_masked_to_five_bits(self):
+        assert alu_eval(Opcode.SLL, 1, 33) == 2
+        assert alu_eval(Opcode.SLLV, 1, 32) == 1
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_sra_model(self, a, sh):
+        assert alu_eval(Opcode.SRA, a, sh) == to_u32(to_s32(a) >> sh)
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_variable_matches_immediate_shifts(self, a, sh):
+        assert alu_eval(Opcode.SLLV, a, sh) == alu_eval(Opcode.SLL, a, sh)
+        assert alu_eval(Opcode.SRLV, a, sh) == alu_eval(Opcode.SRL, a, sh)
+        assert alu_eval(Opcode.SRAV, a, sh) == alu_eval(Opcode.SRA, a, sh)
+
+
+class TestCompare:
+    def test_slt_signed(self):
+        assert alu_eval(Opcode.SLT, to_u32(-1), 0) == 1
+        assert alu_eval(Opcode.SLT, 0, to_u32(-1)) == 0
+
+    def test_sltu_unsigned(self):
+        assert alu_eval(Opcode.SLTU, to_u32(-1), 0) == 0
+        assert alu_eval(Opcode.SLTU, 0, to_u32(-1)) == 1
+
+    @given(u32, u32)
+    def test_slt_model(self, a, b):
+        assert alu_eval(Opcode.SLT, a, b) == (1 if to_s32(a) < to_s32(b) else 0)
+        assert alu_eval(Opcode.SLTU, a, b) == (1 if a < b else 0)
+
+
+class TestMulDiv:
+    def test_mul_low_word(self):
+        assert alu_eval(Opcode.MUL, 7, 6) == 42
+        assert alu_eval(Opcode.MUL, to_u32(-3), 5) == to_u32(-15)
+
+    def test_div_truncates_toward_zero(self):
+        assert to_s32(alu_eval(Opcode.DIV, to_u32(-7), 2)) == -3
+        assert to_s32(alu_eval(Opcode.DIV, 7, to_u32(-2))) == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert to_s32(alu_eval(Opcode.REM, to_u32(-7), 2)) == -1
+        assert to_s32(alu_eval(Opcode.REM, 7, to_u32(-2))) == 1
+
+    def test_div_by_zero_defined(self):
+        assert alu_eval(Opcode.DIV, 5, 0) == 0
+        assert alu_eval(Opcode.REM, 5, 0) == 0
+
+    @given(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.integers(min_value=-(2**10), max_value=2**10).filter(lambda x: x),
+    )
+    def test_divmod_identity(self, a, b):
+        q = to_s32(alu_eval(Opcode.DIV, to_u32(a), to_u32(b)))
+        r = to_s32(alu_eval(Opcode.REM, to_u32(a), to_u32(b)))
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestLui:
+    def test_lui(self):
+        assert alu_eval(Opcode.LUI, 0, 0x1234) == 0x1234_0000
+
+    def test_lui_masks(self):
+        assert alu_eval(Opcode.LUI, 0, 0x1_0001) == 0x0001_0000
+
+
+class TestDispatch:
+    def test_non_alu_rejected(self):
+        with pytest.raises(ValueError):
+            alu_eval(Opcode.LW, 0, 0)
+
+    def test_has_alu_semantics(self):
+        assert has_alu_semantics(Opcode.ADDU)
+        assert not has_alu_semantics(Opcode.BEQ)
+        assert not has_alu_semantics(Opcode.HALT)

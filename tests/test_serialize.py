@@ -1,0 +1,109 @@
+"""Tests for selection-file serialisation (§3.1's second input file)."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import ExtInstError
+from repro.extinst import apply_selection, greedy_select, validate_equivalence
+from repro.extinst.serialize import (
+    extdef_from_json,
+    extdef_to_json,
+    load_selection,
+    save_selection,
+    selection_from_json,
+    selection_to_json,
+)
+from repro.profiling import profile_program
+
+from test_matrix import FIG3
+
+
+@pytest.fixture(scope="module")
+def selection():
+    return greedy_select(profile_program(assemble(FIG3)))
+
+
+class TestExtDefRoundTrip:
+    def test_roundtrip_identity(self, selection):
+        for extdef in selection.ext_defs.values():
+            again = extdef_from_json(extdef_to_json(extdef))
+            assert again.key == extdef.key
+            assert again.n_inputs == extdef.n_inputs
+
+    def test_roundtrip_evaluates_identically(self, selection):
+        for extdef in selection.ext_defs.values():
+            again = extdef_from_json(extdef_to_json(extdef))
+            for a in (0, 1, 7, 0xFFFF_FFFF):
+                assert again.evaluate(a, 3) == extdef.evaluate(a, 3)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ExtInstError, match="unknown opcode"):
+            extdef_from_json(
+                {"n_inputs": 1, "nodes": [["frobnicate", ["in", 0], ["imm", 1]]]}
+            )
+
+    def test_bad_ref_rejected(self):
+        with pytest.raises(ExtInstError, match="operand reference"):
+            extdef_from_json(
+                {"n_inputs": 1, "nodes": [["addu", ["wat", 0], ["in", 0]]]}
+            )
+
+
+class TestSelectionRoundTrip:
+    def test_json_roundtrip(self, selection):
+        data = selection_to_json(selection)
+        again = selection_from_json(json.loads(json.dumps(data)))
+        assert again.sites == selection.sites
+        assert {c: d.key for c, d in again.ext_defs.items()} == {
+            c: d.key for c, d in selection.ext_defs.items()
+        }
+        assert again.algorithm == selection.algorithm
+
+    def test_file_roundtrip(self, selection, tmp_path):
+        path = tmp_path / "sel.json"
+        save_selection(selection, str(path))
+        again = load_selection(str(path))
+        assert again.sites == selection.sites
+
+    def test_loaded_selection_rewrites_identically(self, selection, tmp_path):
+        program = assemble(FIG3)
+        path = tmp_path / "sel.json"
+        save_selection(selection, str(path))
+        loaded = load_selection(str(path))
+        a, defs_a = apply_selection(program, selection)
+        b, defs_b = apply_selection(program, loaded)
+        assert a.render() == b.render()
+        validate_equivalence(program, b, defs_b)
+
+    def test_version_check(self, selection):
+        data = selection_to_json(selection)
+        data["format_version"] = 99
+        with pytest.raises(ExtInstError, match="version"):
+            selection_from_json(data)
+
+
+class TestCLIIntegration:
+    def test_select_then_run(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        path = tmp_path / "epic_sel.json"
+        assert main(["select", "epic", "--algorithm", "selective",
+                     "--pfus", "2", "-o", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        assert main(["run", "epic", "--selection", str(path),
+                     "--pfus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over baseline" in out
+
+    def test_selection_file_is_stable_json(self, tmp_path):
+        from repro.harness.cli import main
+
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        main(["select", "epic", "-o", str(p1)])
+        main(["select", "epic", "-o", str(p2)])
+        assert p1.read_text() == p2.read_text()

@@ -1,0 +1,54 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_histogram, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "longer" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_separator_line(self):
+        text = format_table(["col"], [["value"]])
+        assert "-----" in text.splitlines()[1]
+
+
+class TestFormatHistogram:
+    def test_empty(self):
+        assert "empty" in format_histogram([])
+
+    def test_bars_scale_with_counts(self):
+        text = format_histogram([("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_counts(self):
+        text = format_histogram([("a", 0)])
+        assert "0" in text
+
+    def test_labels_aligned(self):
+        text = format_histogram([("short", 1), ("longer-label", 1)])
+        positions = {line.index("|") for line in text.splitlines()}
+        assert len(positions) == 1

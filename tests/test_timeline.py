@@ -1,0 +1,100 @@
+"""Tests for pipeline-timeline recording and rendering."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator
+from repro.sim.ooo.timeline import render_timeline, timeline_summary
+
+SRC = """
+.text
+main:
+    li $s0, 50
+loop:
+    addu $t0, $t0, $t0
+    addu $t0, $t0, $t0
+    lw $t1, 0($sp)
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    program = assemble(SRC)
+    trace = FunctionalSimulator(program).run(collect_trace=True).trace
+    stats = OoOSimulator(program, MachineConfig()).simulate(
+        trace, record_window=(100, 116)
+    )
+    return program, stats
+
+
+class TestRecording:
+    def test_window_size(self, recorded):
+        _, stats = recorded
+        assert len(stats.timeline) == 16
+
+    def test_no_recording_by_default(self):
+        program = assemble(SRC)
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        stats = OoOSimulator(program, MachineConfig()).simulate(trace)
+        assert stats.timeline == []
+
+    def test_stage_ordering_invariant(self, recorded):
+        _, stats = recorded
+        for si, fetch, dispatch, issue, complete, commit in stats.timeline:
+            assert fetch < dispatch < issue < complete < commit or (
+                fetch <= dispatch <= issue < complete <= commit
+            )
+            assert dispatch >= fetch + 1
+            assert issue >= dispatch + 1
+            assert commit >= complete + 1
+
+    def test_commits_in_order(self, recorded):
+        _, stats = recorded
+        commits = [entry[5] for entry in stats.timeline]
+        assert commits == sorted(commits)
+
+    def test_recording_does_not_change_timing(self):
+        program = assemble(SRC)
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        plain = OoOSimulator(program, MachineConfig()).simulate(trace)
+        recording = OoOSimulator(program, MachineConfig()).simulate(
+            trace, record_window=(0, len(trace))
+        )
+        assert plain.cycles == recording.cycles
+
+
+class TestRendering:
+    def test_render_contains_stages(self, recorded):
+        program, stats = recorded
+        text = render_timeline(stats.timeline, program)
+        for ch in "FDIXC":
+            assert ch in text
+
+    def test_render_lists_instructions(self, recorded):
+        program, stats = recorded
+        text = render_timeline(stats.timeline, program)
+        assert "addu $t0, $t0, $t0" in text
+
+    def test_empty_timeline(self, recorded):
+        program, _ = recorded
+        assert "empty" in render_timeline([], program)
+
+    def test_summary_keys(self, recorded):
+        _, stats = recorded
+        summary = timeline_summary(stats.timeline)
+        assert set(summary) == {
+            "fetch_to_dispatch", "dispatch_to_issue",
+            "issue_to_complete", "complete_to_commit",
+        }
+        assert all(v >= 0 for v in summary.values())
+
+    def test_cli_pipeview(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["pipeview", "epic", "--count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "avg" in out

@@ -1,0 +1,152 @@
+"""Tests for the eight MediaBench-like workloads: bit-exactness against
+the Python references, determinism, scaling, and profile character."""
+
+import pytest
+
+from repro.profiling import profile_program
+from repro.sim import run_program
+from repro.workloads import WORKLOAD_NAMES, build_workload, check_outputs
+from repro.workloads.data import LCG, image_tile, speech_samples
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in WORKLOAD_NAMES:
+        workload = build_workload(name, scale=1)
+        out[name] = (workload, run_program(workload.program))
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_matches_reference(self, name, results):
+        workload, result = results[name]
+        workload.verify(result)
+        assert check_outputs(workload, result)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_halts_cleanly(self, name, results):
+        _, result = results[name]
+        assert result.halted
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic(self, name, results):
+        workload, result = results[name]
+        again = build_workload(name, scale=1)
+        assert again.expected == workload.expected
+        assert again.program.render() == workload.program.render()
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ("gsm_encode", "g721_decode"))
+    def test_scale_increases_work(self, name):
+        small = build_workload(name, scale=1)
+        big = build_workload(name, scale=2)
+        steps_small = run_program(small.program).steps
+        steps_big = run_program(big.program).steps
+        assert steps_big > 1.5 * steps_small
+
+    def test_scaled_outputs_verified(self):
+        workload = build_workload("gsm_encode", scale=2)
+        workload.verify(run_program(workload.program))
+
+
+class TestWorkloadCharacter:
+    def test_sizes_in_simulation_range(self, results):
+        for name, (_, result) in results.items():
+            assert 10_000 < result.steps < 1_000_000, name
+
+    def test_g721_is_control_heavy(self, results):
+        """The ADPCM kernels are branch/load-dominated — the paper's
+        explanation for their small speedups."""
+        profile = profile_program(results["g721_encode"][0].program)
+        from repro.isa.opcodes import OpClass
+
+        counts = {"branch": 0, "mem": 0, "alu": 0, "total": 0}
+        for instr, n in zip(profile.program.text, profile.exec_counts):
+            counts["total"] += n
+            if instr.op_class is OpClass.BRANCH:
+                counts["branch"] += n
+            elif instr.is_mem:
+                counts["mem"] += n
+        assert counts["branch"] / counts["total"] > 0.15
+
+    def test_gsm_is_alu_heavy(self, results):
+        from repro.isa.opcodes import OpClass
+
+        profile = profile_program(results["gsm_encode"][0].program)
+        alu = total = 0
+        for instr, n in zip(profile.program.text, profile.exec_counts):
+            total += n
+            if instr.op_class is OpClass.ALU:
+                alu += n
+        assert alu / total > 0.55
+
+    def test_narrow_operands_dominate(self, results):
+        """The MediaBench premise: multimedia code works on narrow data."""
+        profile = profile_program(results["gsm_encode"][0].program)
+        executed = [
+            (w, n)
+            for w, n in zip(profile.max_operand_width, profile.exec_counts)
+            if n > 0
+        ]
+        narrow = sum(n for w, n in executed if w <= 18)
+        total = sum(n for _, n in executed)
+        assert narrow / total > 0.8
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_has_hot_loops(self, name, results):
+        profile = profile_program(results[name][0].program)
+        assert profile.loops, f"{name} has no loops"
+        hottest = profile.hottest_loops(1)
+        assert hottest[0][1] > profile.dynamic_instructions * 0.3
+
+
+class TestDataGenerators:
+    def test_lcg_deterministic(self):
+        a, b = LCG(42), LCG(42)
+        assert [a.next_u32() for _ in range(10)] == [
+            b.next_u32() for _ in range(10)
+        ]
+
+    def test_lcg_range(self):
+        rng = LCG(7)
+        for _ in range(100):
+            assert -5 <= rng.next_range(-5, 5) <= 5
+
+    def test_speech_samples_bounded(self):
+        samples = speech_samples(1000)
+        assert all(-127 <= s <= 127 for s in samples)
+        assert len(set(samples)) > 10   # not constant
+
+    def test_speech_samples_correlated(self):
+        samples = speech_samples(1000)
+        jumps = [abs(a - b) for a, b in zip(samples, samples[1:])]
+        assert max(jumps) <= 48   # smooth random walk
+
+    def test_image_tile_bounded(self):
+        tile = image_tile(16, 16)
+        assert len(tile) == 256
+        assert all(0 <= p <= 255 for p in tile)
+
+    def test_image_tile_seed_changes_content(self):
+        assert image_tile(8, 8, seed=1) != image_tile(8, 8, seed=2)
+
+
+class TestRegistry:
+    def test_unknown_name_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_workload("quake3")
+
+    def test_paper_order(self):
+        assert WORKLOAD_NAMES[0] == "unepic"
+        assert len(WORKLOAD_NAMES) == 8
+
+    def test_build_all(self):
+        from repro.workloads.registry import build_all
+
+        all_workloads = build_all(scale=1)
+        assert set(all_workloads) == set(WORKLOAD_NAMES)
