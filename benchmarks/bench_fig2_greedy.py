@@ -12,8 +12,8 @@ from repro.harness.figures import fig2_greedy
 from repro.utils.tables import format_table
 
 
-def test_fig2_greedy_speedups(benchmark):
-    headers, rows = benchmark(fig2_greedy)
+def test_fig2_greedy_speedups(benchmark, engine):
+    headers, rows = benchmark(fig2_greedy, engine=engine)
     write_result(
         "fig2_greedy.txt",
         "Figure 2 — greedy selection speedups\n" + format_table(headers, rows),

@@ -10,8 +10,8 @@ from repro.harness.figures import fig6_selective
 from repro.utils.tables import format_table
 
 
-def test_fig6_selective_speedups(benchmark):
-    headers, rows = benchmark(fig6_selective)
+def test_fig6_selective_speedups(benchmark, engine):
+    headers, rows = benchmark(fig6_selective, engine=engine)
     write_result(
         "fig6_selective.txt",
         "Figure 6 — selective algorithm speedups\n" + format_table(headers, rows),

@@ -11,8 +11,8 @@ from conftest import write_result
 from repro.harness.figures import fig7_area
 
 
-def test_fig7_lut_distribution(benchmark):
-    dist = benchmark(fig7_area)
+def test_fig7_lut_distribution(benchmark, engine):
+    dist = benchmark(fig7_area, engine=engine)
     lines = [
         "Figure 7 — LUT cost distribution (selective, 4 PFUs, 8 benchmarks)",
         dist.render(),

@@ -16,8 +16,8 @@ from repro.extinst import greedy_select
 from repro.utils.tables import format_table
 
 
-def test_greedy_statistics(benchmark):
-    headers, rows = benchmark(greedy_stats)
+def test_greedy_statistics(benchmark, engine):
+    headers, rows = benchmark(greedy_stats, engine=engine)
     write_result(
         "greedy_stats.txt",
         "Greedy selection statistics (§4.1)\n" + format_table(headers, rows),

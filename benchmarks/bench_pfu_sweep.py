@@ -10,8 +10,8 @@ from repro.harness.figures import pfu_sweep
 from repro.utils.tables import format_table
 
 
-def test_pfu_count_sweep(benchmark):
-    headers, rows = benchmark(pfu_sweep)
+def test_pfu_count_sweep(benchmark, engine):
+    headers, rows = benchmark(pfu_sweep, engine=engine)
     write_result(
         "pfu_sweep.txt",
         "Selective speedup vs PFU count (10-cycle reconfig)\n"

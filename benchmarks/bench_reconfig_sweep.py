@@ -12,10 +12,10 @@ from repro.harness.figures import reconfig_sweep
 from repro.utils.tables import format_table
 
 
-def test_reconfig_latency_sweep(benchmark):
+def test_reconfig_latency_sweep(benchmark, engine):
     # scale=2: long enough that cold-start configuration loads are
     # amortised, as in the paper's full-length MediaBench runs
-    headers, rows = benchmark(reconfig_sweep, scale=2)
+    headers, rows = benchmark(reconfig_sweep, scale=2, engine=engine)
     write_result(
         "reconfig_sweep.txt",
         "Selective speedup vs reconfiguration latency (2 PFUs, scale 2)\n"

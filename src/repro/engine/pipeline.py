@@ -1,0 +1,466 @@
+"""The experiment pipeline: artefact stages over an optional store.
+
+An :class:`ArtifactPipeline` materialises the T1000 experiment chain
+
+    workload -> profile -> selection -> rewrite -> trace -> timing
+
+with two cache levels: an in-process memo (object identity, free) and an
+optional persistent :class:`~repro.engine.store.ArtifactStore` shared
+between processes and invocations.  Every stage key includes the
+workload name, scale, a fingerprint of the built program, and — where it
+matters — the algorithm, selection PFU budget, ``validate`` flag, and
+machine-configuration fingerprint, so artefacts can never leak between
+configurations.
+
+:func:`execute_job` at the bottom is the scheduler's worker entry point:
+a module-level function (picklable for ``ProcessPoolExecutor``) that
+dispatches one job payload against a per-process pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.engine.store import (
+    ArtifactStore,
+    machine_fingerprint,
+    make_key,
+    program_fingerprint,
+)
+from repro.engine.telemetry import Telemetry
+from repro.errors import ConfigurationError
+from repro.extinst import (
+    Selection,
+    apply_selection,
+    greedy_select,
+    selective_select,
+    validate_equivalence,
+)
+from repro.extinst.extdef import ExtInstDef
+from repro.extinst.serialize import selection_from_json, selection_to_json
+from repro.profiling import ProgramProfile, profile_program
+from repro.program.program import Program
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator, SimStats
+from repro.sim.trace import DynTrace
+from repro.workloads import Workload, build_workload
+
+#: The baseline machine every speedup is measured against.
+BASELINE_MACHINE = MachineConfig()
+
+
+# ----------------------------------------------------------------------
+# experiment requests and results
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully normalised T1000 experiment request.
+
+    Build through :func:`make_spec`, which resolves the ``select_pfus``
+    convention ("same" = plan for the hardware PFU count) and collapses
+    parameters the algorithm ignores so equivalent requests share cache
+    keys and scheduler jobs.
+    """
+
+    workload: str
+    algorithm: str                  # "baseline" | "greedy" | "selective"
+    n_pfus: int | None
+    reconfig_latency: int
+    scale: int = 1
+    select_pfus: int | None = None
+    validate: bool = True
+
+    def token(self) -> str:
+        """Stable human-readable identity (used for scheduler job ids)."""
+        pfus = "unl" if self.n_pfus is None else self.n_pfus
+        sel = "unl" if self.select_pfus is None else self.select_pfus
+        return (
+            f"{self.workload}@{self.scale}:{self.algorithm}"
+            f":pfus={pfus}:sel={sel}:reconf={self.reconfig_latency}"
+            f":val={int(self.validate)}"
+        )
+
+
+def make_spec(
+    workload: str,
+    algorithm: str,
+    n_pfus: int | None,
+    reconfig_latency: int,
+    scale: int = 1,
+    select_pfus: int | None | str = "same",
+    validate: bool = True,
+) -> ExperimentSpec:
+    """Normalise an experiment request into an :class:`ExperimentSpec`."""
+    if algorithm == "baseline":
+        return ExperimentSpec(
+            workload=workload, algorithm="baseline", n_pfus=0,
+            reconfig_latency=0, scale=scale, select_pfus=None,
+            validate=validate,
+        )
+    if algorithm not in ("greedy", "selective"):
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+    if select_pfus == "same":
+        select_pfus = n_pfus
+    if algorithm == "greedy":
+        select_pfus = None      # greedy ignores the PFU budget
+    return ExperimentSpec(
+        workload=workload, algorithm=algorithm, n_pfus=n_pfus,
+        reconfig_latency=reconfig_latency, scale=scale,
+        select_pfus=select_pfus, validate=validate,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """One timing experiment on one workload."""
+
+    workload: str
+    algorithm: str           # "baseline" | "greedy" | "selective"
+    n_pfus: int | None
+    reconfig_latency: int
+    stats: SimStats
+    baseline_cycles: int
+    n_configs: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.stats.cycles
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+
+
+class ArtifactPipeline:
+    """Materialises experiment artefacts through memo + optional store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.telemetry = telemetry or Telemetry()
+        self.store = store
+        if store is not None and store.telemetry is not self.telemetry:
+            store.telemetry = self.telemetry
+        self._memo: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------
+    # memo / store plumbing
+
+    def _memoized(self, memo_key: tuple, producer: Callable[[], Any]) -> Any:
+        if memo_key not in self._memo:
+            self._memo[memo_key] = producer()
+        return self._memo[memo_key]
+
+    def _artifact(
+        self, memo_key: tuple, key_args: dict, compute: Callable[[], Any]
+    ) -> Any:
+        """Memo -> store -> compute-and-publish, in that order."""
+
+        def produce() -> Any:
+            if self.store is not None:
+                key = make_key(**key_args)
+                cached = self.store.get(key)
+                if cached is not None:
+                    return cached
+                value = compute()
+                self.store.put(key, value)
+                return value
+            return compute()
+
+        return self._memoized(memo_key, produce)
+
+    def _sim_counter(self, name: str) -> None:
+        self.telemetry.incr(name)
+        if self.store is not None:
+            self.store.record_counter(name)
+
+    # ------------------------------------------------------------------
+    # cheap, rebuild-per-process stages
+
+    def workload(self, name: str, scale: int) -> Workload:
+        """The built workload (memo only; assembling is cheap)."""
+        return self._memoized(
+            ("workload", name, scale), lambda: build_workload(name, scale)
+        )
+
+    def program(self, name: str, scale: int) -> Program:
+        return self.workload(name, scale).program
+
+    def fingerprint(self, name: str, scale: int) -> str:
+        return self._memoized(
+            ("fingerprint", name, scale),
+            lambda: program_fingerprint(self.program(name, scale)),
+        )
+
+    # ------------------------------------------------------------------
+    # cached artefact stages
+
+    def profile(self, name: str, scale: int) -> ProgramProfile:
+        def compute() -> ProgramProfile:
+            self._sim_counter("sim.functional")
+            return profile_program(self.program(name, scale))
+
+        return self._artifact(
+            ("profile", name, scale),
+            dict(kind="profile", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale)),
+            compute,
+        )
+
+    def selection(
+        self, name: str, scale: int, algorithm: str,
+        select_pfus: int | None,
+    ) -> Selection:
+        if algorithm == "greedy":
+            select_pfus = None
+        elif algorithm != "selective":
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+        def compute() -> Selection:
+            self.telemetry.incr("compute.selection")
+            profile = self.profile(name, scale)
+            if algorithm == "greedy":
+                return greedy_select(profile)
+            return selective_select(profile, select_pfus)
+
+        return self._artifact(
+            ("selection", name, scale, algorithm, select_pfus),
+            dict(kind="selection", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale),
+                 algorithm=algorithm, select_pfus=select_pfus),
+            compute,
+        )
+
+    def rewrite(
+        self, name: str, scale: int, algorithm: str,
+        select_pfus: int | None, validate: bool,
+    ) -> tuple[Program, dict[int, ExtInstDef]]:
+        if algorithm == "greedy":
+            select_pfus = None
+
+        def compute() -> tuple[Program, dict[int, ExtInstDef]]:
+            selection = self.selection(name, scale, algorithm, select_pfus)
+            program, defs = apply_selection(
+                self.program(name, scale), selection
+            )
+            if validate:
+                self._sim_counter("sim.validate")
+                validate_equivalence(self.program(name, scale), program, defs)
+            return program, defs
+
+        return self._artifact(
+            ("rewrite", name, scale, algorithm, select_pfus, validate),
+            dict(kind="rewrite", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale),
+                 algorithm=algorithm, select_pfus=select_pfus,
+                 validate=validate),
+            compute,
+        )
+
+    def trace(
+        self, name: str, scale: int, algorithm: str = "baseline",
+        select_pfus: int | None = None, validate: bool = True,
+    ) -> DynTrace:
+        """Dynamic trace of the (possibly rewritten) program."""
+        if algorithm == "baseline":
+            params: dict[str, Any] = dict(algorithm="baseline")
+            memo_key = ("trace", name, scale, "baseline")
+        else:
+            if algorithm == "greedy":
+                select_pfus = None
+            params = dict(algorithm=algorithm, select_pfus=select_pfus,
+                          validate=validate)
+            memo_key = ("trace", name, scale, algorithm, select_pfus, validate)
+
+        def compute() -> DynTrace:
+            if algorithm == "baseline":
+                program, defs = self.program(name, scale), None
+            else:
+                program, defs = self.rewrite(
+                    name, scale, algorithm, select_pfus, validate
+                )
+            self._sim_counter("sim.functional")
+            result = FunctionalSimulator(program, ext_defs=defs).run(
+                collect_trace=True
+            )
+            assert result.trace is not None
+            return result.trace
+
+        return self._artifact(
+            memo_key,
+            dict(kind="trace", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale), **params),
+            compute,
+        )
+
+    # ------------------------------------------------------------------
+    # timing
+
+    def baseline_timing(
+        self, name: str, scale: int, machine: MachineConfig | None = None
+    ) -> SimStats:
+        """Timing of the original program (Figure 2/6 first bar)."""
+        machine = machine or BASELINE_MACHINE
+        mfp = machine_fingerprint(machine)
+
+        def compute() -> SimStats:
+            trace = self.trace(name, scale, "baseline")
+            self._sim_counter("sim.timing")
+            return OoOSimulator(
+                self.program(name, scale), machine
+            ).simulate(trace)
+
+        return self._artifact(
+            ("timing", name, scale, "baseline", mfp),
+            dict(kind="timing", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale),
+                 algorithm="baseline", machine=mfp),
+            compute,
+        )
+
+    def timing(self, spec: ExperimentSpec) -> SimStats:
+        """Timing of the rewritten program on the spec's machine."""
+        machine = MachineConfig(
+            n_pfus=spec.n_pfus, reconfig_latency=spec.reconfig_latency
+        )
+        mfp = machine_fingerprint(machine)
+
+        def compute() -> SimStats:
+            program, defs = self.rewrite(
+                spec.workload, spec.scale, spec.algorithm,
+                spec.select_pfus, spec.validate,
+            )
+            trace = self.trace(
+                spec.workload, spec.scale, spec.algorithm,
+                spec.select_pfus, spec.validate,
+            )
+            self._sim_counter("sim.timing")
+            return OoOSimulator(program, machine, ext_defs=defs).simulate(
+                trace
+            )
+
+        return self._artifact(
+            ("timing", spec.workload, spec.scale, spec.algorithm,
+             spec.select_pfus, spec.validate, mfp),
+            dict(kind="timing", workload=spec.workload, scale=spec.scale,
+                 fingerprint=self.fingerprint(spec.workload, spec.scale),
+                 algorithm=spec.algorithm, select_pfus=spec.select_pfus,
+                 validate=spec.validate, machine=mfp),
+            compute,
+        )
+
+    # ------------------------------------------------------------------
+    # whole experiments
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Run one T1000 experiment end to end (cached at every stage)."""
+        base = self.baseline_timing(spec.workload, spec.scale)
+        if spec.algorithm == "baseline":
+            return ExperimentResult(
+                workload=spec.workload, algorithm="baseline", n_pfus=0,
+                reconfig_latency=0, stats=base,
+                baseline_cycles=base.cycles, n_configs=0,
+            )
+        stats = self.timing(spec)
+        selection = self.selection(
+            spec.workload, spec.scale, spec.algorithm, spec.select_pfus
+        )
+        return ExperimentResult(
+            workload=spec.workload, algorithm=spec.algorithm,
+            n_pfus=spec.n_pfus, reconfig_latency=spec.reconfig_latency,
+            stats=stats, baseline_cycles=base.cycles,
+            n_configs=selection.n_configs,
+        )
+
+    def flush(self) -> None:
+        if self.store is not None:
+            self.store.flush_counters()
+
+
+# ----------------------------------------------------------------------
+# process-wide default pipeline (shared by WorkloadLab and inline engines)
+
+_DEFAULT_PIPELINE: ArtifactPipeline | None = None
+
+
+def get_default_pipeline() -> ArtifactPipeline:
+    """The process-wide storeless pipeline (benchmarks share artefacts)."""
+    global _DEFAULT_PIPELINE
+    if _DEFAULT_PIPELINE is None:
+        _DEFAULT_PIPELINE = ArtifactPipeline()
+    return _DEFAULT_PIPELINE
+
+
+# ----------------------------------------------------------------------
+# scheduler worker entry point
+
+_WORKER_PIPELINES: dict[str, ArtifactPipeline] = {}
+
+
+def _pipeline_for(cache_dir: str | None) -> ArtifactPipeline:
+    key = cache_dir or ""
+    if key not in _WORKER_PIPELINES:
+        store = ArtifactStore(cache_dir) if cache_dir else None
+        _WORKER_PIPELINES[key] = ArtifactPipeline(store=store)
+    return _WORKER_PIPELINES[key]
+
+
+def run_stage(pipeline: ArtifactPipeline, payload: dict) -> dict:
+    """Execute one job payload against ``pipeline``.
+
+    Returns ``{"value": ..., "telemetry": {...}, "wall_time": ...}``;
+    the telemetry dict is the counter delta this job produced, which the
+    parent merges into the run's telemetry.
+    """
+    snapshot = pipeline.telemetry.snapshot()
+    started = time.perf_counter()
+    stage = payload["stage"]
+    value: Any = None
+    if stage == "profile":
+        name, scale = payload["workload"], payload["scale"]
+        pipeline.profile(name, scale)
+        if payload.get("baseline", True):
+            pipeline.baseline_timing(name, scale)
+    elif stage == "prepare":
+        name, scale = payload["workload"], payload["scale"]
+        algorithm = payload["algorithm"]
+        select_pfus = payload["select_pfus"]
+        selection = pipeline.selection(name, scale, algorithm, select_pfus)
+        if payload.get("materialize", True):
+            validate = payload["validate"]
+            pipeline.rewrite(name, scale, algorithm, select_pfus, validate)
+            pipeline.trace(name, scale, algorithm, select_pfus, validate)
+        if payload.get("return_selection", False):
+            value = selection_to_json(selection)
+    elif stage == "experiment":
+        spec = ExperimentSpec(**payload["spec"])
+        value = pipeline.run(spec)
+    else:
+        raise ConfigurationError(f"unknown job stage {stage!r}")
+    pipeline.flush()
+    return {
+        "value": value,
+        "telemetry": pipeline.telemetry.delta_since(snapshot),
+        "wall_time": time.perf_counter() - started,
+    }
+
+
+def execute_job(payload: dict) -> dict:
+    """Worker-process job runner (resolves the pipeline by cache dir)."""
+    return run_stage(_pipeline_for(payload.get("cache_dir")), payload)
+
+
+def spec_payload(spec: ExperimentSpec, cache_dir: str | None) -> dict:
+    """Build the picklable job payload for an experiment spec."""
+    return {"stage": "experiment", "cache_dir": cache_dir,
+            "spec": asdict(spec)}
+
+
+def selection_from_payload(value: dict) -> Selection:
+    """Decode the selection JSON a "prepare" job returns."""
+    return selection_from_json(value)

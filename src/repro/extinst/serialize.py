@@ -115,6 +115,12 @@ def selection_from_json(data: dict) -> Selection:
         )
         for s in data["sites"]
     ]
+    for site in sites:
+        if site.conf not in ext_defs:
+            raise ExtInstError(
+                f"selection file site at block {site.bid} references "
+                f"undefined configuration {site.conf}"
+            )
     return Selection(
         ext_defs=ext_defs,
         sites=sites,
@@ -123,14 +129,35 @@ def selection_from_json(data: dict) -> Selection:
     )
 
 
+def selection_dumps(selection: Selection) -> str:
+    """The selection file contents as a string (canonical formatting)."""
+    return json.dumps(selection_to_json(selection), indent=2, sort_keys=True) + "\n"
+
+
+def selection_loads(text: str) -> Selection:
+    """Parse a selection file from a string.
+
+    Raises :class:`~repro.errors.ExtInstError` for malformed documents —
+    including syntactically valid JSON that is not a selection object.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExtInstError(f"selection file is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ExtInstError(
+            f"selection file must be a JSON object, got {type(data).__name__}"
+        )
+    return selection_from_json(data)
+
+
 def save_selection(selection: Selection, path: str) -> None:
     """Write a selection file (the §3.1 "second input file")."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(selection_to_json(selection), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+        fh.write(selection_dumps(selection))
 
 
 def load_selection(path: str) -> Selection:
     """Read a selection file written by :func:`save_selection`."""
     with open(path, encoding="utf-8") as fh:
-        return selection_from_json(json.load(fh))
+        return selection_loads(fh.read())

@@ -3,23 +3,54 @@
 Examples::
 
     t1000 fig2                 # Figure 2 table (greedy selection)
+    t1000 fig2 --jobs 4 --cache-dir ~/.cache/t1000   # parallel + cached
     t1000 fig6 --scale 2       # Figure 6 at a larger workload scale
     t1000 fig7                 # LUT-cost histogram
     t1000 stats                # greedy selection statistics (§4.1)
     t1000 sweep-reconfig       # reconfiguration-latency sweep (§5.2)
     t1000 sweep-pfu            # PFU-count sweep (§5.2)
     t1000 run gsm_encode --algorithm selective --pfus 2
+    t1000 cache stats --cache-dir ~/.cache/t1000     # artefacts, hit rates
+    t1000 cache gc --cache-dir ~/.cache/t1000 --max-bytes 100000000
+
+Experiment commands accept ``--jobs N`` (execute the experiment DAG on N
+worker processes), ``--cache-dir PATH`` (persist every pipeline artefact
+in a content-addressed store; a warm cache re-runs nothing), and
+``--no-cache`` (ignore any configured store).  ``T1000_JOBS`` and
+``T1000_CACHE_DIR`` provide defaults for the flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.engine import ArtifactStore, EngineConfig, ExperimentEngine, make_spec
 from repro.harness import figures
 from repro.harness.runner import get_lab
 from repro.utils.tables import format_table
 from repro.workloads import WORKLOAD_NAMES
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int,
+        default=int(os.environ.get("T1000_JOBS") or 1),
+        help="worker processes for the experiment DAG (default 1 / $T1000_JOBS)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("T1000_CACHE_DIR") or None,
+        help="persistent artifact-store directory (default $T1000_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact store for this invocation",
+    )
+    parser.add_argument(
+        "--engine-report", action="store_true",
+        help="print the engine's job/cache/simulation summary to stderr",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -29,6 +60,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workloads", nargs="*", default=list(WORKLOAD_NAMES),
         choices=list(WORKLOAD_NAMES), help="subset of workloads"
     )
+    _add_engine_flags(parser)
+
+
+def _engine_from_args(args) -> ExperimentEngine:
+    return ExperimentEngine(EngineConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    ))
+
+
+def _finish(engine: ExperimentEngine, args) -> None:
+    if getattr(args, "engine_report", False):
+        print(engine.report(), file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     report_p.add_argument("--out", default="t1000_report")
     report_p.add_argument("--scale", type=int, default=1)
+    _add_engine_flags(report_p)
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential-fuzz the folding pipeline"
@@ -104,42 +150,89 @@ def main(argv: list[str] | None = None) -> int:
         help="use a selection file from 't1000 select' instead of "
         "running the algorithm",
     )
+    _add_engine_flags(run_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or maintain the persistent artifact store"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd, help_text in (
+        ("stats", "artefact counts, sizes, and cumulative hit/miss counters"),
+        ("clear", "delete every cached artefact and counter"),
+        ("gc", "evict artefacts by age and LRU size budget"),
+    ):
+        cp = cache_sub.add_parser(cache_cmd, help=help_text)
+        cp.add_argument(
+            "--cache-dir", default=os.environ.get("T1000_CACHE_DIR") or None,
+            help="artifact-store directory (default $T1000_CACHE_DIR)",
+        )
+        if cache_cmd == "gc":
+            cp.add_argument("--max-bytes", type=int, default=None,
+                            help="evict least-recently-used artefacts "
+                            "until the store fits this many bytes")
+            cp.add_argument("--max-age-days", type=float, default=None,
+                            help="evict artefacts not accessed within "
+                            "this many days")
 
     args = parser.parse_args(argv)
 
     if args.command == "fig2":
-        headers, rows = figures.fig2_greedy(args.scale, tuple(args.workloads))
+        engine = _engine_from_args(args)
+        headers, rows = figures.fig2_greedy(
+            args.scale, tuple(args.workloads), engine=engine
+        )
         print("Figure 2 — speedups with the greedy selection algorithm")
         print(format_table(headers, rows))
+        _finish(engine, args)
     elif args.command == "fig6":
-        headers, rows = figures.fig6_selective(args.scale, tuple(args.workloads))
+        engine = _engine_from_args(args)
+        headers, rows = figures.fig6_selective(
+            args.scale, tuple(args.workloads), engine=engine
+        )
         print("Figure 6 — speedups with the selective algorithm (10-cycle reconfig)")
         print(format_table(headers, rows))
+        _finish(engine, args)
     elif args.command == "fig7":
+        engine = _engine_from_args(args)
         dist = figures.fig7_area(args.scale, tuple(args.workloads),
-                                 args.select_pfus)
+                                 args.select_pfus, engine=engine)
         print("Figure 7 — LUT-cost distribution of selected extended instructions")
         print(dist.render())
         print(f"max LUTs: {dist.max_luts}")
+        _finish(engine, args)
     elif args.command == "stats":
-        headers, rows = figures.greedy_stats(args.scale, tuple(args.workloads))
+        engine = _engine_from_args(args)
+        headers, rows = figures.greedy_stats(
+            args.scale, tuple(args.workloads), engine=engine
+        )
         print("Greedy selection statistics (§4.1)")
         print(format_table(headers, rows))
+        _finish(engine, args)
     elif args.command == "sweep-reconfig":
-        headers, rows = figures.reconfig_sweep(args.scale, tuple(args.workloads))
+        engine = _engine_from_args(args)
+        headers, rows = figures.reconfig_sweep(
+            args.scale, tuple(args.workloads), engine=engine
+        )
         print("Selective speedup vs reconfiguration latency (2 PFUs, §5.2)")
         print(format_table(headers, rows))
+        _finish(engine, args)
     elif args.command == "sweep-pfu":
-        headers, rows = figures.pfu_sweep(args.scale, tuple(args.workloads))
+        engine = _engine_from_args(args)
+        headers, rows = figures.pfu_sweep(
+            args.scale, tuple(args.workloads), engine=engine
+        )
         print("Selective speedup vs PFU count (10-cycle reconfig, §5.2)")
         print(format_table(headers, rows))
+        _finish(engine, args)
     elif args.command == "profile":
         from repro.profiling.report import full_report
 
         lab = get_lab(args.workload, args.scale)
         print(full_report(lab.profile))
     elif args.command == "report":
-        _write_full_report(args.out, args.scale)
+        engine = _engine_from_args(args)
+        _write_full_report(args.out, args.scale, engine)
+        _finish(engine, args)
     elif args.command == "fuzz":
         from repro.fuzz import run_campaign
 
@@ -181,21 +274,48 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {selection.n_configs} configuration(s) / "
               f"{len(selection.sites)} site(s) to {args.output}")
     elif args.command == "run":
-        lab = get_lab(args.workload, args.scale)
+        engine = _engine_from_args(args)
         if args.selection is not None:
+            lab = get_lab(args.workload, args.scale)
             result = _run_with_selection_file(lab, args)
-        elif args.algorithm == "baseline":
-            result = lab.run("baseline", 0, 0)
         else:
-            result = lab.run(args.algorithm, args.pfus, args.reconfig)
+            spec = make_spec(args.workload, args.algorithm, args.pfus,
+                             args.reconfig, scale=args.scale)
+            result = engine.run(spec)
         print(f"{args.workload} / {args.algorithm} / "
               f"pfus={args.pfus} / reconfig={args.reconfig}")
         print(f"speedup over baseline: {result.speedup:.3f}")
         print(result.stats.summary())
+        _finish(engine, args)
+    elif args.command == "cache":
+        return _cache_command(args)
     return 0
 
 
-def _write_full_report(out_dir: str, scale: int) -> None:
+def _cache_command(args) -> int:
+    """The ``t1000 cache stats|clear|gc`` subcommands."""
+    if not args.cache_dir:
+        print("t1000 cache: no cache directory (pass --cache-dir or set "
+              "T1000_CACHE_DIR)", file=sys.stderr)
+        return 2
+    store = ArtifactStore(os.path.expanduser(args.cache_dir))
+    if args.cache_command == "stats":
+        print(store.stats().render())
+    elif args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} file(s) from {store.root}")
+    elif args.cache_command == "gc":
+        summary = store.gc(max_bytes=args.max_bytes,
+                           max_age_days=args.max_age_days)
+        print(f"evicted {summary['removed']} artefact(s) "
+              f"({summary['freed_bytes']} bytes); "
+              f"{summary['kept']} artefact(s) kept")
+    return 0
+
+
+def _write_full_report(
+    out_dir: str, scale: int, engine: ExperimentEngine | None = None
+) -> None:
     """Regenerate Figures 2/6/7 and the §4.1/§5.2 tables into files."""
     import pathlib
 
@@ -205,22 +325,22 @@ def _write_full_report(out_dir: str, scale: int) -> None:
     artefacts = [
         ("fig2_greedy.txt",
          "Figure 2 — greedy selection speedups",
-         lambda: format_table(*figures.fig2_greedy(scale))),
+         lambda: format_table(*figures.fig2_greedy(scale, engine=engine))),
         ("fig6_selective.txt",
          "Figure 6 — selective algorithm speedups (10-cycle reconfig)",
-         lambda: format_table(*figures.fig6_selective(scale))),
+         lambda: format_table(*figures.fig6_selective(scale, engine=engine))),
         ("fig7_lut_distribution.txt",
          "Figure 7 — LUT-cost distribution (selective, 4 PFUs)",
-         lambda: figures.fig7_area(scale).render()),
+         lambda: figures.fig7_area(scale, engine=engine).render()),
         ("greedy_stats.txt",
          "Greedy selection statistics (§4.1)",
-         lambda: format_table(*figures.greedy_stats(scale))),
+         lambda: format_table(*figures.greedy_stats(scale, engine=engine))),
         ("reconfig_sweep.txt",
          "Selective speedup vs reconfiguration latency (2 PFUs, §5.2)",
-         lambda: format_table(*figures.reconfig_sweep(scale))),
+         lambda: format_table(*figures.reconfig_sweep(scale, engine=engine))),
         ("pfu_sweep.txt",
          "Selective speedup vs PFU count (§5.2)",
-         lambda: format_table(*figures.pfu_sweep(scale))),
+         lambda: format_table(*figures.pfu_sweep(scale, engine=engine))),
     ]
     index_lines = [f"# T1000 report (scale {scale})", ""]
     for filename, title, render_fn in artefacts:

@@ -1,5 +1,13 @@
 """Figure drivers: each regenerates one artefact of the paper's evaluation.
 
+Every driver builds a batch of :class:`~repro.engine.ExperimentSpec`
+requests and submits it through an
+:class:`~repro.engine.ExperimentEngine` — pass one configured with
+``jobs``/``cache_dir`` to parallelise and persist the underlying
+pipeline work, or pass none to use the process-wide default (serial,
+in-memory).  Results always come back in request order, so the tables a
+parallel run prints are byte-identical to a serial run's.
+
 Every driver returns ``(headers, rows)`` suitable for
 :func:`repro.utils.tables.format_table`, plus driver-specific extras; the
 benchmarks print these tables and EXPERIMENTS.md records them against the
@@ -8,14 +16,21 @@ paper's numbers.
 
 from __future__ import annotations
 
+from repro.engine import ExperimentEngine, default_engine, make_spec
 from repro.extinst.extdef import ExtInstDef
-from repro.harness.runner import get_lab
 from repro.hwcost.area import distribution_for_defs
 from repro.utils.tables import format_table
 from repro.workloads import WORKLOAD_NAMES
 
 
-def fig2_greedy(scale: int = 1, workloads=WORKLOAD_NAMES):
+def _engine(engine: ExperimentEngine | None) -> ExperimentEngine:
+    return engine if engine is not None else default_engine()
+
+
+def fig2_greedy(
+    scale: int = 1, workloads=WORKLOAD_NAMES,
+    engine: ExperimentEngine | None = None,
+):
     """Figure 2: greedy selection.
 
     Bars: baseline superscalar (1.0), T1000 with unlimited PFUs and zero
@@ -23,11 +38,14 @@ def fig2_greedy(scale: int = 1, workloads=WORKLOAD_NAMES):
     """
     headers = ["workload", "superscalar", "T1000 unlimited PFUs",
                "T1000 2 PFUs (10cy)", "reconfigs(2PFU)"]
-    rows = []
+    specs = []
     for name in workloads:
-        lab = get_lab(name, scale)
-        unlimited = lab.run("greedy", None, 0)
-        limited = lab.run("greedy", 2, 10)
+        specs.append(make_spec(name, "greedy", None, 0, scale=scale))
+        specs.append(make_spec(name, "greedy", 2, 10, scale=scale))
+    results = _engine(engine).run_batch(specs)
+    rows = []
+    for i, name in enumerate(workloads):
+        unlimited, limited = results[2 * i], results[2 * i + 1]
         rows.append(
             [name, 1.0, unlimited.speedup, limited.speedup,
              limited.stats.pfu_misses]
@@ -35,29 +53,38 @@ def fig2_greedy(scale: int = 1, workloads=WORKLOAD_NAMES):
     return headers, rows
 
 
-def fig6_selective(scale: int = 1, workloads=WORKLOAD_NAMES):
+def fig6_selective(
+    scale: int = 1, workloads=WORKLOAD_NAMES,
+    engine: ExperimentEngine | None = None,
+):
     """Figure 6: selective algorithm with 2, 4, and unlimited PFUs
     (10-cycle reconfiguration cost in all cases)."""
     headers = ["workload", "superscalar", "T1000 2 PFUs", "T1000 4 PFUs",
                "T1000 unlimited"]
+    pfu_counts = (2, 4, None)
+    specs = [
+        make_spec(name, "selective", n, 10, scale=scale)
+        for name in workloads for n in pfu_counts
+    ]
+    results = _engine(engine).run_batch(specs)
     rows = []
-    for name in workloads:
-        lab = get_lab(name, scale)
-        two = lab.run("selective", 2, 10)
-        four = lab.run("selective", 4, 10)
-        unlimited = lab.run("selective", None, 10)
+    for i, name in enumerate(workloads):
+        two, four, unlimited = results[3 * i:3 * i + 3]
         rows.append([name, 1.0, two.speedup, four.speedup, unlimited.speedup])
     return headers, rows
 
 
-def fig7_area(scale: int = 1, workloads=WORKLOAD_NAMES, select_pfus: int = 4):
+def fig7_area(
+    scale: int = 1, workloads=WORKLOAD_NAMES, select_pfus: int = 4,
+    engine: ExperimentEngine | None = None,
+):
     """Figure 7: LUT-cost distribution of the extended instructions the
     selective algorithm chooses across all eight benchmarks."""
+    selections = _engine(engine).select_batch(
+        [(name, scale, "selective", select_pfus) for name in workloads]
+    )
     all_defs: dict[tuple, ExtInstDef] = {}
-    per_workload_widths: list[int] = []
-    for name in workloads:
-        lab = get_lab(name, scale)
-        selection = lab.selection("selective", select_pfus)
+    for selection in selections:
         used = selection.configs_in_sites()
         for conf, extdef in selection.ext_defs.items():
             if conf in used:
@@ -68,15 +95,19 @@ def fig7_area(scale: int = 1, workloads=WORKLOAD_NAMES, select_pfus: int = 4):
     return dist
 
 
-def greedy_stats(scale: int = 1, workloads=WORKLOAD_NAMES):
+def greedy_stats(
+    scale: int = 1, workloads=WORKLOAD_NAMES,
+    engine: ExperimentEngine | None = None,
+):
     """§4.1 text: distinct extended instructions (paper: 6-43) and
     sequence lengths (paper: 2-8) found by the greedy algorithm."""
     headers = ["workload", "distinct configs", "rewrite sites",
                "min length", "max length"]
+    selections = _engine(engine).select_batch(
+        [(name, scale, "greedy", None) for name in workloads]
+    )
     rows = []
-    for name in workloads:
-        lab = get_lab(name, scale)
-        selection = lab.selection("greedy", None)
+    for name, selection in zip(workloads, selections):
         lengths = [len(site.nodes) for site in selection.sites] or [0]
         rows.append(
             [name, selection.n_configs, len(selection.sites),
@@ -90,16 +121,23 @@ def reconfig_sweep(
     workloads=WORKLOAD_NAMES,
     latencies=(0, 10, 50, 100, 500),
     n_pfus: int = 2,
+    engine: ExperimentEngine | None = None,
 ):
     """§5.2 text: selective speedups "even with reconfiguration times as
     high as 500 cycles"."""
     headers = ["workload"] + [f"reconf={lat}" for lat in latencies]
+    specs = [
+        make_spec(name, "selective", n_pfus, lat, scale=scale)
+        for name in workloads for lat in latencies
+    ]
+    results = _engine(engine).run_batch(specs)
     rows = []
-    for name in workloads:
-        lab = get_lab(name, scale)
+    for i, name in enumerate(workloads):
         row: list[object] = [name]
-        for lat in latencies:
-            row.append(lab.run("selective", n_pfus, lat).speedup)
+        row.extend(
+            r.speedup
+            for r in results[i * len(latencies):(i + 1) * len(latencies)]
+        )
         rows.append(row)
     return headers, rows
 
@@ -109,18 +147,25 @@ def pfu_sweep(
     workloads=WORKLOAD_NAMES,
     pfu_counts=(1, 2, 3, 4, 6, 8, None),
     reconfig_latency: int = 10,
+    engine: ExperimentEngine | None = None,
 ):
     """§5.2 text: "four PFUs are typically enough to achieve almost the
     same performance improvement as the optimistic speed-ups"."""
     headers = ["workload"] + [
         "unlimited" if n is None else f"{n} PFU" for n in pfu_counts
     ]
+    specs = [
+        make_spec(name, "selective", n, reconfig_latency, scale=scale)
+        for name in workloads for n in pfu_counts
+    ]
+    results = _engine(engine).run_batch(specs)
     rows = []
-    for name in workloads:
-        lab = get_lab(name, scale)
+    for i, name in enumerate(workloads):
         row: list[object] = [name]
-        for n in pfu_counts:
-            row.append(lab.run("selective", n, reconfig_latency).speedup)
+        row.extend(
+            r.speedup
+            for r in results[i * len(pfu_counts):(i + 1) * len(pfu_counts)]
+        )
         rows.append(row)
     return headers, rows
 

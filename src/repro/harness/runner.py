@@ -1,64 +1,50 @@
-"""Per-workload experiment runner with artefact caching.
+"""Per-workload experiment views over the engine's artifact pipeline.
 
-A :class:`WorkloadLab` owns one workload and lazily computes/caches the
-profile, each algorithm's selection, the rewritten programs with their
-dynamic traces, and timing results per machine configuration — the same
-artefact may appear in several figures, and benchmarks should not pay for
-it twice.
+A :class:`WorkloadLab` is a thin, workload-scoped view over an
+:class:`~repro.engine.pipeline.ArtifactPipeline`: the profile, each
+algorithm's selection, the rewritten programs with their dynamic traces,
+and timing results all live in the pipeline's cache (an in-process memo,
+plus a persistent content-addressed store when one is configured), so
+the same artefact is never paid for twice — not within a process, and
+with a store, not even across processes or ``t1000`` invocations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.errors import ConfigurationError
-from repro.extinst import (
-    Selection,
-    apply_selection,
-    greedy_select,
-    selective_select,
-    validate_equivalence,
+from repro.engine.pipeline import (
+    ArtifactPipeline,
+    ExperimentResult,
+    get_default_pipeline,
+    make_spec,
 )
+from repro.extinst import Selection
 from repro.extinst.extdef import ExtInstDef
-from repro.profiling import ProgramProfile, profile_program
+from repro.profiling import ProgramProfile
 from repro.program.program import Program
-from repro.sim.functional import FunctionalSimulator
-from repro.sim.ooo import MachineConfig, OoOSimulator, SimStats
+from repro.sim.ooo import MachineConfig, SimStats
 from repro.sim.trace import DynTrace
-from repro.workloads import Workload, build_workload
+from repro.workloads import Workload
 
-
-@dataclass
-class ExperimentResult:
-    """One timing experiment on one workload."""
-
-    workload: str
-    algorithm: str           # "baseline" | "greedy" | "selective"
-    n_pfus: int | None
-    reconfig_latency: int
-    stats: SimStats
-    baseline_cycles: int
-    n_configs: int
-
-    @property
-    def speedup(self) -> float:
-        return self.baseline_cycles / self.stats.cycles
+__all__ = ["ExperimentResult", "WorkloadLab", "get_lab"]
 
 
 class WorkloadLab:
     """Cached experiment artefacts for one workload."""
 
-    def __init__(self, name: str, scale: int = 1, validate: bool = True):
-        self.workload: Workload = build_workload(name, scale)
+    def __init__(
+        self,
+        name: str,
+        scale: int = 1,
+        validate: bool = True,
+        pipeline: ArtifactPipeline | None = None,
+    ):
+        self.pipeline = pipeline if pipeline is not None else get_default_pipeline()
         self.name = name
         self.scale = scale
         self.validate = validate
-        self._profile: ProgramProfile | None = None
-        self._selections: dict[tuple, Selection] = {}
-        self._rewritten: dict[tuple, tuple[Program, dict[int, ExtInstDef]]] = {}
-        self._traces: dict[tuple, DynTrace] = {}
-        self._timings: dict[tuple, SimStats] = {}
+        self.workload: Workload = self.pipeline.workload(name, scale)
 
     # ------------------------------------------------------------------
 
@@ -68,53 +54,33 @@ class WorkloadLab:
 
     @property
     def profile(self) -> ProgramProfile:
-        if self._profile is None:
-            self._profile = profile_program(self.program)
-        return self._profile
+        return self.pipeline.profile(self.name, self.scale)
 
     def selection(self, algorithm: str, select_pfus: int | None) -> Selection:
         """The (cached) selection for an algorithm/PFU-budget pair."""
-        key = (algorithm, select_pfus)
-        if key not in self._selections:
-            if algorithm == "greedy":
-                self._selections[key] = greedy_select(self.profile)
-            elif algorithm == "selective":
-                self._selections[key] = selective_select(self.profile, select_pfus)
-            else:
-                raise ConfigurationError(f"unknown algorithm {algorithm!r}")
-        return self._selections[key]
+        return self.pipeline.selection(
+            self.name, self.scale, algorithm, select_pfus
+        )
 
     def rewritten(
         self, algorithm: str, select_pfus: int | None
     ) -> tuple[Program, dict[int, ExtInstDef]]:
-        key = (algorithm, select_pfus)
-        if key not in self._rewritten:
-            selection = self.selection(algorithm, select_pfus)
-            program, defs = apply_selection(self.program, selection)
-            if self.validate:
-                validate_equivalence(self.program, program, defs)
-            self._rewritten[key] = (program, defs)
-        return self._rewritten[key]
+        return self.pipeline.rewrite(
+            self.name, self.scale, algorithm, select_pfus, self.validate
+        )
 
-    def _trace(self, key: tuple, program: Program, defs) -> DynTrace:
-        if key not in self._traces:
-            result = FunctionalSimulator(program, ext_defs=defs).run(
-                collect_trace=True
-            )
-            assert result.trace is not None
-            self._traces[key] = result.trace
-        return self._traces[key]
+    def trace(
+        self, algorithm: str = "baseline", select_pfus: int | None = None
+    ) -> DynTrace:
+        return self.pipeline.trace(
+            self.name, self.scale, algorithm, select_pfus, self.validate
+        )
 
     # ------------------------------------------------------------------
 
     def baseline(self, machine: MachineConfig | None = None) -> SimStats:
         """Timing of the original program (Figure 2/6 first bar)."""
-        machine = machine or MachineConfig()
-        key = ("baseline", machine.ruu_size, machine.issue_width)
-        if key not in self._timings:
-            trace = self._trace(("baseline",), self.program, None)
-            self._timings[key] = OoOSimulator(self.program, machine).simulate(trace)
-        return self._timings[key]
+        return self.pipeline.baseline_timing(self.name, self.scale, machine)
 
     def run(
         self,
@@ -129,40 +95,21 @@ class WorkloadLab:
         for; by default it equals the hardware PFU count ``n_pfus``.
         (Figure 2's thrashing case uses greedy, which ignores it.)
         """
-        if select_pfus == "same":
-            select_pfus = n_pfus
-        base = self.baseline()
-        if algorithm == "baseline":
-            return ExperimentResult(
-                workload=self.name,
-                algorithm="baseline",
-                n_pfus=0,
-                reconfig_latency=0,
-                stats=base,
-                baseline_cycles=base.cycles,
-                n_configs=0,
-            )
-        program, defs = self.rewritten(algorithm, select_pfus)
-        timing_key = (algorithm, select_pfus, n_pfus, reconfig_latency)
-        if timing_key not in self._timings:
-            trace = self._trace((algorithm, select_pfus), program, defs)
-            machine = MachineConfig(
-                n_pfus=n_pfus, reconfig_latency=reconfig_latency
-            )
-            sim = OoOSimulator(program, machine, ext_defs=defs)
-            self._timings[timing_key] = sim.simulate(trace)
-        return ExperimentResult(
-            workload=self.name,
-            algorithm=algorithm,
-            n_pfus=n_pfus,
-            reconfig_latency=reconfig_latency,
-            stats=self._timings[timing_key],
-            baseline_cycles=base.cycles,
-            n_configs=self.selection(algorithm, select_pfus).n_configs,
+        spec = make_spec(
+            self.name, algorithm, n_pfus, reconfig_latency,
+            scale=self.scale, select_pfus=select_pfus,
+            validate=self.validate,
         )
+        return self.pipeline.run(spec)
 
 
 @lru_cache(maxsize=None)
-def get_lab(name: str, scale: int = 1) -> WorkloadLab:
-    """Process-wide lab cache (benchmarks share artefacts)."""
-    return WorkloadLab(name, scale)
+def get_lab(name: str, scale: int = 1, validate: bool = True) -> WorkloadLab:
+    """Process-wide lab cache (benchmarks share artefacts).
+
+    The key includes ``scale`` and ``validate``, so labs for different
+    scales or validation settings never alias — and the underlying
+    pipeline keys carry both too, so a warm persistent cache can never
+    serve artefacts computed at a different workload scale.
+    """
+    return WorkloadLab(name, scale, validate)

@@ -1,0 +1,218 @@
+"""Tests for the dependency-DAG job scheduler (repro.engine.scheduler)."""
+
+import time
+
+import pytest
+
+from repro.engine.scheduler import (
+    Job,
+    JobGraph,
+    Scheduler,
+    SchedulerError,
+    TransientJobError,
+)
+
+
+def runner(payload):
+    """Module-level (picklable) job runner used by every test."""
+    op = payload["op"]
+    if op == "echo":
+        return payload["value"]
+    if op == "append":
+        with open(payload["path"], "a") as fh:
+            fh.write(payload["value"] + "\n")
+        return payload["value"]
+    if op == "fail":
+        raise ValueError("hard failure")
+    if op == "flaky":
+        # fail with a retryable error until the marker file has enough
+        # attempts recorded — a counter that survives process boundaries
+        with open(payload["path"], "a") as fh:
+            fh.write("x")
+        with open(payload["path"]) as fh:
+            attempts = len(fh.read())
+        if attempts <= payload["fail_times"]:
+            raise TransientJobError(f"flaky (attempt {attempts})")
+        return "recovered"
+    if op == "sleep":
+        time.sleep(payload["seconds"])
+        return "slept"
+    raise AssertionError(f"unknown op {op!r}")
+
+
+def echo_job(job_id, value=None, deps=(), **kwargs):
+    return Job(job_id=job_id, kind="test",
+               payload={"op": "echo", "value": value or job_id},
+               deps=tuple(deps), **kwargs)
+
+
+class TestJobGraph:
+    def test_add_is_idempotent(self):
+        graph = JobGraph()
+        a = graph.add(echo_job("a"))
+        again = graph.add(echo_job("a", value="different"))
+        assert again is a
+        assert len(graph) == 1
+
+    def test_topological_order_respects_deps(self):
+        graph = JobGraph()
+        graph.add(echo_job("timing", deps=("rewrite",)))
+        graph.add(echo_job("rewrite", deps=("selection",)))
+        graph.add(echo_job("selection", deps=("profile",)))
+        graph.add(echo_job("profile"))
+        order = graph.topological_order()
+        assert order.index("profile") < order.index("selection")
+        assert order.index("selection") < order.index("rewrite")
+        assert order.index("rewrite") < order.index("timing")
+
+    def test_order_is_insertion_stable_for_independent_jobs(self):
+        graph = JobGraph()
+        for name in ("c", "a", "b"):
+            graph.add(echo_job(name))
+        assert graph.topological_order() == ["c", "a", "b"]
+
+    def test_unknown_dependency_rejected(self):
+        graph = JobGraph()
+        graph.add(echo_job("a", deps=("ghost",)))
+        with pytest.raises(SchedulerError, match="unknown job"):
+            graph.topological_order()
+
+    def test_cycle_rejected(self):
+        graph = JobGraph()
+        graph.add(echo_job("a", deps=("b",)))
+        graph.add(echo_job("b", deps=("a",)))
+        with pytest.raises(SchedulerError, match="cycle"):
+            graph.topological_order()
+
+
+class TestInlineExecution:
+    def test_runs_in_dependency_order(self, tmp_path):
+        log = tmp_path / "order.log"
+        graph = JobGraph()
+        graph.add(Job("second", "test",
+                      {"op": "append", "path": str(log), "value": "second"},
+                      deps=("first",)))
+        graph.add(Job("first", "test",
+                      {"op": "append", "path": str(log), "value": "first"}))
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert all(r.ok for r in results.values())
+        assert log.read_text().splitlines() == ["first", "second"]
+
+    def test_failure_skips_dependents(self):
+        graph = JobGraph()
+        graph.add(Job("bad", "test", {"op": "fail"}, retries=0))
+        graph.add(echo_job("child", deps=("bad",)))
+        graph.add(echo_job("grandchild", deps=("child",)))
+        graph.add(echo_job("unrelated"))
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert results["bad"].status == "failed"
+        assert "hard failure" in results["bad"].error
+        assert results["child"].status == "skipped"
+        assert results["grandchild"].status == "skipped"
+        assert results["unrelated"].ok
+
+    def test_transient_failure_retried(self, tmp_path):
+        marker = tmp_path / "attempts"
+        graph = JobGraph()
+        graph.add(Job("flaky", "test",
+                      {"op": "flaky", "path": str(marker), "fail_times": 1},
+                      retries=1))
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert results["flaky"].ok
+        assert results["flaky"].value == "recovered"
+        assert results["flaky"].attempts == 2
+
+    def test_retries_exhausted(self, tmp_path):
+        marker = tmp_path / "attempts"
+        graph = JobGraph()
+        graph.add(Job("flaky", "test",
+                      {"op": "flaky", "path": str(marker), "fail_times": 99},
+                      retries=2))
+        graph.add(echo_job("child", deps=("flaky",)))
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert results["flaky"].status == "failed"
+        assert results["flaky"].attempts == 3     # 1 try + 2 retries
+        assert results["child"].status == "skipped"
+
+    def test_hard_failure_not_retried(self, tmp_path):
+        graph = JobGraph()
+        graph.add(Job("bad", "test", {"op": "fail"}, retries=5))
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert results["bad"].status == "failed"
+        assert results["bad"].attempts == 1
+
+    def test_timeout_fails_job(self):
+        graph = JobGraph()
+        graph.add(Job("slow", "test", {"op": "sleep", "seconds": 5.0},
+                      timeout=0.2, retries=0))
+        started = time.perf_counter()
+        results = Scheduler(jobs=1).run(graph, runner)
+        assert results["slow"].status == "failed"
+        assert "JobTimeoutError" in results["slow"].error
+        assert time.perf_counter() - started < 4.0
+
+    def test_default_timeout_applies(self):
+        graph = JobGraph()
+        graph.add(Job("slow", "test", {"op": "sleep", "seconds": 5.0},
+                      retries=0))
+        graph.add(echo_job("fine"))
+        results = Scheduler(jobs=1, default_timeout=0.2).run(graph, runner)
+        assert results["slow"].status == "failed"
+        assert results["fine"].ok
+
+    def test_telemetry_records_jobs(self):
+        scheduler = Scheduler(jobs=1)
+        graph = JobGraph()
+        graph.add(echo_job("a"))
+        graph.add(Job("bad", "test", {"op": "fail"}, retries=0))
+        scheduler.run(graph, runner)
+        statuses = {r.job_id: r.status for r in scheduler.telemetry.jobs}
+        assert statuses == {"a": "ok", "bad": "failed"}
+
+
+class TestPoolExecution:
+    def test_results_match_inline(self, tmp_path):
+        def build():
+            graph = JobGraph()
+            graph.add(echo_job("root"))
+            graph.add(echo_job("left", deps=("root",)))
+            graph.add(echo_job("right", deps=("root",)))
+            graph.add(echo_job("join", deps=("left", "right")))
+            return graph
+
+        inline = Scheduler(jobs=1).run(build(), runner)
+        pooled = Scheduler(jobs=2).run(build(), runner)
+        assert {j: r.value for j, r in inline.items()} == \
+               {j: r.value for j, r in pooled.items()}
+        assert all(r.ok for r in pooled.values())
+
+    def test_failure_cascade_across_processes(self):
+        graph = JobGraph()
+        graph.add(Job("bad", "test", {"op": "fail"}, retries=0))
+        graph.add(echo_job("child", deps=("bad",)))
+        graph.add(echo_job("solo"))
+        results = Scheduler(jobs=2).run(graph, runner)
+        assert results["bad"].status == "failed"
+        assert results["child"].status == "skipped"
+        assert results["solo"].ok
+
+    def test_retry_across_processes(self, tmp_path):
+        marker = tmp_path / "attempts"
+        graph = JobGraph()
+        graph.add(Job("flaky", "test",
+                      {"op": "flaky", "path": str(marker), "fail_times": 1},
+                      retries=1))
+        results = Scheduler(jobs=2).run(graph, runner)
+        assert results["flaky"].ok
+        assert results["flaky"].attempts == 2
+
+    def test_timeout_enforced_in_worker(self):
+        graph = JobGraph()
+        graph.add(Job("slow", "test", {"op": "sleep", "seconds": 5.0},
+                      timeout=0.2, retries=0))
+        graph.add(echo_job("fine"))
+        started = time.perf_counter()
+        results = Scheduler(jobs=2).run(graph, runner)
+        assert results["slow"].status == "failed"
+        assert results["fine"].ok
+        assert time.perf_counter() - started < 4.0

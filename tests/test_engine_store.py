@@ -1,0 +1,264 @@
+"""Tests for the content-addressed artifact store (repro.engine.store)."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.engine.store import (
+    KIND_FORMATS,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    machine_fingerprint,
+    make_key,
+    program_fingerprint,
+    stats_from_json,
+    stats_to_json,
+)
+from repro.errors import ConfigurationError
+from repro.extinst import greedy_select
+from repro.profiling import profile_program
+from repro.sim.ooo import MachineConfig
+
+from test_matrix import FIG3
+
+FP = "ab" * 8
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(FIG3)
+
+
+@pytest.fixture(scope="module")
+def selection(program):
+    return greedy_select(profile_program(program))
+
+
+@pytest.fixture(scope="module")
+def sim_stats():
+    return stats_from_json({
+        "cycles": 1234, "instructions": 900, "ext_instructions": 40,
+        "pfu_hits": 30, "pfu_misses": 10, "reconfig_cycles": 100,
+        "bpred_lookups": 200, "bpred_mispredictions": 20,
+        "class_counts": {"alu": 500, "mem": 300},
+        "cache": {"il1": {"hits": 100, "misses": 5}},
+        "timeline": [[0, 1, 2, 3, 4, 5]],
+    })
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown artifact kind"):
+            make_key("frobnication", "epic", 1, FP)
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON scalar"):
+            make_key("profile", "epic", 1, FP, bad=[1, 2])
+
+    def test_digest_stable_across_param_order(self):
+        a = make_key("timing", "epic", 1, FP, algorithm="greedy", machine="m")
+        b = make_key("timing", "epic", 1, FP, machine="m", algorithm="greedy")
+        assert a.digest == b.digest
+
+    def test_digest_distinguishes_scale(self):
+        a = make_key("profile", "epic", 1, FP)
+        b = make_key("profile", "epic", 2, FP)
+        assert a.digest != b.digest
+
+    def test_digest_distinguishes_validate_flag(self):
+        a = make_key("rewrite", "epic", 1, FP, algorithm="greedy",
+                     select_pfus=None, validate=True)
+        b = make_key("rewrite", "epic", 1, FP, algorithm="greedy",
+                     select_pfus=None, validate=False)
+        assert a.digest != b.digest
+
+    def test_digest_distinguishes_machine(self):
+        m1 = machine_fingerprint(MachineConfig())
+        m2 = machine_fingerprint(MachineConfig(n_pfus=8, reconfig_latency=500))
+        assert m1 != m2
+        a = make_key("timing", "epic", 1, FP, algorithm="baseline", machine=m1)
+        b = make_key("timing", "epic", 1, FP, algorithm="baseline", machine=m2)
+        assert a.digest != b.digest
+
+    def test_program_fingerprint_tracks_content(self, program):
+        other = assemble(FIG3.replace("100", "101", 1))
+        assert program_fingerprint(program) != program_fingerprint(other)
+
+
+class TestStatsCodec:
+    def test_roundtrip(self, sim_stats):
+        again = stats_from_json(json.loads(json.dumps(stats_to_json(sim_stats))))
+        assert again == sim_stats
+        assert again.timeline == sim_stats.timeline
+        assert isinstance(again.timeline[0], tuple)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        key = make_key("profile", "epic", 1, FP)
+        assert store.get(key) is None
+        store.put(key, {"anything": "picklable"})
+        assert store.contains(key)
+        assert store.get(key) == {"anything": "picklable"}
+
+    def test_selection_roundtrip_is_json(self, store, selection):
+        key = make_key("selection", "fig3", 1, FP, algorithm="greedy",
+                       select_pfus=None)
+        store.put(key, selection)
+        assert store.path_for(key).suffix == ".json"
+        again = store.get(key)
+        assert again.sites == selection.sites
+        assert {c: d.key for c, d in again.ext_defs.items()} == {
+            c: d.key for c, d in selection.ext_defs.items()
+        }
+
+    def test_timing_roundtrip_is_json(self, store, sim_stats):
+        key = make_key("timing", "fig3", 1, FP, algorithm="baseline",
+                       machine="m")
+        store.put(key, sim_stats)
+        assert store.path_for(key).suffix == ".json"
+        assert store.get(key) == sim_stats
+
+    def test_every_kind_has_a_format(self):
+        assert set(KIND_FORMATS.values()) <= {"json", "pickle"}
+
+    def test_distinct_keys_do_not_alias(self, store):
+        a = make_key("profile", "epic", 1, FP)
+        b = make_key("profile", "epic", 2, FP)
+        store.put(a, "scale-one")
+        assert store.get(b) is None
+        assert store.get(a) == "scale-one"
+
+
+class TestCorruption:
+    def test_truncated_pickle_is_a_miss(self, store):
+        key = make_key("trace", "epic", 1, FP, algorithm="baseline")
+        store.put(key, list(range(100)))
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get(key) is None
+        assert not path.exists(), "corrupt entry should be deleted"
+        # and the store recovers on the next put
+        store.put(key, "fresh")
+        assert store.get(key) == "fresh"
+
+    def test_invalid_json_is_a_miss(self, store, sim_stats):
+        key = make_key("timing", "epic", 1, FP, algorithm="baseline",
+                       machine="m")
+        store.put(key, sim_stats)
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_envelope_digest_mismatch_is_a_miss(self, store, sim_stats):
+        a = make_key("timing", "epic", 1, FP, algorithm="baseline",
+                     machine="m1")
+        b = make_key("timing", "epic", 1, FP, algorithm="baseline",
+                     machine="m2")
+        store.put(a, sim_stats)
+        # graft a's bytes into b's slot: the embedded digest exposes it
+        store.path_for(b).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(b).write_bytes(store.path_for(a).read_bytes())
+        assert store.get(b) is None
+        assert store.get(a) == sim_stats
+
+    def test_corruption_counted(self, store):
+        key = make_key("profile", "epic", 1, FP)
+        store.put(key, "x")
+        store.path_for(key).write_bytes(b"junk")
+        store.get(key)
+        assert store.telemetry.counters["cache.corrupt.profile"] == 1
+        assert store.telemetry.counters["cache.miss.profile"] == 1
+
+
+class TestCountersAndStats:
+    def test_stats_aggregate_across_processes(self, tmp_path):
+        root = tmp_path / "cache"
+        key = make_key("profile", "epic", 1, FP)
+        first = ArtifactStore(root)
+        first.get(key)          # miss
+        first.put(key, "v")
+        first.flush_counters()
+        second = ArtifactStore(root)   # fresh "process" (own counter file)
+        second.get(key)         # hit
+        second.flush_counters()
+        stats = second.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.puts == 1
+        assert stats.artifacts == 1
+        assert stats.schema_version == SCHEMA_VERSION
+
+    def test_unflushed_session_counts_visible(self, store):
+        key = make_key("profile", "epic", 1, FP)
+        store.get(key)
+        assert store.stats().misses == 1    # no flush_counters() yet
+
+    def test_render_mentions_hits_and_simulations(self, store):
+        store.record_counter("sim.functional", 3)
+        store.record_counter("sim.timing", 2)
+        text = store.stats().render()
+        assert "hits: 0  misses: 0  puts: 0" in text
+        assert "simulations: functional=3 timing=2" in text
+
+    def test_clear_removes_everything(self, store):
+        key = make_key("profile", "epic", 1, FP)
+        store.put(key, "v")
+        store.flush_counters()
+        removed = store.clear()
+        assert removed == 2     # one artefact + one counter file
+        stats = store.stats()
+        assert stats.artifacts == 0
+        assert stats.counters == {}
+
+
+class TestGc:
+    def _fill(self, store, n):
+        keys = [make_key("profile", "epic", i + 1, FP) for i in range(n)]
+        for i, key in enumerate(keys):
+            store.put(key, "x" * 1000)
+            # spread mtimes so LRU ordering is deterministic
+            path = store.path_for(key)
+            import os
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        return keys
+
+    def test_lru_eviction_keeps_newest(self, store):
+        keys = self._fill(store, 4)
+        sizes = [store.path_for(k).stat().st_size for k in keys]
+        summary = store.gc(max_bytes=sizes[-1] * 2)
+        assert summary["removed"] == 2
+        assert summary["kept"] == 2
+        assert not store.contains(keys[0]) and not store.contains(keys[1])
+        assert store.contains(keys[2]) and store.contains(keys[3])
+
+    def test_age_eviction(self, store):
+        keys = self._fill(store, 3)     # mtimes ~1970: ancient
+        summary = store.gc(max_age_days=1)
+        assert summary["removed"] == 3
+        assert summary["kept"] == 0
+        assert all(not store.contains(k) for k in keys)
+
+    def test_gc_compacts_counters_without_losing_totals(self, tmp_path):
+        root = tmp_path / "cache"
+        key = make_key("profile", "epic", 1, FP)
+        first = ArtifactStore(root)
+        first.get(key)
+        first.flush_counters()
+        second = ArtifactStore(root)
+        second.get(key)
+        second.gc()             # merges both counter files + session
+        files = list((root / "counters").glob("*.json"))
+        assert len(files) == 1
+        assert second.stats().misses == 2
+
+    def test_put_triggers_gc_when_budgeted(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache", max_bytes=1)
+        key = make_key("profile", "epic", 1, FP)
+        store.put(key, "x" * 1000)
+        assert not store.contains(key)  # over budget, evicted immediately

@@ -12,7 +12,9 @@ from repro.extinst.serialize import (
     extdef_to_json,
     load_selection,
     save_selection,
+    selection_dumps,
     selection_from_json,
+    selection_loads,
     selection_to_json,
 )
 from repro.profiling import profile_program
@@ -82,6 +84,41 @@ class TestSelectionRoundTrip:
         data["format_version"] = 99
         with pytest.raises(ExtInstError, match="version"):
             selection_from_json(data)
+
+    def test_meta_roundtrip(self, selection):
+        again = selection_from_json(selection_to_json(selection))
+        assert again.meta == selection.meta
+
+    def test_site_with_undefined_conf_rejected(self, selection):
+        data = selection_to_json(selection)
+        assert data["sites"], "fixture selection has no rewrite sites"
+        data["sites"][0]["conf"] = 9999
+        with pytest.raises(ExtInstError, match="undefined configuration"):
+            selection_from_json(data)
+
+
+class TestStringHelpers:
+    def test_dumps_loads_roundtrip(self, selection):
+        again = selection_loads(selection_dumps(selection))
+        assert again.sites == selection.sites
+        assert again.algorithm == selection.algorithm
+        assert again.meta == selection.meta
+        assert {c: d.key for c, d in again.ext_defs.items()} == {
+            c: d.key for c, d in selection.ext_defs.items()
+        }
+
+    def test_dumps_matches_saved_file(self, selection, tmp_path):
+        path = tmp_path / "sel.json"
+        save_selection(selection, str(path))
+        assert path.read_text() == selection_dumps(selection)
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(ExtInstError, match="not valid JSON"):
+            selection_loads("{truncated")
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(ExtInstError, match="JSON object"):
+            selection_loads("[1, 2, 3]")
 
 
 class TestCLIIntegration:
