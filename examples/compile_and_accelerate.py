@@ -4,17 +4,16 @@ instructions -> T1000 speedup.
 Writes a fixed-point FIR-filter + saturation kernel in minic (the bundled
 C-subset compiler), compiles it to T1000 assembly, then runs the complete
 §5 pipeline on the *compiler's output* — profiling, selective selection,
-rewriting, validation, and timing simulation.
+rewriting, validation, and timing simulation — all through
+:mod:`repro.api` (``lang`` is inferred: no section directives, so the
+source compiles as minic).
 
 Run with: ``python examples/compile_and_accelerate.py``
 """
 
-from repro.cc import compile_source
-from repro.extinst import apply_selection, selective_select, validate_equivalence
-from repro.profiling import profile_program
+from repro import api
 from repro.profiling.report import class_summary
 from repro.sim.functional import FunctionalSimulator
-from repro.sim.ooo import MachineConfig, OoOSimulator
 
 KERNEL = """
 // 4-tap fixed-point FIR with saturation to [0, 255]
@@ -54,29 +53,26 @@ int main() {
 
 
 def main() -> None:
-    program = compile_source(KERNEL, name="fir")
+    program = api.compile(source=KERNEL, name="fir")
     print(f"compiled to {len(program.text)} static instructions\n")
 
-    profile = profile_program(program)
+    profile = api.profile(program=program)
     print("instruction mix of the compiled kernel:")
     print(class_summary(profile))
 
-    selection = selective_select(profile, n_pfus=2)
+    selection = api.select(profile=profile, algorithm="selective", pfus=2)
     print(f"\n{selection.describe()}")
     for conf, extdef in sorted(selection.ext_defs.items()):
         print(extdef.describe())
 
-    rewritten, defs = apply_selection(program, selection)
-    validate_equivalence(program, rewritten, defs)
+    rewritten, defs = api.rewrite(program=program, selection=selection)
 
-    def timed(prog, machine, ext=None):
-        trace = FunctionalSimulator(prog, ext_defs=ext).run(
-            collect_trace=True
-        ).trace
-        return OoOSimulator(prog, machine, ext_defs=ext).simulate(trace)
-
-    base = timed(program, MachineConfig())
-    accel = timed(rewritten, MachineConfig(n_pfus=2, reconfig_latency=10), defs)
+    base = api.simulate(program=program)
+    accel = api.simulate(
+        program=rewritten,
+        machine=api.MachineConfig(n_pfus=2, reconfig_latency=10),
+        ext_defs=defs,
+    )
     print(f"\nbaseline : {base.cycles} cycles (IPC {base.ipc:.2f})")
     print(f"T1000    : {accel.cycles} cycles (IPC {accel.ipc:.2f}, "
           f"{accel.ext_instructions} ext executions)")

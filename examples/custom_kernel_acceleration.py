@@ -13,16 +13,9 @@ inner loop the paper's MediaBench study is made of.
 Run with: ``python examples/custom_kernel_acceleration.py``
 """
 
+from repro import api
 from repro.asm import AsmBuilder
-from repro.extinst import (
-    apply_selection,
-    greedy_select,
-    selective_select,
-    validate_equivalence,
-)
 from repro.hwcost import config_bits, estimate_cost
-from repro.profiling import profile_program
-from repro.sim.ooo import MachineConfig, simulate_program
 from repro.workloads.data import image_tile
 from repro.workloads.idioms import emit_clamp255
 
@@ -53,18 +46,20 @@ def build_blend_kernel():
 
 def main() -> None:
     program = build_blend_kernel()
-    profile = profile_program(program)
-    baseline = simulate_program(program)
+    profile = api.profile(program=program)
+    baseline = api.simulate(program=program)
     print(f"baseline: {baseline.cycles} cycles, IPC {baseline.ipc:.2f}\n")
 
     for name, selection in (
-        ("greedy", greedy_select(profile)),
-        ("selective (2 PFUs)", selective_select(profile, n_pfus=2)),
+        ("greedy", api.select(profile=profile, algorithm="greedy")),
+        ("selective (2 PFUs)",
+         api.select(profile=profile, algorithm="selective", pfus=2)),
     ):
-        rewritten, defs = apply_selection(program, selection)
-        validate_equivalence(program, rewritten, defs)
-        stats = simulate_program(
-            rewritten, MachineConfig(n_pfus=2, reconfig_latency=10), defs
+        rewritten, defs = api.rewrite(program=program, selection=selection)
+        stats = api.simulate(
+            program=rewritten,
+            machine=api.MachineConfig(n_pfus=2, reconfig_latency=10),
+            ext_defs=defs,
         )
         print(f"== {name}: {selection.n_configs} configurations, "
               f"speedup {baseline.cycles / stats.cycles:.3f}x, "
@@ -77,7 +72,7 @@ def main() -> None:
         print()
 
     # the full dataflow of one configuration
-    selection = selective_select(profile, n_pfus=2)
+    selection = api.select(profile=profile, algorithm="selective", pfus=2)
     conf, extdef = max(
         selection.ext_defs.items(), key=lambda kv: len(kv[1].nodes)
     )

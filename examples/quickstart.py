@@ -1,21 +1,20 @@
 """Quickstart: accelerate a small kernel with configurable extended
 instructions.
 
-Walks the full T1000 pipeline on a toy loop:
+Walks the full T1000 pipeline on a toy loop through :mod:`repro.api`,
+the stable five-function facade:
 
-1. assemble a program;
-2. profile it (execution counts + operand bitwidths);
-3. run the selective algorithm for a 2-PFU machine;
-4. rewrite the program, validate semantic equivalence;
-5. compare cycle counts on the out-of-order timing model.
+1. ``api.compile`` — assemble a program;
+2. ``api.profile`` — execution counts + operand bitwidths;
+3. ``api.select`` — the selective algorithm for a 2-PFU machine;
+4. ``api.rewrite`` — fold sequences into ``ext`` instructions (semantic
+   equivalence validated);
+5. ``api.simulate`` — compare cycle counts on the out-of-order model.
 
 Run with: ``python examples/quickstart.py``
 """
 
-from repro.asm import assemble
-from repro.extinst import apply_selection, selective_select, validate_equivalence
-from repro.profiling import profile_program
-from repro.sim.ooo import MachineConfig, simulate_program
+from repro import api
 
 SOURCE = """
 .data
@@ -45,24 +44,25 @@ loop:
 
 
 def main() -> None:
-    program = assemble(SOURCE, name="quickstart")
+    program = api.compile(source=SOURCE, name="quickstart")
 
     # --- profile and select ---------------------------------------------
-    profile = profile_program(program)
-    selection = selective_select(profile, n_pfus=2)
+    profile = api.profile(program=program)
+    selection = api.select(profile=profile, algorithm="selective", pfus=2)
     print(selection.describe())
     for conf, extdef in sorted(selection.ext_defs.items()):
         print(extdef.describe())
 
-    # --- rewrite and validate -------------------------------------------
-    rewritten, ext_defs = apply_selection(program, selection)
-    validate_equivalence(program, rewritten, ext_defs)
+    # --- rewrite (equivalence validated by default) ---------------------
+    rewritten, ext_defs = api.rewrite(program=program, selection=selection)
     print(f"\nstatic instructions: {len(program.text)} -> {len(rewritten.text)}")
 
     # --- time both on the T1000 -----------------------------------------
-    baseline = simulate_program(program)
-    t1000 = simulate_program(
-        rewritten, MachineConfig(n_pfus=2, reconfig_latency=10), ext_defs
+    baseline = api.simulate(program=program)
+    t1000 = api.simulate(
+        program=rewritten,
+        machine=api.MachineConfig(n_pfus=2, reconfig_latency=10),
+        ext_defs=ext_defs,
     )
     print(f"baseline superscalar : {baseline.cycles} cycles "
           f"(IPC {baseline.ipc:.2f})")

@@ -1,7 +1,18 @@
 """repro — reproduction of "Augmenting Modern Superscalar Architectures
 with Configurable Extended Instructions" (Zhou & Martonosi, IPPS 2000).
 
-Public API highlights (see README for a tour):
+The stable entry point is :mod:`repro.api` — five keyword-only
+functions covering the paper's whole toolflow::
+
+    from repro import api
+
+    program = api.compile(workload="gsm_encode")
+    profile = api.profile(program=program)
+    selection = api.select(profile=profile, algorithm="selective", pfus=2)
+    rewritten, defs = api.rewrite(program=program, selection=selection)
+    stats = api.simulate(program=rewritten, ext_defs=defs)
+
+Deeper layers (stable too, but wider):
 
 - :func:`repro.asm.assemble` / :class:`repro.asm.AsmBuilder` — build programs.
 - :class:`repro.sim.FunctionalSimulator` — execute and trace programs.
@@ -9,9 +20,25 @@ Public API highlights (see README for a tour):
   — the T1000 timing model with PFUs.
 - :mod:`repro.extinst` — extended-instruction extraction, the greedy and
   selective selection algorithms, and the program rewriter.
+- :mod:`repro.obs` — tracing + metrics across sim/selection/engine.
 - :mod:`repro.hwcost` — Xilinx-XC4000-style LUT cost estimation.
 - :mod:`repro.workloads` — the eight synthetic MediaBench-like kernels.
 - :mod:`repro.harness` — experiment drivers reproducing the paper's figures.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Names resolved lazily (PEP 562) so ``import repro`` stays light.
+_LAZY_ATTRS = ("api", "obs")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ATTRS:
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY_ATTRS))

@@ -147,7 +147,12 @@ class ExperimentEngine:
             for result in results.values():
                 value = result.value
                 if isinstance(value, dict) and "telemetry" in value:
-                    self.telemetry.merge_counts(value["telemetry"])
+                    # Pool workers' counts never reached this process's
+                    # observability recorder, so bridge them on merge;
+                    # inline counts were bridged at incr time.
+                    self.telemetry.merge_counts(
+                        value["telemetry"], bridge=self.config.jobs > 1
+                    )
         failures = [
             r for r in results.values() if r.status in ("failed", "skipped")
         ]

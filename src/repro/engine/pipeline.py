@@ -20,6 +20,7 @@ dispatches one job payload against a per-process pipeline.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Any, Callable
 
@@ -33,12 +34,14 @@ from repro.engine.telemetry import Telemetry
 from repro.errors import ConfigurationError
 from repro.extinst import (
     Selection,
+    SelectionParams,
     apply_selection,
-    greedy_select,
-    selective_select,
+    coerce_selection_params,
+    run_selection,
     validate_equivalence,
 )
 from repro.extinst.extdef import ExtInstDef
+from repro.obs import get_recorder
 from repro.extinst.serialize import selection_from_json, selection_to_json
 from repro.profiling import ProgramProfile, profile_program
 from repro.program.program import Program
@@ -49,6 +52,17 @@ from repro.workloads import Workload, build_workload
 
 #: The baseline machine every speedup is measured against.
 BASELINE_MACHINE = MachineConfig()
+
+
+def _scoped(**labels):
+    """Ambient-label scope for metrics recorded inside a stage compute.
+
+    Stamps ``workload``/``algorithm`` onto everything the simulators and
+    selection algorithms record without them knowing their experiment
+    context; a no-op context when observability is disabled.
+    """
+    rec = get_recorder()
+    return rec.scoped(**labels) if rec.enabled else nullcontext()
 
 
 # ----------------------------------------------------------------------
@@ -86,14 +100,23 @@ class ExperimentSpec:
 
 def make_spec(
     workload: str,
-    algorithm: str,
+    algorithm: str | SelectionParams,
     n_pfus: int | None,
     reconfig_latency: int,
     scale: int = 1,
     select_pfus: int | None | str = "same",
     validate: bool = True,
 ) -> ExperimentSpec:
-    """Normalise an experiment request into an :class:`ExperimentSpec`."""
+    """Normalise an experiment request into an :class:`ExperimentSpec`.
+
+    ``algorithm`` may be a :class:`~repro.extinst.SelectionParams`, in
+    which case its ``select_pfus`` is authoritative (the ``"same"``
+    convention applies only to the legacy string form).
+    """
+    if isinstance(algorithm, SelectionParams):
+        params = algorithm.normalized()
+        algorithm = params.algorithm
+        select_pfus = params.select_pfus
     if algorithm == "baseline":
         return ExperimentSpec(
             workload=workload, algorithm="baseline", n_pfus=0,
@@ -203,7 +226,8 @@ class ArtifactPipeline:
     def profile(self, name: str, scale: int) -> ProgramProfile:
         def compute() -> ProgramProfile:
             self._sim_counter("sim.functional")
-            return profile_program(self.program(name, scale))
+            with _scoped(workload=name):
+                return profile_program(self.program(name, scale))
 
         return self._artifact(
             ("profile", name, scale),
@@ -213,26 +237,38 @@ class ArtifactPipeline:
         )
 
     def selection(
-        self, name: str, scale: int, algorithm: str,
-        select_pfus: int | None,
+        self, name: str, scale: int,
+        algorithm: str | SelectionParams,
+        select_pfus: int | None = None,
     ) -> Selection:
-        if algorithm == "greedy":
-            select_pfus = None
-        elif algorithm != "selective":
-            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        """The cached selection for ``algorithm``.
+
+        ``algorithm`` may be the legacy string (with ``select_pfus``
+        alongside) or a full :class:`~repro.extinst.SelectionParams`.
+        """
+        params = coerce_selection_params(algorithm, select_pfus)
+        algorithm, select_pfus = params.algorithm, params.select_pfus
+        # Non-default tunables must key the cache or they would alias
+        # with default-parameter selections; defaults keep legacy keys.
+        extras: dict[str, Any] = {}
+        defaults = SelectionParams(algorithm=algorithm)
+        if params.gain_threshold != defaults.gain_threshold:
+            extras["gain_threshold"] = params.gain_threshold
+        if params.extraction != defaults.extraction:
+            extras["extraction"] = repr(params.extraction)
 
         def compute() -> Selection:
             self.telemetry.incr("compute.selection")
             profile = self.profile(name, scale)
-            if algorithm == "greedy":
-                return greedy_select(profile)
-            return selective_select(profile, select_pfus)
+            with _scoped(workload=name, algorithm=algorithm):
+                return run_selection(profile, params)
 
         return self._artifact(
-            ("selection", name, scale, algorithm, select_pfus),
+            ("selection", name, scale, algorithm, select_pfus,
+             tuple(sorted(extras.items()))),
             dict(kind="selection", workload=name, scale=scale,
                  fingerprint=self.fingerprint(name, scale),
-                 algorithm=algorithm, select_pfus=select_pfus),
+                 algorithm=algorithm, select_pfus=select_pfus, **extras),
             compute,
         )
 
@@ -245,12 +281,15 @@ class ArtifactPipeline:
 
         def compute() -> tuple[Program, dict[int, ExtInstDef]]:
             selection = self.selection(name, scale, algorithm, select_pfus)
-            program, defs = apply_selection(
-                self.program(name, scale), selection
-            )
-            if validate:
-                self._sim_counter("sim.validate")
-                validate_equivalence(self.program(name, scale), program, defs)
+            with _scoped(workload=name, algorithm=algorithm):
+                program, defs = apply_selection(
+                    self.program(name, scale), selection
+                )
+                if validate:
+                    self._sim_counter("sim.validate")
+                    validate_equivalence(
+                        self.program(name, scale), program, defs
+                    )
             return program, defs
 
         return self._artifact(
@@ -285,9 +324,10 @@ class ArtifactPipeline:
                     name, scale, algorithm, select_pfus, validate
                 )
             self._sim_counter("sim.functional")
-            result = FunctionalSimulator(program, ext_defs=defs).run(
-                collect_trace=True
-            )
+            with _scoped(workload=name, algorithm=algorithm):
+                result = FunctionalSimulator(program, ext_defs=defs).run(
+                    collect_trace=True
+                )
             assert result.trace is not None
             return result.trace
 
@@ -311,9 +351,10 @@ class ArtifactPipeline:
         def compute() -> SimStats:
             trace = self.trace(name, scale, "baseline")
             self._sim_counter("sim.timing")
-            return OoOSimulator(
-                self.program(name, scale), machine
-            ).simulate(trace)
+            with _scoped(workload=name, algorithm="baseline"):
+                return OoOSimulator(
+                    self.program(name, scale), machine
+                ).simulate(trace)
 
         return self._artifact(
             ("timing", name, scale, "baseline", mfp),
@@ -340,9 +381,14 @@ class ArtifactPipeline:
                 spec.select_pfus, spec.validate,
             )
             self._sim_counter("sim.timing")
-            return OoOSimulator(program, machine, ext_defs=defs).simulate(
-                trace
-            )
+            with _scoped(
+                workload=spec.workload, algorithm=spec.algorithm,
+                n_pfus=spec.n_pfus,
+                reconfig_latency=spec.reconfig_latency,
+            ):
+                return OoOSimulator(program, machine, ext_defs=defs).simulate(
+                    trace
+                )
 
         return self._artifact(
             ("timing", spec.workload, spec.scale, spec.algorithm,

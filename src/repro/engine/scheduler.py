@@ -30,6 +30,7 @@ from typing import Any, Callable
 
 from repro.engine.telemetry import JobRecord, Telemetry
 from repro.errors import ReproError
+from repro.obs import WALL, get_recorder
 
 
 class SchedulerError(ReproError):
@@ -250,6 +251,7 @@ class Scheduler:
         self, graph: JobGraph, order: list[str],
         runner: Callable[[Any], Any],
     ) -> dict[str, JobResult]:
+        rec = get_recorder()
         results: dict[str, JobResult] = {}
         for jid in order:
             job = graph.jobs[jid]
@@ -259,9 +261,16 @@ class Scheduler:
             if failed is not None:
                 results[jid] = self._skip(job, failed)
                 continue
-            results[jid] = self._attempt_loop(
-                job, lambda payload, t: _run_with_timeout(runner, payload, t)
-            )
+            with rec.span(
+                "engine.job", track="engine", job=jid, kind=job.kind
+            ) as attrs:
+                results[jid] = self._attempt_loop(
+                    job,
+                    lambda payload, t: _run_with_timeout(runner, payload, t),
+                )
+                if attrs is not None:
+                    attrs["status"] = results[jid].status
+                    attrs["attempts"] = results[jid].attempts
             self._record(results[jid], job.kind)
         return results
 
@@ -285,8 +294,18 @@ class Scheduler:
         ready = deque(jid for jid in order if pending[jid] == 0)
         running: dict[Any, str] = {}
 
+        rec = get_recorder()
+
         def resolve(jid: str, result: JobResult) -> None:
             results[jid] = result
+            if rec.enabled and jid in started_at:
+                start = started_at[jid] - rec.epoch
+                rec.add_span(
+                    "engine.job", start, start + result.wall_time,
+                    clock=WALL, track="engine", job=jid,
+                    kind=graph.jobs[jid].kind, status=result.status,
+                    attempts=result.attempts,
+                )
             self._record(result, graph.jobs[jid].kind)
             for dependent in dependents[jid]:
                 if dependent in results:

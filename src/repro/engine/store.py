@@ -159,6 +159,7 @@ def stats_to_json(stats: SimStats) -> dict:
         "bpred_mispredictions": stats.bpred_mispredictions,
         "class_counts": dict(stats.class_counts),
         "cache": {name: dict(inner) for name, inner in stats.cache.items()},
+        "stall_cycles": dict(stats.stall_cycles),
         "timeline": [list(entry) for entry in stats.timeline],
     }
 
@@ -178,6 +179,9 @@ def stats_from_json(data: dict) -> SimStats:
         cache={
             str(name): {str(k): int(v) for k, v in inner.items()}
             for name, inner in data["cache"].items()
+        },
+        stall_cycles={
+            str(k): int(v) for k, v in data.get("stall_cycles", {}).items()
         },
         timeline=[tuple(entry) for entry in data["timeline"]],
     )

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs import get_recorder
+
 
 @dataclass
 class JobRecord:
@@ -46,6 +48,9 @@ class Telemetry:
 
     def incr(self, name: str, n: int = 1) -> None:
         self.counters[name] += n
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("engine." + name).inc(n)
 
     def snapshot(self) -> dict[str, int]:
         """Current counter values (for later :meth:`delta_since`)."""
@@ -59,10 +64,23 @@ class Telemetry:
             if value != snapshot.get(name, 0)
         }
 
-    def merge_counts(self, counts: dict[str, int]) -> None:
-        """Fold a worker's counter delta into this telemetry."""
+    def merge_counts(
+        self, counts: dict[str, int], bridge: bool = False
+    ) -> None:
+        """Fold a worker's counter delta into this telemetry.
+
+        ``bridge=True`` additionally republishes the counts to the
+        process-wide observability recorder — callers set it only when
+        the counts were produced *out of process* (pool workers), where
+        :meth:`incr` could not have reached this process's recorder.
+        Counts produced in-process were bridged at :meth:`incr` time and
+        must not be double-published.
+        """
+        rec = get_recorder() if bridge else None
         for name, value in counts.items():
             self.counters[name] += value
+            if rec is not None and rec.enabled:
+                rec.counter("engine." + name).inc(value)
 
     def total(self, prefix: str) -> int:
         """Sum of every counter whose name starts with ``prefix``."""
@@ -76,6 +94,12 @@ class Telemetry:
 
     def record_job(self, record: JobRecord) -> None:
         self.jobs.append(record)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter(f"engine.jobs.{record.status}", kind=record.kind).inc()
+            rec.histogram("engine.job.wall_time", kind=record.kind).observe(
+                record.wall_time
+            )
 
     # ------------------------------------------------------------------
     # reporting

@@ -26,6 +26,11 @@ from repro.extinst.extraction import (
     extract_candidate_sequences,
 )
 from repro.extinst.greedy import greedy_select
+from repro.extinst.params import (
+    SelectionParams,
+    coerce_selection_params,
+    run_selection,
+)
 from repro.extinst.rewriter import apply_selection
 from repro.extinst.selection import RewriteSite, Selection
 from repro.extinst.selective import SelectiveParams, selective_select
@@ -40,6 +45,9 @@ __all__ = [
     "extract_candidate_sequences",
     "greedy_select",
     "selective_select",
+    "run_selection",
+    "coerce_selection_params",
+    "SelectionParams",
     "SelectiveParams",
     "Selection",
     "RewriteSite",

@@ -15,14 +15,24 @@ from repro.extinst.extraction import (
     extract_candidate_sequences,
 )
 from repro.extinst.selection import ConfAllocator, RewriteSite, Selection
+from repro.obs import get_recorder
 from repro.profiling.profiler import ProgramProfile
 
 
 def greedy_select(
     profile: ProgramProfile,
-    params: ExtractionParams | None = None,
+    params: "ExtractionParams | SelectionParams | None" = None,
 ) -> Selection:
-    """Fold every maximal candidate sequence in the program."""
+    """Fold every maximal candidate sequence in the program.
+
+    ``params`` may be the historical :class:`ExtractionParams` or a full
+    :class:`~repro.extinst.params.SelectionParams` (its ``extraction``
+    field is used; greedy ignores the rest by design).
+    """
+    from repro.extinst.params import SelectionParams
+
+    if isinstance(params, SelectionParams):
+        params = params.extraction
     sequences = extract_candidate_sequences(profile, params)
     allocator = ConfAllocator()
     sites: list[RewriteSite] = []
@@ -37,7 +47,7 @@ def greedy_select(
                 output_reg=seq.output_reg,
             )
         )
-    return Selection(
+    selection = Selection(
         ext_defs=allocator.defs,
         sites=sites,
         algorithm="greedy",
@@ -46,6 +56,23 @@ def greedy_select(
             "sequence_lengths": sorted(len(s.nodes) for s in sequences),
         },
     )
+    rec = get_recorder()
+    if rec.enabled:
+        prog = profile.program.name
+        # greedy accepts every maximal candidate sequence (§4)
+        rec.counter(
+            "selection.candidates.considered",
+            algorithm="greedy", program=prog,
+        ).inc(len(sequences))
+        rec.counter(
+            "selection.candidates.accepted",
+            algorithm="greedy", program=prog,
+        ).inc(len(sites))
+        rec.event(
+            "selection.done", algorithm="greedy", program=prog,
+            configs=selection.n_configs, sites=len(sites),
+        )
+    return selection
 
 
 def greedy_statistics(profile: ProgramProfile, params=None) -> dict:

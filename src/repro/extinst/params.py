@@ -1,0 +1,113 @@
+"""One parameter object for every selection entry point.
+
+Historically each layer spelled "which selection do I want" differently:
+``WorkloadLab.selection(algorithm, select_pfus)``, the engine's
+:func:`~repro.engine.pipeline.make_spec` keyword soup, and the module
+functions :func:`~repro.extinst.greedy.greedy_select` /
+:func:`~repro.extinst.selective.selective_select` each with their own
+tunable dataclass.  :class:`SelectionParams` is the single request shape
+all of them now accept (legacy positional forms keep working for one
+release); :func:`run_selection` is the algorithm-agnostic dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.extinst.extraction import ExtractionParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.extinst.selection import Selection
+    from repro.extinst.selective import SelectiveParams
+    from repro.profiling.profiler import ProgramProfile
+
+#: §5.1 default: keep sequences worth >= 0.5% of application time.
+DEFAULT_GAIN_THRESHOLD = 0.005
+
+ALGORITHMS = ("greedy", "selective")
+
+
+@dataclass(frozen=True)
+class SelectionParams:
+    """A fully specified selection request.
+
+    ``select_pfus`` is the PFU budget the *selection* plans for (distinct
+    from the hardware PFU count a later timing run models); ``None``
+    means unlimited.  Greedy ignores ``select_pfus`` and
+    ``gain_threshold`` by design (§4).
+    """
+
+    algorithm: str = "selective"
+    select_pfus: int | None = None
+    gain_threshold: float = DEFAULT_GAIN_THRESHOLD
+    extraction: ExtractionParams = field(default_factory=ExtractionParams)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown selection algorithm {self.algorithm!r} "
+                f"(expected one of {ALGORITHMS})"
+            )
+
+    def normalized(self) -> "SelectionParams":
+        """Collapse fields the algorithm ignores (stable cache identity)."""
+        if self.algorithm == "greedy" and self.select_pfus is not None:
+            return SelectionParams(
+                algorithm="greedy", select_pfus=None,
+                gain_threshold=self.gain_threshold, extraction=self.extraction,
+            )
+        return self
+
+    def selective_params(self) -> "SelectiveParams":
+        """The equivalent :class:`~repro.extinst.selective.SelectiveParams`."""
+        from repro.extinst.selective import SelectiveParams
+
+        return SelectiveParams(
+            gain_threshold=self.gain_threshold, extraction=self.extraction
+        )
+
+
+def coerce_selection_params(
+    algorithm: "str | SelectionParams",
+    select_pfus: int | None = None,
+) -> SelectionParams:
+    """Normalise the legacy ``(algorithm, select_pfus)`` pair.
+
+    Accepts either a ready :class:`SelectionParams` (``select_pfus`` must
+    then be omitted) or the historical string form.
+    """
+    if isinstance(algorithm, SelectionParams):
+        if select_pfus is not None:
+            raise ConfigurationError(
+                "pass select_pfus inside SelectionParams, not alongside it"
+            )
+        return algorithm.normalized()
+    return SelectionParams(
+        algorithm=algorithm, select_pfus=select_pfus
+    ).normalized()
+
+
+def run_selection(
+    profile: "ProgramProfile", params: SelectionParams
+) -> "Selection":
+    """Dispatch ``params`` to the right algorithm implementation."""
+    from repro.extinst.greedy import greedy_select
+    from repro.extinst.selective import selective_select
+
+    params = params.normalized()
+    if params.algorithm == "greedy":
+        return greedy_select(profile, params.extraction)
+    return selective_select(
+        profile, params.select_pfus, params.selective_params()
+    )
+
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_GAIN_THRESHOLD",
+    "SelectionParams",
+    "coerce_selection_params",
+    "run_selection",
+]

@@ -36,6 +36,7 @@ from repro.extinst.matrix import (
     enumerate_subsequences,
 )
 from repro.extinst.selection import ConfAllocator, RewriteSite, Selection
+from repro.obs import get_recorder
 from repro.profiling.profiler import ProgramProfile
 from repro.program.dfg import build_all_dfgs
 from repro.program.liveness import compute_liveness
@@ -52,13 +53,21 @@ class SelectiveParams:
 def selective_select(
     profile: ProgramProfile,
     n_pfus: int | None,
-    params: SelectiveParams | None = None,
+    params: "SelectiveParams | SelectionParams | None" = None,
 ) -> Selection:
     """Run the selective algorithm for a machine with ``n_pfus`` PFUs.
 
     ``n_pfus=None`` (unlimited) degenerates to "select everything that
     passes the gain threshold" — the Figure 6 fourth bar.
+
+    ``params`` may be the historical :class:`SelectiveParams` or a full
+    :class:`~repro.extinst.params.SelectionParams` (its threshold and
+    extraction tunables are used; ``n_pfus`` here stays authoritative).
     """
+    from repro.extinst.params import SelectionParams
+
+    if isinstance(params, SelectionParams):
+        params = params.selective_params()
     params = params or SelectiveParams()
     sequences = extract_candidate_sequences(profile, params.extraction)
     total_time = max(1, profile.base_cycles_estimate)
@@ -69,6 +78,20 @@ def selective_select(
         if seq.exec_count * len(seq.nodes) / total_time >= params.gain_threshold
     ]
     distinct_keys = {seq.key for seq in kept}
+
+    rec = get_recorder()
+    if rec.enabled:
+        prog = profile.program.name
+        rec.counter(
+            "selection.candidates.considered",
+            algorithm="selective", program=prog,
+        ).inc(len(sequences))
+        below = len(sequences) - len(kept)
+        if below:
+            rec.counter(
+                "selection.candidates.rejected",
+                algorithm="selective", program=prog, reason="gain_threshold",
+            ).inc(below)
     meta = {
         "n_maximal_sequences": len(sequences),
         "n_after_threshold": len(kept),
@@ -79,10 +102,28 @@ def selective_select(
 
     if n_pfus is None or len(distinct_keys) <= n_pfus:
         meta["per_loop_phase"] = False
-        return _select_whole_sequences(kept, meta)
+        selection = _select_whole_sequences(kept, meta)
+    else:
+        meta["per_loop_phase"] = True
+        selection = _select_per_loop(profile, kept, n_pfus, params, meta)
 
-    meta["per_loop_phase"] = True
-    return _select_per_loop(profile, kept, n_pfus, params, meta)
+    if rec.enabled:
+        rec.counter(
+            "selection.candidates.accepted",
+            algorithm="selective", program=prog,
+        ).inc(len(selection.sites))
+        budget_rejected = meta.get("n_budget_rejected", 0)
+        if budget_rejected:
+            rec.counter(
+                "selection.candidates.rejected",
+                algorithm="selective", program=prog, reason="pfu_budget",
+            ).inc(budget_rejected)
+        rec.event(
+            "selection.done", algorithm="selective", program=prog,
+            configs=selection.n_configs, sites=len(selection.sites),
+            per_loop=meta["per_loop_phase"],
+        )
+    return selection
 
 
 def _select_whole_sequences(
@@ -176,6 +217,7 @@ def _select_per_loop(
     chosen_defs: dict[tuple, object] = {}        # key -> ExtInstDef
     chosen_for_group: dict[int | None, set[tuple]] = {}
     subs_cache: dict[int | None, dict[int, dict[tuple, list[SubOccurrence]]]] = {}
+    budget_rejected = 0
 
     for header in ordered_groups:
         seqs_g = groups[header]
@@ -221,8 +263,10 @@ def _select_per_loop(
         for key in new_keys:
             chosen_defs[key] = matrix.defs[key]
         chosen_for_group[header] = present_chosen | set(new_keys)
+        budget_rejected += len(matrix.keys) - len(chosen_for_group[header])
 
     meta["n_chosen_configs"] = len(chosen_defs)
+    meta["n_budget_rejected"] = budget_rejected
     meta["groups"] = {
         str(header): sorted(len(chosen_defs[k].nodes) for k in keys)
         for header, keys in chosen_for_group.items()

@@ -18,6 +18,12 @@ worker processes), ``--cache-dir PATH`` (persist every pipeline artefact
 in a content-addressed store; a warm cache re-runs nothing), and
 ``--no-cache`` (ignore any configured store).  ``T1000_JOBS`` and
 ``T1000_CACHE_DIR`` provide defaults for the flags.
+
+Every subcommand additionally accepts ``--trace-out FILE`` (record the
+run and write a Chrome trace-event file for ``chrome://tracing`` /
+Perfetto) and ``--metrics-out FILE`` (write a metrics/span JSONL export,
+rendered later by ``t1000 metrics report FILE...``).  Observability is
+off — and free — unless one of those flags is given (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ import sys
 
 from repro.engine import ArtifactStore, EngineConfig, ExperimentEngine, make_spec
 from repro.harness import figures
-from repro.harness.runner import get_lab
+from repro.harness.runner import WorkloadLab
 from repro.utils.tables import format_table
 from repro.workloads import WORKLOAD_NAMES
 
@@ -53,6 +59,19 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record observability and write a Chrome trace-event file "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="record observability and write a metrics/span JSONL export "
+        "(render with 't1000 metrics report')",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
@@ -61,6 +80,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=list(WORKLOAD_NAMES), help="subset of workloads"
     )
     _add_engine_flags(parser)
+    _add_obs_flags(parser)
 
 
 def _engine_from_args(args) -> ExperimentEngine:
@@ -76,7 +96,7 @@ def _finish(engine: ExperimentEngine, args) -> None:
         print(engine.report(), file=sys.stderr)
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="t1000",
         description="T1000 reproduction experiments (Zhou & Martonosi, "
@@ -94,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
     prof_p = sub.add_parser("profile", help="sim_profile-style report")
     prof_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
     prof_p.add_argument("--scale", type=int, default=1)
+    _add_engine_flags(prof_p)
+    _add_obs_flags(prof_p)
 
     pipe_p = sub.add_parser("pipeview", help="pipeline timeline chart")
     pipe_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
@@ -107,6 +129,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     pipe_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
                         default=2)
+    _add_engine_flags(pipe_p)
+    _add_obs_flags(pipe_p)
 
     report_p = sub.add_parser(
         "report", help="regenerate every paper artefact into a directory"
@@ -114,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
     report_p.add_argument("--out", default="t1000_report")
     report_p.add_argument("--scale", type=int, default=1)
     _add_engine_flags(report_p)
+    _add_obs_flags(report_p)
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential-fuzz the folding pipeline"
@@ -122,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_p.add_argument("--seed", type=int, default=0)
     fuzz_p.add_argument("--flavor", default="both",
                         choices=["asm", "minic", "both"])
+    _add_obs_flags(fuzz_p)
 
     sel_p = sub.add_parser(
         "select",
@@ -134,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
     sel_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
                        default=2)
     sel_p.add_argument("-o", "--output", required=True)
+    _add_engine_flags(sel_p)
+    _add_obs_flags(sel_p)
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
@@ -151,6 +179,21 @@ def main(argv: list[str] | None = None) -> int:
         "running the algorithm",
     )
     _add_engine_flags(run_p)
+    _add_obs_flags(run_p)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="work with observability exports"
+    )
+    metrics_sub = metrics_p.add_subparsers(dest="metrics_command",
+                                           required=True)
+    mrep_p = metrics_sub.add_parser(
+        "report",
+        help="render a human-readable breakdown of --metrics-out exports",
+    )
+    mrep_p.add_argument("files", nargs="+", metavar="FILE",
+                        help="metrics JSONL file(s); several are merged")
+    mrep_p.add_argument("--top", type=int, default=6,
+                        help="stall reasons shown per workload (default 6)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
@@ -173,9 +216,48 @@ def main(argv: list[str] | None = None) -> int:
             cp.add_argument("--max-age-days", type=float, default=None,
                             help="evict artefacts not accessed within "
                             "this many days")
+        _add_obs_flags(cp)
 
-    args = parser.parse_args(argv)
+    return parser
 
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _main(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped through ``head``): exit quietly,
+        # reopening stdout on devnull so interpreter teardown cannot
+        # raise while flushing
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(args) -> int:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace_out or metrics_out):
+        return _dispatch(args)
+
+    import repro.obs as obs
+
+    recorder = obs.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        obs.disable()
+        if metrics_out:
+            n = obs.export_jsonl(recorder, metrics_out)
+            print(f"wrote {n} observability row(s) to {metrics_out}",
+                  file=sys.stderr)
+        if trace_out:
+            n = obs.export_trace_events(recorder, trace_out)
+            print(f"wrote {n} trace event(s) to {trace_out}",
+                  file=sys.stderr)
+
+
+def _dispatch(args) -> int:
     if args.command == "fig2":
         engine = _engine_from_args(args)
         headers, rows = figures.fig2_greedy(
@@ -227,8 +309,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "profile":
         from repro.profiling.report import full_report
 
-        lab = get_lab(args.workload, args.scale)
+        engine = _engine_from_args(args)
+        lab = WorkloadLab(args.workload, args.scale,
+                          pipeline=engine.pipeline)
         print(full_report(lab.profile))
+        _finish(engine, args)
     elif args.command == "report":
         engine = _engine_from_args(args)
         _write_full_report(args.out, args.scale, engine)
@@ -248,7 +333,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.ooo import MachineConfig, OoOSimulator
         from repro.sim.ooo.timeline import render_timeline, timeline_summary
 
-        lab = get_lab(args.workload, args.scale)
+        engine = _engine_from_args(args)
+        lab = WorkloadLab(args.workload, args.scale,
+                          pipeline=engine.pipeline)
         if args.algorithm == "baseline":
             program, defs = lab.program, None
         else:
@@ -265,18 +352,23 @@ def main(argv: list[str] | None = None) -> int:
         print()
         for stage, value in timeline_summary(stats.timeline).items():
             print(f"avg {stage:>20}: {value:.2f} cycles")
+        _finish(engine, args)
     elif args.command == "select":
         from repro.extinst.serialize import save_selection
 
-        lab = get_lab(args.workload, args.scale)
-        selection = lab.selection(args.algorithm, args.pfus)
+        engine = _engine_from_args(args)
+        [selection] = engine.select_batch(
+            [(args.workload, args.scale, args.algorithm, args.pfus)]
+        )
         save_selection(selection, args.output)
         print(f"wrote {selection.n_configs} configuration(s) / "
               f"{len(selection.sites)} site(s) to {args.output}")
+        _finish(engine, args)
     elif args.command == "run":
         engine = _engine_from_args(args)
         if args.selection is not None:
-            lab = get_lab(args.workload, args.scale)
+            lab = WorkloadLab(args.workload, args.scale,
+                              pipeline=engine.pipeline)
             result = _run_with_selection_file(lab, args)
         else:
             spec = make_spec(args.workload, args.algorithm, args.pfus,
@@ -287,6 +379,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"speedup over baseline: {result.speedup:.3f}")
         print(result.stats.summary())
         _finish(engine, args)
+    elif args.command == "metrics":
+        import json
+
+        from repro.obs import load_jsonl, render_metrics_report
+
+        datasets = []
+        for path in args.files:
+            try:
+                datasets.append(load_jsonl(path))
+            except OSError as exc:
+                print(f"t1000 metrics report: cannot read {path}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+                return 2
+            except (json.JSONDecodeError, ValueError) as exc:
+                print(f"t1000 metrics report: {path} is not a metrics "
+                      f"JSONL export: {exc}", file=sys.stderr)
+                return 2
+        print(render_metrics_report(datasets, top=args.top))
     elif args.command == "cache":
         return _cache_command(args)
     return 0
@@ -294,11 +404,16 @@ def main(argv: list[str] | None = None) -> int:
 
 def _cache_command(args) -> int:
     """The ``t1000 cache stats|clear|gc`` subcommands."""
+    from repro.engine import Telemetry
+
     if not args.cache_dir:
         print("t1000 cache: no cache directory (pass --cache-dir or set "
               "T1000_CACHE_DIR)", file=sys.stderr)
         return 2
-    store = ArtifactStore(os.path.expanduser(args.cache_dir))
+    # A telemetry sink bridges store counters into the observability
+    # recorder, so --metrics-out captures the maintenance traffic too.
+    store = ArtifactStore(os.path.expanduser(args.cache_dir),
+                          telemetry=Telemetry())
     if args.cache_command == "stats":
         print(store.stats().render())
     elif args.cache_command == "clear":

@@ -19,7 +19,7 @@ from repro.engine.pipeline import (
     get_default_pipeline,
     make_spec,
 )
-from repro.extinst import Selection
+from repro.extinst import Selection, SelectionParams
 from repro.extinst.extdef import ExtInstDef
 from repro.profiling import ProgramProfile
 from repro.program.program import Program
@@ -56,15 +56,28 @@ class WorkloadLab:
     def profile(self) -> ProgramProfile:
         return self.pipeline.profile(self.name, self.scale)
 
-    def selection(self, algorithm: str, select_pfus: int | None) -> Selection:
-        """The (cached) selection for an algorithm/PFU-budget pair."""
+    def selection(
+        self,
+        algorithm: str | SelectionParams,
+        select_pfus: int | None = None,
+    ) -> Selection:
+        """The (cached) selection for a request.
+
+        Accepts a :class:`~repro.extinst.SelectionParams` or the legacy
+        ``(algorithm, select_pfus)`` positional pair.
+        """
         return self.pipeline.selection(
             self.name, self.scale, algorithm, select_pfus
         )
 
     def rewritten(
-        self, algorithm: str, select_pfus: int | None
+        self,
+        algorithm: str | SelectionParams,
+        select_pfus: int | None = None,
     ) -> tuple[Program, dict[int, ExtInstDef]]:
+        if isinstance(algorithm, SelectionParams):
+            params = algorithm.normalized()
+            algorithm, select_pfus = params.algorithm, params.select_pfus
         return self.pipeline.rewrite(
             self.name, self.scale, algorithm, select_pfus, self.validate
         )

@@ -1,0 +1,71 @@
+"""Unified observability: tracing + metrics across sim/selection/engine.
+
+Quick tour::
+
+    import repro.obs as obs
+
+    rec = obs.enable()                     # install a live recorder
+    ...run experiments...                  # hooks fire throughout repro
+    obs.export_jsonl(rec, "metrics.jsonl")         # lossless archive
+    obs.export_trace_events(rec, "trace.json")     # chrome://tracing
+    obs.disable()
+
+Key properties:
+
+- **zero overhead when disabled** — the default recorder is disabled;
+  hot loops hoist one boolean check and skip every hook;
+- **spans** — nested wall-clock spans (engine jobs, selection runs,
+  simulator invocations) plus simulated-cycle spans (PFU
+  reconfigurations) on separate flame-viewer tracks;
+- **metrics** — labelled counters/gauges/histograms (per-stage stall
+  cycles, reconfiguration events, issue-width utilisation, cache
+  traffic, per-job wall time);
+- **ambient labels** — the engine pipeline scopes ``workload`` and
+  ``algorithm`` onto everything recorded inside a stage, so reports can
+  break stalls down per workload and reconfigurations per algorithm.
+
+See ``docs/observability.md`` for the full model and the CLI flags
+(``t1000 ... --trace-out FILE --metrics-out FILE``,
+``t1000 metrics report FILE...``).
+"""
+
+from repro.obs.export import (
+    export_jsonl,
+    export_trace_events,
+    jsonl_rows,
+    load_jsonl,
+    load_trace_events,
+    trace_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSeries,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    CYCLES,
+    NULL_RECORDER,
+    WALL,
+    EventRecord,
+    Recorder,
+    SpanRecord,
+    disable,
+    enable,
+    event,
+    get_recorder,
+    observed,
+    set_recorder,
+    span,
+)
+from repro.obs.report import merge_metric_rows, render_metrics_report
+
+__all__ = [
+    "CYCLES", "Counter", "EventRecord", "Gauge", "Histogram", "MetricSeries",
+    "MetricsRegistry", "NULL_RECORDER", "Recorder", "SpanRecord", "WALL",
+    "disable", "enable", "event", "export_jsonl", "export_trace_events",
+    "get_recorder", "jsonl_rows", "load_jsonl", "load_trace_events",
+    "merge_metric_rows", "observed", "render_metrics_report", "set_recorder",
+    "span", "trace_events",
+]

@@ -1,0 +1,191 @@
+"""Exporters: JSONL (lossless) and Chrome trace-event (flame viewers).
+
+JSONL is the round-trippable archival format: one JSON object per line,
+a ``meta`` header first, then every metric series, span, and event.
+:func:`load_jsonl` parses it back into the same record dataclasses.
+
+The trace-event exporter emits the Chrome/Perfetto "Trace Event Format"
+(a JSON object with a ``traceEvents`` array of ``"ph": "X"`` complete
+events), so a whole experiment run can be opened in ``chrome://tracing``
+or https://ui.perfetto.dev.  Wall-clock spans land in one synthetic
+process (1 µs per real µs); simulated-cycle spans land in a second
+process at 1 µs per cycle, giving the machine-level view (PFU
+reconfigurations, …) its own flame rows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.recorder import CYCLES, WALL, EventRecord, Recorder, SpanRecord
+
+JSONL_VERSION = 1
+
+_WALL_PID = 1
+_CYCLES_PID = 2
+_PROCESS_NAMES = {_WALL_PID: "t1000 wall clock", _CYCLES_PID: "simulated cycles"}
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce attribute values to something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+
+def jsonl_rows(recorder: Recorder) -> list[dict]:
+    """Every record as a JSON-serialisable row (meta first)."""
+    rows: list[dict] = [{
+        "type": "meta", "version": JSONL_VERSION,
+        "spans": len(recorder.spans), "events": len(recorder.events),
+        "metrics": len(recorder.metrics), "dropped": recorder.dropped,
+    }]
+    for series in recorder.metrics.series():
+        row = series.snapshot()
+        row["type"] = "metric"
+        rows.append(row)
+    for sp in recorder.spans:
+        rows.append({
+            "type": "span", "id": sp.span_id, "parent": sp.parent_id,
+            "name": sp.name, "start": sp.start, "end": sp.end,
+            "clock": sp.clock, "track": sp.track,
+            "attrs": _json_safe(sp.attrs),
+        })
+    for ev in recorder.events:
+        rows.append({
+            "type": "event", "name": ev.name, "ts": ev.ts,
+            "clock": ev.clock, "track": ev.track,
+            "attrs": _json_safe(ev.attrs),
+        })
+    return rows
+
+
+def export_jsonl(recorder: Recorder, path: str) -> int:
+    """Write the recorder to ``path`` as JSONL; returns the row count."""
+    rows = jsonl_rows(recorder)
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def load_jsonl(path: str) -> dict:
+    """Parse a JSONL export back into records.
+
+    Returns ``{"meta": dict, "metrics": [dict], "spans": [SpanRecord],
+    "events": [EventRecord]}``; metric rows keep their snapshot shape.
+    """
+    meta: dict = {}
+    metrics: list[dict] = []
+    spans: list[SpanRecord] = []
+    events: list[EventRecord] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.get("type")
+            if kind == "meta":
+                meta = row
+            elif kind == "metric":
+                metrics.append(row)
+            elif kind == "span":
+                spans.append(SpanRecord(
+                    span_id=row["id"], parent_id=row["parent"],
+                    name=row["name"], start=row["start"], end=row["end"],
+                    clock=row["clock"], track=row["track"],
+                    attrs=row.get("attrs", {}),
+                ))
+            elif kind == "event":
+                events.append(EventRecord(
+                    name=row["name"], ts=row["ts"], clock=row["clock"],
+                    track=row["track"], attrs=row.get("attrs", {}),
+                ))
+    return {"meta": meta, "metrics": metrics, "spans": spans, "events": events}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+
+def trace_events(recorder: Recorder) -> list[dict]:
+    """The recorder as Chrome trace-event dicts (metadata included)."""
+    tracks: dict[tuple[int, str], int] = {}
+    out: list[dict] = []
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = tracks.get(key)
+        if tid is None:
+            tid = len([k for k in tracks if k[0] == pid]) + 1
+            tracks[key] = tid
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    for pid, name in _PROCESS_NAMES.items():
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": {"name": name},
+        })
+
+    def scale(value: float, clock: str) -> float:
+        # wall seconds -> microseconds; one simulated cycle -> one "µs"
+        return value * 1e6 if clock == WALL else value
+
+    for sp in recorder.spans:
+        pid = _WALL_PID if sp.clock == WALL else _CYCLES_PID
+        out.append({
+            "ph": "X", "name": sp.name, "cat": sp.clock,
+            "pid": pid, "tid": tid_for(pid, sp.track),
+            "ts": scale(sp.start, sp.clock),
+            "dur": scale(sp.end - sp.start, sp.clock),
+            "args": _json_safe(sp.attrs),
+        })
+    for ev in recorder.events:
+        pid = _WALL_PID if ev.clock == WALL else _CYCLES_PID
+        out.append({
+            "ph": "i", "s": "t", "name": ev.name, "cat": ev.clock,
+            "pid": pid, "tid": tid_for(pid, ev.track),
+            "ts": scale(ev.ts, ev.clock),
+            "args": _json_safe(ev.attrs),
+        })
+    return out
+
+
+def export_trace_events(recorder: Recorder, path: str) -> int:
+    """Write a ``chrome://tracing``-loadable file; returns the event count."""
+    events = trace_events(recorder)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "t1000", "dropped_records": recorder.dropped},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return len(events)
+
+
+def load_trace_events(path: str) -> dict:
+    """Parse a trace-event export (for tests and tooling)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path} is not a trace-event file")
+    return payload
+
+# CYCLES is re-exported for exporter-adjacent tooling (report, tests).
+__all__ = [
+    "CYCLES", "JSONL_VERSION", "export_jsonl", "export_trace_events",
+    "jsonl_rows", "load_jsonl", "load_trace_events", "trace_events",
+]

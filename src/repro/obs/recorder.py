@@ -1,0 +1,238 @@
+"""The span/metric recorder and the process-wide recorder slot.
+
+Design contract (the reason tier-1 timing numbers are safe): the module
+global returned by :func:`get_recorder` is a disabled recorder by
+default, and every instrumentation site in the hot layers hoists
+
+    rec = get_recorder()
+    obs = rec if rec.enabled else None
+
+before its loop, guarding each hook with ``if obs is not None``.  With
+observability off the entire cost is that one boolean check; nothing is
+allocated, no dict is touched, no record is kept.
+
+Two clocks coexist:
+
+- ``"wall"`` — seconds since the recorder's epoch (``perf_counter``),
+  used for engine jobs, selection runs, and simulator invocations;
+- ``"cycles"`` — *simulated* cycles, used by the timing model for
+  machine-level spans (e.g. PFU reconfigurations), so a flame view of a
+  run shows both real time and simulated time on separate tracks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+WALL = "wall"
+CYCLES = "cycles"
+
+#: Default cap on retained span+event records; beyond it new records are
+#: counted in ``Recorder.dropped`` instead of kept (bounded memory under
+#: pathological runs, e.g. a thrashing PFU emitting millions of spans).
+DEFAULT_MAX_RECORDS = 250_000
+
+
+@dataclass
+class SpanRecord:
+    """One closed span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float
+    clock: str = WALL
+    track: str = "main"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class EventRecord:
+    """One instant event."""
+
+    name: str
+    ts: float
+    clock: str = WALL
+    track: str = "main"
+    attrs: dict = field(default_factory=dict)
+
+
+class Recorder:
+    """Collects spans, events, and metrics for one observed run."""
+
+    def __init__(
+        self, enabled: bool = True, max_records: int = DEFAULT_MAX_RECORDS
+    ) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self.metrics = MetricsRegistry()
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._ambient: dict = {}
+
+    # ------------------------------------------------------------------
+    # tracing
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def _room(self) -> bool:
+        if len(self.spans) + len(self.events) >= self.max_records:
+            self.dropped += 1
+            return False
+        return True
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **attrs) -> Iterator[dict | None]:
+        """Record a nested wall-clock span around the ``with`` body.
+
+        Yields the span's (mutable) attribute dict so the body can attach
+        results known only at the end — or ``None`` when disabled.
+        """
+        if not self.enabled:
+            yield None
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = self._now()
+        try:
+            yield attrs
+        finally:
+            self._stack.pop()
+            if self._room():
+                self.spans.append(SpanRecord(
+                    span_id, parent, name, start, self._now(),
+                    WALL, track, attrs,
+                ))
+
+    def add_span(
+        self, name: str, start: float, end: float,
+        clock: str = CYCLES, track: str = "main", **attrs,
+    ) -> None:
+        """Record an explicit (already timed) span, e.g. in simulated cycles."""
+        if not self.enabled or not self._room():
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        self.spans.append(SpanRecord(
+            span_id, None, name, start, end, clock, track, attrs,
+        ))
+
+    def event(
+        self, name: str, ts: float | None = None,
+        clock: str = WALL, track: str = "main", **attrs,
+    ) -> None:
+        """Record an instant event (wall-clock 'now' unless ``ts`` given)."""
+        if not self.enabled or not self._room():
+            return
+        if ts is None:
+            ts = self._now()
+            clock = WALL
+        self.events.append(EventRecord(name, ts, clock, track, attrs))
+
+    # ------------------------------------------------------------------
+    # ambient labels (attached to metrics resolved inside the scope)
+
+    @contextmanager
+    def scoped(self, **labels) -> Iterator[None]:
+        """Merge ``labels`` into every metric resolved inside the scope.
+
+        The engine pipeline uses this to stamp ``workload``/``algorithm``
+        onto metrics the simulators record without the simulators having
+        to know what experiment they are part of.
+        """
+        previous = self._ambient
+        self._ambient = {**previous, **labels}
+        try:
+            yield
+        finally:
+            self._ambient = previous
+
+    def _labels(self, labels: dict) -> dict:
+        return {**self._ambient, **labels} if self._ambient else labels
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self.metrics.counter(name, **self._labels(labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self.metrics.gauge(name, **self._labels(labels))
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        return self.metrics.histogram(name, bounds, **self._labels(labels))
+
+
+# ----------------------------------------------------------------------
+# the process-wide recorder slot
+
+#: The permanently disabled recorder every hook sees by default.
+NULL_RECORDER = Recorder(enabled=False)
+
+_recorder: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The currently installed recorder (disabled unless enabled)."""
+    return _recorder
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder:
+    """Install ``recorder`` (None restores the null); returns the previous."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+def enable(max_records: int = DEFAULT_MAX_RECORDS) -> Recorder:
+    """Install and return a fresh enabled recorder."""
+    recorder = Recorder(enabled=True, max_records=max_records)
+    set_recorder(recorder)
+    return recorder
+
+
+def disable() -> Recorder:
+    """Restore the disabled default; returns the recorder that was active."""
+    return set_recorder(None)
+
+
+@contextmanager
+def observed(recorder: Recorder | None = None) -> Iterator[Recorder]:
+    """Temporarily install a recorder (a fresh one by default)."""
+    active = recorder if recorder is not None else Recorder(enabled=True)
+    previous = set_recorder(active)
+    try:
+        yield active
+    finally:
+        set_recorder(previous)
+
+
+# Module-level conveniences that no-op when observability is disabled —
+# for call sites (engine, selection) where per-call overhead is dwarfed
+# by the work being observed.
+
+@contextmanager
+def span(name: str, track: str = "main", **attrs) -> Iterator[dict | None]:
+    with _recorder.span(name, track=track, **attrs) as sp:
+        yield sp
+
+
+def event(name: str, **attrs) -> None:
+    _recorder.event(name, **attrs)

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import SimulationError
 from repro.isa.encoding import TEXT_BASE
+from repro.obs import get_recorder
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Fmt, Opcode, opcode_info
 from repro.isa.semantics import _EVAL  # shared dispatch table
@@ -184,6 +185,28 @@ class FunctionalSimulator:
         ``profile`` it carries per-static-instruction execution counts and
         the bitwidth profile.
         """
+        rec = get_recorder()
+        if not rec.enabled:
+            return self._run(max_steps, collect_trace, profile, entry_label)
+        with rec.span(
+            "sim.functional", program=self.program.name,
+            trace=collect_trace, profile=profile,
+        ) as attrs:
+            result = self._run(max_steps, collect_trace, profile, entry_label)
+            attrs["steps"] = result.steps
+        rec.counter("sim.functional.runs", program=self.program.name).inc()
+        rec.counter("sim.functional.steps", program=self.program.name).inc(
+            result.steps
+        )
+        return result
+
+    def _run(
+        self,
+        max_steps: int,
+        collect_trace: bool,
+        profile: bool,
+        entry_label: str,
+    ) -> ExecutionResult:
         program = self.program
         n = len(program.text)
         pc = program.labels.get(entry_label, 0)

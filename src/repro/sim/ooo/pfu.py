@@ -95,6 +95,10 @@ class PFUBank:
         self._lru.touch(conf)
         return slot.config_ready, slot_idx
 
+    def latency_for(self, conf: int) -> int:
+        """Configuration-load latency charged for ``conf``."""
+        return self.latency_by_conf.get(conf, self.reconfig_latency)
+
     def note_issue(self, slot_idx: int | None, cycle: int) -> None:
         """Record that an ext op issued on ``slot_idx`` at ``cycle``."""
         if self.n_pfus is None or slot_idx is None:

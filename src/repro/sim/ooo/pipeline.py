@@ -25,11 +25,14 @@ The simulated time is the commit cycle of the last instruction.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from math import ceil
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import SimulationError
 from repro.isa.encoding import TEXT_BASE
+from repro.obs import get_recorder
 from repro.isa.opcodes import OpClass, Opcode
 from repro.program.program import Program
 from repro.sim.cache.hierarchy import MemoryHierarchy
@@ -151,9 +154,33 @@ class OoOSimulator:
         commit) per dynamic instruction in ``[start, end)`` — into
         ``stats.timeline`` for visualisation (see
         :mod:`repro.sim.ooo.timeline`).
+
+        When the process-wide observability recorder is enabled
+        (:mod:`repro.obs`), the run additionally records per-stage stall
+        cycles, PFU reconfiguration spans (in simulated cycles), an
+        issue-width histogram, and cache traffic; disabled, the hooks
+        cost one hoisted boolean check.
         """
         if len(trace) == 0:
             raise SimulationError("empty trace")
+        rec = get_recorder()
+        obs = rec if rec.enabled else None
+        with (
+            rec.span("sim.timing", program=self.program.name)
+            if obs is not None else nullcontext()
+        ) as obs_span:
+            stats = self._simulate(trace, record_window, obs)
+        if obs is not None:
+            obs_span["instructions"] = stats.instructions
+            obs_span["cycles"] = stats.cycles
+        return stats
+
+    def _simulate(
+        self,
+        trace: DynTrace,
+        record_window: tuple[int, int] | None,
+        obs,
+    ) -> SimStats:
         cfg = self.config
         hier = MemoryHierarchy(cfg.hierarchy)
         bank = PFUBank(
@@ -208,6 +235,14 @@ class OoOSimulator:
         timeline: list[tuple[int, int, int, int, int, int]] = []
         rec_lo, rec_hi = record_window if record_window else (0, -1)
 
+        # observability accumulators (touched only when ``obs`` is live)
+        st_fetch_icache = st_disp_ruu = st_disp_width = 0
+        st_issue_operands = st_issue_store_dep = 0
+        st_issue_pfu = st_issue_div = st_issue_struct = 0
+        st_commit_width = 0
+        t_pre = 0
+        reconfigs: list[tuple[int, int | None, int, int]] = []
+
         for k in range(n):
             si = indices[k]
             cls = cls_tab[si]
@@ -231,6 +266,8 @@ class OoOSimulator:
                 if extra > 0:
                     fetch_cycle += extra
                     fetched = 0
+                    if obs is not None:
+                        st_fetch_icache += extra
                 cur_line = line
             f = fetch_cycle
             fetched += 1
@@ -247,9 +284,13 @@ class OoOSimulator:
             if k >= ruu_size:
                 freed = commit_ring[k % ruu_size] + 1
                 if freed > d:
+                    if obs is not None:
+                        st_disp_ruu += freed - d
                     d = freed
             if d == disp_cycle and disp_n >= decode_width:
                 d += 1
+                if obs is not None:
+                    st_disp_width += 1
             if d > disp_cycle:
                 disp_cycle = d
                 disp_n = 0
@@ -259,7 +300,17 @@ class OoOSimulator:
             config_ready = 0
             pfu_slot: int | None = None
             if cls == _C_EXT:
-                config_ready, pfu_slot = bank.acquire(conf_tab[si], d)
+                if obs is None:
+                    config_ready, pfu_slot = bank.acquire(conf_tab[si], d)
+                else:
+                    misses_before = bank.misses
+                    config_ready, pfu_slot = bank.acquire(conf_tab[si], d)
+                    if bank.misses != misses_before:
+                        lat = bank.latency_for(conf_tab[si])
+                        reconfigs.append(
+                            (conf_tab[si], pfu_slot,
+                             config_ready - lat, config_ready)
+                        )
 
             # ---------------- issue ----------------
             t = d + 1
@@ -267,16 +318,26 @@ class OoOSimulator:
                 rr = reg_ready[r]
                 if rr > t:
                     t = rr
+            if obs is not None and t > d + 1:
+                st_issue_operands += t - (d + 1)
             addr = addrs[k]
             if cls == _C_LOAD:
                 dep = store_ready.get(addr >> 2, 0)
                 if dep > t:
+                    if obs is not None:
+                        st_issue_store_dep += dep - t
                     t = dep
             elif cls == _C_EXT and config_ready > t:
+                if obs is not None:
+                    st_issue_pfu += config_ready - t
                 t = config_ready
             elif cls == _C_DIV and div_free > t:
+                if obs is not None:
+                    st_issue_div += div_free - t
                 t = div_free
 
+            if obs is not None:
+                t_pre = t
             while True:
                 if issued.get(t, 0) >= issue_width:
                     t += 1
@@ -313,6 +374,8 @@ class OoOSimulator:
                     pfu_used[key] = 1
                 issued[t] = issued.get(t, 0) + 1
                 break
+            if obs is not None and t > t_pre:
+                st_issue_struct += t - t_pre
 
             if cls == _C_EXT:
                 bank.note_issue(pfu_slot, t)
@@ -355,6 +418,8 @@ class OoOSimulator:
                 c = commit_cycle
             if c == commit_cycle and commit_n >= commit_width:
                 c += 1
+                if obs is not None:
+                    st_commit_width += 1
             if c > commit_cycle:
                 commit_cycle = c
                 commit_n = 0
@@ -385,7 +450,62 @@ class OoOSimulator:
             "itlb": vars(hier.itlb.stats).copy(),
             "dtlb": vars(hier.dtlb.stats).copy(),
         }
+        if obs is not None:
+            stats.stall_cycles = {
+                reason: cycles
+                for reason, cycles in (
+                    ("fetch.icache", st_fetch_icache),
+                    ("dispatch.ruu_full", st_disp_ruu),
+                    ("dispatch.width", st_disp_width),
+                    ("issue.operands", st_issue_operands),
+                    ("issue.store_dep", st_issue_store_dep),
+                    ("issue.pfu_config", st_issue_pfu),
+                    ("issue.div_busy", st_issue_div),
+                    ("issue.structural", st_issue_struct),
+                    ("commit.width", st_commit_width),
+                )
+                if cycles
+            }
+            self._publish(obs, stats, issued, reconfigs)
         return stats
+
+    def _publish(
+        self,
+        obs,
+        stats: SimStats,
+        issued: dict[int, int],
+        reconfigs: list[tuple[int, int | None, int, int]],
+    ) -> None:
+        """Publish one run's metrics/spans to a live recorder."""
+        prog = self.program.name
+        for reason, cycles in stats.stall_cycles.items():
+            obs.counter(f"sim.stall.{reason}", program=prog).inc(cycles)
+        if stats.pfu_hits:
+            obs.counter("sim.pfu.hit", program=prog).inc(stats.pfu_hits)
+        if stats.pfu_misses:
+            obs.counter("sim.pfu.reconfig", program=prog).inc(stats.pfu_misses)
+        if stats.reconfig_cycles:
+            obs.counter("sim.pfu.reconfig_cycles", program=prog).inc(
+                stats.reconfig_cycles
+            )
+        hist = obs.histogram("sim.issue.width", program=prog)
+        for width in issued.values():
+            hist.observe(width)
+        for name, count in stats.class_counts.items():
+            if count:
+                obs.counter(f"sim.class.{name}", program=prog).inc(count)
+        for level, cstats in stats.cache.items():
+            for fld, value in cstats.items():
+                if value:
+                    obs.counter(
+                        f"sim.cache.{level}.{fld}", program=prog
+                    ).inc(value)
+        for conf, slot, start, end in reconfigs:
+            track = f"pfu{slot}" if slot is not None else f"conf{conf}"
+            obs.add_span(
+                "pfu.reconfig", start, end, track=track,
+                conf=conf, program=prog,
+            )
 
 
 def simulate_program(
@@ -394,7 +514,26 @@ def simulate_program(
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     max_steps: int = 50_000_000,
 ) -> SimStats:
-    """Functional-execute ``program`` then replay through the timing model."""
+    """Functional-execute ``program`` then replay through the timing model.
+
+    .. deprecated::
+        Use :func:`repro.api.simulate` (the stable facade) instead.
+    """
+    warnings.warn(
+        "repro.sim.ooo.simulate_program is deprecated; "
+        "use repro.api.simulate(program=..., machine=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _simulate_program(program, config, ext_defs, max_steps)
+
+
+def _simulate_program(
+    program: Program,
+    config: MachineConfig | None = None,
+    ext_defs: Mapping[int, "ExtInstDef"] | None = None,
+    max_steps: int = 50_000_000,
+) -> SimStats:
     from repro.sim.functional import FunctionalSimulator
 
     result = FunctionalSimulator(program, ext_defs=ext_defs).run(

@@ -22,6 +22,10 @@ class SimStats:
 
     class_counts: dict[str, int] = field(default_factory=dict)
     cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: per-stage stall attribution (``"stage.reason" -> cycles``); only
+    #: populated when the process-wide observability recorder is enabled
+    #: (:mod:`repro.obs`) — empty otherwise to keep the hot loop clean
+    stall_cycles: dict[str, int] = field(default_factory=dict)
     #: optional recorded pipeline timeline: (static index, fetch,
     #: dispatch, issue, complete, commit) per recorded instruction
     timeline: list[tuple[int, int, int, int, int, int]] = field(

@@ -133,6 +133,9 @@ class TestStatsObject:
 
 
 class TestSimulateProgramHelper:
-    def test_end_to_end(self):
-        stats = simulate_program(assemble(loop(["addu $t1, $t1, $t2"], n=50)))
+    def test_end_to_end_and_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.simulate"):
+            stats = simulate_program(
+                assemble(loop(["addu $t1, $t1, $t2"], n=50))
+            )
         assert stats.instructions == 50 * 3 + 2
