@@ -1,0 +1,181 @@
+"""Record (or check) the simulator-throughput baseline.
+
+Default mode measures the three ``bench_simulator_perf`` kernels through
+both the fast and reference simulation paths and writes
+``BENCH_simulator.json`` at the repo root: median seconds and ops/sec
+per benchmark, the fast/reference speedup ratio, plus machine info and
+the git revision. The committed file is the perf baseline CI regresses
+against.
+
+``--compare RESULTS.json`` takes a ``pytest-benchmark --benchmark-json``
+export, compares each benchmark's median against the committed baseline,
+and exits non-zero if any median regressed by more than ``--tolerance``
+(default 30%). Only regressions fail; improvements just print.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py          # write baseline
+    PYTHONPATH=src python benchmarks/record_bench.py --compare out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_simulator.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.asm import assemble  # noqa: E402
+from repro.sim.functional import FunctionalSimulator  # noqa: E402
+from repro.sim.ooo import MachineConfig, OoOSimulator  # noqa: E402
+
+# the same kernel bench_simulator_perf benchmarks (keep in sync)
+_KERNEL = (
+    ".text\nmain: li $t9, 3000\nloop:\n"
+    + "\n".join("    addu $t0, $t0, $t1\n    xor $t1, $t0, $t9" for _ in range(4))
+    + "\n    addiu $t9, $t9, -1\n    bgtz $t9, loop\n    halt\n"
+)
+
+
+def _median_seconds(fn, repeats: int = 5) -> float:
+    fn()  # warm caches (compiled blocks, dense-pass artefacts)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def measure() -> dict:
+    program = assemble(_KERNEL)
+    steps = FunctionalSimulator(program).run().steps
+    trace = FunctionalSimulator(program).run(collect_trace=True).trace
+    slow_cfg = dataclasses.replace(MachineConfig(), sim_fast_path=False)
+
+    cases = {
+        "test_functional_simulator_throughput": (
+            lambda: FunctionalSimulator(program).run(),
+            lambda: FunctionalSimulator(program, compile_blocks=False).run(),
+            steps,
+        ),
+        "test_functional_simulator_with_trace": (
+            lambda: FunctionalSimulator(program).run(collect_trace=True),
+            lambda: FunctionalSimulator(
+                program, compile_blocks=False
+            ).run(collect_trace=True),
+            steps,
+        ),
+        "test_ooo_simulator_throughput": (
+            lambda: OoOSimulator(program, MachineConfig()).simulate(trace),
+            lambda: OoOSimulator(program, slow_cfg).simulate(trace),
+            len(trace),
+        ),
+    }
+    benchmarks = {}
+    for name, (fast, reference, ops) in cases.items():
+        fast_s = _median_seconds(fast)
+        ref_s = _median_seconds(reference)
+        benchmarks[name] = {
+            "median_s": round(fast_s, 6),
+            "ops_per_s": round(ops / fast_s),
+            "reference_median_s": round(ref_s, 6),
+            "reference_ops_per_s": round(ops / ref_s),
+            "speedup_vs_reference": round(ref_s / fast_s, 2),
+        }
+    return benchmarks
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def write_baseline(path: Path) -> None:
+    doc = {
+        "meta": {
+            "git_sha": _git_sha(),
+            "recorded_at": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "benchmarks": measure(),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {path}")
+    for name, row in doc["benchmarks"].items():
+        print(
+            f"  {name}: {row['ops_per_s']:,} ops/s "
+            f"({row['speedup_vs_reference']}x vs reference)"
+        )
+
+
+def compare(results_path: Path, tolerance: float) -> int:
+    baseline = json.loads(BASELINE.read_text())["benchmarks"]
+    results = json.loads(results_path.read_text())
+    failures = 0
+    for bench in results["benchmarks"]:
+        name = bench["name"].split("[")[0].split("::")[-1]
+        if name not in baseline:
+            print(f"  {name}: no baseline, skipping")
+            continue
+        base = baseline[name]["median_s"]
+        new = bench["stats"]["median"]
+        change = new / base - 1.0
+        status = "ok"
+        if change > tolerance:
+            status = f"REGRESSION (> {tolerance:.0%} allowed)"
+            failures += 1
+        print(
+            f"  {name}: median {new * 1e3:.2f}ms vs baseline "
+            f"{base * 1e3:.2f}ms ({change:+.1%}) {status}"
+        )
+    if failures:
+        print(f"{failures} benchmark(s) regressed beyond {tolerance:.0%}")
+        return 1
+    print("all benchmarks within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare", metavar="RESULTS.json", type=Path, default=None,
+        help="pytest-benchmark JSON export to check against the baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed median regression fraction (default 0.30)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=BASELINE,
+        help=f"baseline path to write (default {BASELINE})",
+    )
+    args = parser.parse_args(argv)
+    if args.compare is not None:
+        return compare(args.compare, args.tolerance)
+    write_baseline(args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ keep working but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.extinst import (
@@ -38,7 +38,7 @@ from repro.extinst import (
 from repro.obs import Recorder, enable, get_recorder, observed
 from repro.profiling import ProgramProfile, profile_program
 from repro.program.program import Program
-from repro.sim.ooo import MachineConfig, OoOSimulator, SimStats
+from repro.sim.ooo import MachineConfig, OoOSimulator, SimStats, simulate_many
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.extinst.extdef import ExtInstDef
@@ -153,28 +153,37 @@ def rewrite(
 def simulate(
     *,
     program: Program,
-    machine: MachineConfig | None = None,
+    machine: "MachineConfig | Sequence[MachineConfig] | None" = None,
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     observe: bool | Recorder = False,
     max_steps: int = _DEFAULT_MAX_STEPS,
-) -> SimStats:
+) -> "SimStats | list[SimStats]":
     """Functionally execute ``program`` then replay it through the
     out-of-order timing model.
 
     ``machine`` defaults to the baseline superscalar
     (:class:`~repro.sim.ooo.MachineConfig` defaults); rewritten programs
-    need their ``ext_defs``.  ``observe`` controls observability
-    (:mod:`repro.obs`): pass a :class:`~repro.obs.Recorder` to install
-    it for the duration of this call, or ``True`` to record into the
-    process-wide recorder, enabling a fresh one first if none is active
-    (retrieve it afterwards with ``repro.obs.get_recorder()``).
+    need their ``ext_defs``.  Pass a sequence of machine configurations
+    to sweep them over a single functional execution (one trace pass
+    shared across all configurations via
+    :func:`~repro.sim.ooo.simulate_many`); the return value is then a
+    list of :class:`~repro.sim.ooo.SimStats` in configuration order.
+    ``observe`` controls observability (:mod:`repro.obs`): pass a
+    :class:`~repro.obs.Recorder` to install it for the duration of this
+    call, or ``True`` to record into the process-wide recorder, enabling
+    a fresh one first if none is active (retrieve it afterwards with
+    ``repro.obs.get_recorder()``).
     """
     from repro.sim.functional import FunctionalSimulator
 
-    def run() -> SimStats:
+    def run() -> "SimStats | list[SimStats]":
         result = FunctionalSimulator(program, ext_defs=ext_defs).run(
             max_steps=max_steps, collect_trace=True
         )
+        if isinstance(machine, (list, tuple)):
+            return simulate_many(
+                program, result.trace, machine, ext_defs=ext_defs
+            )
         sim = OoOSimulator(program, config=machine, ext_defs=ext_defs)
         return sim.simulate(result.trace)
 

@@ -77,8 +77,14 @@ def program_fingerprint(program: Program) -> str:
 
 
 def machine_fingerprint(machine: MachineConfig) -> str:
-    """Stable digest of every MachineConfig field (hierarchy included)."""
-    blob = json.dumps(asdict(machine), sort_keys=True, default=repr)
+    """Stable digest of every semantic MachineConfig field (hierarchy
+    included). Execution-strategy fields that cannot change results
+    (``sim_fast_path``; the fast/reference paths are verified
+    bit-identical) are excluded so cached artifacts stay valid either
+    way."""
+    fields = asdict(machine)
+    fields.pop("sim_fast_path", None)
+    blob = json.dumps(fields, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 

@@ -6,6 +6,12 @@ and checks observable equivalence. This is the library form of the
 property tests: usable from a CLI (``t1000 fuzz``) or CI job to hammer
 the folding machinery for as long as desired.
 
+The campaign also differentially fuzzes the simulators themselves: for
+every generated program (and every rewrite of it), the block-compiled
+functional interpreter must produce an :class:`ExecutionResult`
+identical to the reference loop's, and the dense-window timing replay an
+identical :class:`SimStats` (see :func:`check_simulators`).
+
 All generation is seeded and reproducible; a failure report carries the
 seed and the full program text.
 """
@@ -98,16 +104,65 @@ def random_minic_program(rng: random.Random) -> str:
     )
 
 
+def check_simulators(program: Program, ext_defs=None) -> None:
+    """Differentially check the fast simulation paths on ``program``.
+
+    Runs the block-compiled functional interpreter against the reference
+    interpreter (architectural state, trace, execution counts, bitwidth
+    profile must all match), then replays the trace through the timing
+    model with the dense-window fast path and the reference loop
+    (``SimStats`` must match field-for-field). Raises ``AssertionError``
+    on any divergence.
+    """
+    import dataclasses
+
+    from repro.extinst.validate import memory_snapshot
+    from repro.sim.functional import FunctionalSimulator
+    from repro.sim.ooo import MachineConfig, OoOSimulator
+
+    fast = FunctionalSimulator(
+        program, ext_defs=ext_defs, compile_blocks=True
+    ).run(collect_trace=True, profile=True)
+    ref = FunctionalSimulator(
+        program, ext_defs=ext_defs, compile_blocks=False
+    ).run(collect_trace=True, profile=True)
+    assert fast.steps == ref.steps, "step counts diverged"
+    assert fast.regs == ref.regs, "register files diverged"
+    assert memory_snapshot(fast.memory, include_stack=True) == \
+        memory_snapshot(ref.memory, include_stack=True), "memory diverged"
+    assert fast.trace.indices == ref.trace.indices, "trace indices diverged"
+    assert fast.trace.addrs == ref.trace.addrs, "trace addresses diverged"
+    assert fast.exec_counts == ref.exec_counts, "execution counts diverged"
+    assert fast.bitwidths.max_operand_width == \
+        ref.bitwidths.max_operand_width, "operand widths diverged"
+    assert fast.bitwidths.max_result_width == \
+        ref.bitwidths.max_result_width, "result widths diverged"
+
+    config = MachineConfig(n_pfus=2, reconfig_latency=10)
+    stats_fast = OoOSimulator(
+        program, config=config, ext_defs=ext_defs
+    ).simulate(fast.trace)
+    slow_cfg = dataclasses.replace(config, sim_fast_path=False)
+    stats_slow = OoOSimulator(
+        program, config=slow_cfg, ext_defs=ext_defs
+    ).simulate(fast.trace)
+    assert vars(stats_fast) == vars(stats_slow), "SimStats diverged"
+
+
 def check_program(program: Program, n_pfus_choices=(1, 2, 4, None)) -> int:
     """Run every selection algorithm over ``program`` and validate each
-    rewrite. Returns the number of folded sites; raises on divergence."""
+    rewrite (semantic equivalence of the rewritten program *and*
+    fast-vs-reference agreement of both simulators on it). Returns the
+    number of folded sites; raises on divergence."""
     profile = profile_program(program)
     folded = 0
+    check_simulators(program)
     selections = [greedy_select(profile)]
     selections += [selective_select(profile, n) for n in n_pfus_choices]
     for selection in selections:
         rewritten, defs = apply_selection(program, selection)
         validate_equivalence(program, rewritten, defs)
+        check_simulators(rewritten, defs)
         folded += len(selection.sites)
     return folded
 

@@ -95,6 +95,28 @@ class WorkloadLab:
         """Timing of the original program (Figure 2/6 first bar)."""
         return self.pipeline.baseline_timing(self.name, self.scale, machine)
 
+    def timing_sweep(
+        self,
+        algorithm: str | SelectionParams,
+        machines: "list[MachineConfig] | tuple[MachineConfig, ...]",
+        select_pfus: int | None = None,
+    ) -> list[SimStats]:
+        """Replay one rewritten trace under many machine configurations.
+
+        The single-pass sweep path: the rewrite and functional trace are
+        materialised once through the pipeline's caches, then every
+        machine configuration replays the same trace via
+        :func:`~repro.sim.ooo.simulate_many`, sharing the per-trace
+        timing artefacts. Results are in ``machines`` order."""
+        from repro.sim.ooo import simulate_many
+
+        program, defs = self.rewritten(algorithm, select_pfus)
+        if isinstance(algorithm, SelectionParams):
+            params = algorithm.normalized()
+            algorithm, select_pfus = params.algorithm, params.select_pfus
+        trace = self.trace(algorithm, select_pfus)
+        return simulate_many(program, trace, machines, ext_defs=defs)
+
     def run(
         self,
         algorithm: str,

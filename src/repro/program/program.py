@@ -49,6 +49,15 @@ class Program:
     def __len__(self) -> int:
         return len(self.text)
 
+    def __getstate__(self):
+        """Pickle only the declared fields: simulators cache derived,
+        process-local state on the instance (underscore attributes, e.g.
+        the compiled basic blocks, which hold unpicklable code objects);
+        it is rebuilt on demand after unpickling."""
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
+
     def pc_of(self, index: int) -> int:
         """Byte address of the instruction at ``index``."""
         return TEXT_BASE + 4 * index

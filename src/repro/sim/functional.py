@@ -12,6 +12,7 @@ make it work, measure, then optimise the hot loop only).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -119,12 +120,19 @@ class FunctionalSimulator:
         program: Program,
         ext_defs: Mapping[int, "ExtInstDef"] | None = None,
         memory: Memory | None = None,
+        compile_blocks: bool | None = None,
     ) -> None:
+        """``compile_blocks`` selects the execution path: ``True`` forces
+        the block-compiled fast interpreter (:mod:`repro.sim.compile`),
+        ``False`` forces the reference loop, and ``None`` (default) uses
+        the fast path unless ``REPRO_SIM_REFERENCE=1`` is set. Profiling
+        runs use a profiling variant of the compiled blocks."""
         program.validate()
         self.program = program
         self.ext_defs = dict(ext_defs or {})
         self.memory = memory if memory is not None else Memory()
         self.memory.load_image(DATA_BASE, program.data)
+        self.compile_blocks = compile_blocks
         self._decoded = [self._decode(i, ins) for i, ins in enumerate(program.text)]
 
     # ------------------------------------------------------------------
@@ -187,18 +195,41 @@ class FunctionalSimulator:
         """
         rec = get_recorder()
         if not rec.enabled:
-            return self._run(max_steps, collect_trace, profile, entry_label)
+            return self._execute(max_steps, collect_trace, profile, entry_label)
         with rec.span(
             "sim.functional", program=self.program.name,
             trace=collect_trace, profile=profile,
         ) as attrs:
-            result = self._run(max_steps, collect_trace, profile, entry_label)
+            result = self._execute(max_steps, collect_trace, profile, entry_label)
             attrs["steps"] = result.steps
         rec.counter("sim.functional.runs", program=self.program.name).inc()
         rec.counter("sim.functional.steps", program=self.program.name).inc(
             result.steps
         )
         return result
+
+    def _use_fast_path(self) -> bool:
+        """The block-compiled path runs everything (profiling runs use a
+        profiling block variant) except explicitly forced reference
+        runs."""
+        if self.compile_blocks is not None:
+            return self.compile_blocks
+        return os.environ.get("REPRO_SIM_REFERENCE", "") not in ("1", "true")
+
+    def _execute(
+        self,
+        max_steps: int,
+        collect_trace: bool,
+        profile: bool,
+        entry_label: str,
+    ) -> ExecutionResult:
+        if self._use_fast_path():
+            from repro.sim.compile import run_compiled
+
+            return run_compiled(
+                self, max_steps, collect_trace, entry_label, profile
+            )
+        return self._run(max_steps, collect_trace, profile, entry_label)
 
     def _run(
         self,
@@ -362,6 +393,147 @@ class FunctionalSimulator:
             bitwidths=widths,
             program=program,
         )
+
+    # ------------------------------------------------------------------
+
+    def _step_one(
+        self,
+        pc: int,
+        regs: list[int],
+        trace: DynTrace | None,
+        counts: list[int] | None = None,
+        widths: BitwidthProfile | None = None,
+    ) -> int:
+        """Execute exactly one instruction with reference semantics.
+
+        This is the block-compiled runner's escape hatch (``ext``
+        instructions, dynamic jumps into the middle of a block, the last
+        instructions of a near-exhausted step budget). Returns the next
+        static index, or -1 if this instruction was ``halt``. Profiling
+        runs pass ``counts``/``widths`` so fallback steps keep the same
+        profile bookkeeping as the reference loop.
+        """
+        if not 0 <= pc < len(self._decoded):
+            raise SimulationError(f"PC out of text segment: index {pc}")
+        d = self._decoded[pc]
+        kind = d[0]
+        mem = self.memory
+        cur = pc
+        pc += 1
+        addr = -1
+
+        if kind == _K_ALU_REG:
+            _, fn, dst, a, b = d
+            va, vb = regs[a], regs[b]
+            value = fn(va, vb)
+            if dst:
+                regs[dst] = value
+            if widths is not None:
+                w = effective_width(va)
+                w2 = effective_width(vb)
+                if w2 > w:
+                    w = w2
+                if w > widths.max_operand_width[cur]:
+                    widths.max_operand_width[cur] = w
+                rw = effective_width(value)
+                if rw > widths.max_result_width[cur]:
+                    widths.max_result_width[cur] = rw
+        elif kind == _K_ALU_IMM:
+            _, fn, dst, a, imm = d
+            va = regs[a]
+            value = fn(va, imm)
+            if dst:
+                regs[dst] = value
+            if widths is not None:
+                w = effective_width(va)
+                w2 = effective_width(imm)
+                if w2 > w:
+                    w = w2
+                if w > widths.max_operand_width[cur]:
+                    widths.max_operand_width[cur] = w
+                rw = effective_width(value)
+                if rw > widths.max_result_width[cur]:
+                    widths.max_result_width[cur] = rw
+        elif kind == _K_LOAD:
+            _, size, signed, rt, rs, off = d
+            addr = to_u32(regs[rs] + off)
+            if size == 4:
+                value = mem.read_word(addr)
+            elif size == 2:
+                value = mem.read_half(addr)
+                if signed and value & 0x8000:
+                    value |= 0xFFFF_0000
+            else:
+                value = mem.read_byte(addr)
+                if signed and value & 0x80:
+                    value |= 0xFFFF_FF00
+            if rt:
+                regs[rt] = value
+        elif kind == _K_STORE:
+            _, size, rt, rs, off = d
+            addr = to_u32(regs[rs] + off)
+            value = regs[rt]
+            if size == 4:
+                mem.write_word(addr, value)
+            elif size == 2:
+                mem.write_half(addr, value)
+            else:
+                mem.write_byte(addr, value)
+        elif kind == _K_BRANCH:
+            _, cond, rs, rt, target = d
+            va = regs[rs]
+            if cond == 0:
+                taken = va == regs[rt]
+            elif cond == 1:
+                taken = va != regs[rt]
+            else:
+                sa = to_s32(va)
+                if cond == 2:
+                    taken = sa <= 0
+                elif cond == 3:
+                    taken = sa > 0
+                elif cond == 4:
+                    taken = sa < 0
+                else:
+                    taken = sa >= 0
+            if taken:
+                pc = target
+        elif kind == _K_EXT:
+            _, ext, dst, rs, rt = d
+            va, vb = regs[rs], regs[rt]
+            value = ext.evaluate(va, vb)
+            if dst:
+                regs[dst] = value
+            if widths is not None:
+                w = max(effective_width(va), effective_width(vb))
+                if w > widths.max_operand_width[cur]:
+                    widths.max_operand_width[cur] = w
+        elif kind == _K_LUI:
+            _, value, dst = d
+            if dst:
+                regs[dst] = value
+        elif kind == _K_J:
+            pc = d[1]
+        elif kind == _K_JAL:
+            regs[31] = TEXT_BASE + 4 * pc
+            pc = d[1]
+        elif kind == _K_JR:
+            pc = self.program.index_of_pc(regs[d[1]])
+        elif kind == _K_JALR:
+            _, rd, rs = d
+            ret = TEXT_BASE + 4 * pc
+            pc = self.program.index_of_pc(regs[rs])
+            if rd:
+                regs[rd] = ret
+        elif kind == _K_HALT:
+            pc = -1
+        # _K_NOP: nothing
+
+        if trace is not None:
+            trace.append(cur, addr)
+        if counts is not None:
+            counts[cur] += 1
+        return pc
 
 
 def run_program(

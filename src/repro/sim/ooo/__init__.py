@@ -10,7 +10,14 @@ reconfiguration latency.
 
 from repro.sim.ooo.config import MachineConfig
 from repro.sim.ooo.pfu import PFUBank
-from repro.sim.ooo.pipeline import OoOSimulator, simulate_program
+from repro.sim.ooo.pipeline import OoOSimulator, simulate_many, simulate_program
 from repro.sim.ooo.stats import SimStats
 
-__all__ = ["MachineConfig", "OoOSimulator", "simulate_program", "SimStats", "PFUBank"]
+__all__ = [
+    "MachineConfig",
+    "OoOSimulator",
+    "simulate_many",
+    "simulate_program",
+    "SimStats",
+    "PFUBank",
+]

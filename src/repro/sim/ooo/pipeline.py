@@ -25,6 +25,7 @@ The simulated time is the commit cycle of the last instruction.
 
 from __future__ import annotations
 
+import os
 import warnings
 from contextlib import nullcontext
 from math import ceil
@@ -70,6 +71,397 @@ _CLASS_OF = {
 
 _CLASS_NAMES = ["alu", "mul", "div", "load", "store", "ctrl", "nop", "ext"]
 
+#: Issue-resource groups for the fast path: which per-cycle counter an
+#: instruction class contends on. ALU ops, control transfers, and NOPs
+#: share the integer ALUs; the divider shares the multiplier; loads and
+#: stores share the cache ports; ext ops contend per PFU slot.
+_GRP_ALU, _GRP_MUL, _GRP_DIV, _GRP_MEM, _GRP_EXT = range(5)
+_GRP_OF = {
+    _C_ALU: _GRP_ALU,
+    _C_MUL: _GRP_MUL,
+    _C_DIV: _GRP_DIV,
+    _C_LOAD: _GRP_MEM,
+    _C_STORE: _GRP_MEM,
+    _C_CTRL: _GRP_ALU,
+    _C_NOP: _GRP_ALU,
+    _C_EXT: _GRP_EXT,
+}
+
+#: Ring-buffer horizon cap for the fast path (slots, power of two). A run
+#: whose issue cycle ever drifts this far past dispatch falls back to the
+#: reference loop rather than growing the rings further.
+_MAX_HORIZON = 1 << 20
+
+#: Attribute under which the dense timing pre-pass caches its per-trace
+#: arrays on the DynTrace instance (keyed by hierarchy config).
+_DENSE_ATTR = "_dense_timing_cache"
+
+_REPLAY_ATTR = "_replay_tab_cache"
+
+_FETCH_ATTR = "_fetch_cycle_cache"
+
+_FAST_LOOP_CACHE: dict[tuple, object] = {}
+
+
+def _fast_loop_source(
+    has_mul: bool, has_div: bool, has_mem: bool, has_ext: bool,
+    obs_live: bool, record: bool,
+) -> str:
+    """Source of a replay loop specialized to one program/run shape.
+
+    The loop is the reference pipeline model with per-cycle resource
+    dicts replaced by stamped ring buffers and the fetch stage replaced
+    by the precomputed ``fcyc`` array (fetch has no feedback from the
+    core in this model); specialization drops the branches for
+    instruction classes the program does not contain and for disabled
+    observability/timeline recording, so the common ALU-heavy iteration
+    executes a minimal straight-line body. Programs whose classes all
+    contend on the integer ALUs additionally fuse the issue-width and
+    ALU rings into one (their per-cycle counts are always equal). The
+    numeric class literals below are the _C_* constants.
+    """
+    O = obs_live
+    multi = has_mul or has_div or has_mem or has_ext
+    lines: list[str] = []
+
+    def a(level: int, text: str) -> None:
+        lines.append("    " * level + text)
+
+    def issue_loop(level: int, us: str, uc: str, limit: str) -> None:
+        """Unit + issue-width contention search for one resource group.
+        The issued-count update is folded into the search's final
+        iteration so the slot index is computed once per probe."""
+        a(level, "while True:")
+        a(level + 1, "i = t & mask")
+        a(level + 1, "if iss_s[i] == t:")
+        a(level + 2, "if iss_c[i] >= issue_width:")
+        a(level + 3, "t += 1")
+        a(level + 3, "continue")
+        a(level + 2, f"if {us}[i] == t:")
+        a(level + 3, f"if {uc}[i] >= {limit}:")
+        a(level + 4, "t += 1")
+        a(level + 4, "continue")
+        a(level + 3, f"{uc}[i] += 1")
+        a(level + 2, "else:")
+        a(level + 3, f"{us}[i] = t")
+        a(level + 3, f"{uc}[i] = 1")
+        a(level + 2, "iss_c[i] += 1")
+        a(level + 1, "else:")
+        a(level + 2, f"if {us}[i] == t:")
+        a(level + 3, f"if {uc}[i] >= {limit}:")
+        a(level + 4, "t += 1")
+        a(level + 4, "continue")
+        a(level + 3, f"{uc}[i] += 1")
+        a(level + 2, "else:")
+        a(level + 3, f"{us}[i] = t")
+        a(level + 3, f"{uc}[i] = 1")
+        if O:
+            a(level + 2, "if iss_c[i]:")
+            a(level + 3, "issue_widths.append(iss_c[i])")
+        a(level + 2, "iss_s[i] = t")
+        a(level + 2, "iss_c[i] = 1")
+        a(level + 1, "break")
+
+    def issued_update(level: int) -> None:
+        a(level, "if iss_s[i] == t:")
+        a(level + 1, "iss_c[i] += 1")
+        a(level, "else:")
+        if O:
+            a(level + 1, "if iss_c[i]:")
+            a(level + 2, "issue_widths.append(iss_c[i])")
+        a(level + 1, "iss_s[i] = t")
+        a(level + 1, "iss_c[i] = 1")
+
+    a(0, "def replay(per_k, indices, addrs, fcyc, mlat, conf_tab,")
+    a(0, "           decode_width, issue_width, commit_width,")
+    a(0, "           ruu_size, n_ialu, n_imult, n_memports, horizon, bank,")
+    a(0, "           iss_s, iss_c, alu_s, alu_c, mul_s, mul_c, mem_s, mem_c,")
+    a(0, "           pfu_s, rec_lo, rec_hi, timeline):")
+    a(1, "mask = horizon - 1")
+    a(1, "disp_cycle = 1")
+    a(1, "disp_n = 0")
+    a(1, "commit_ring = [0] * ruu_size")
+    if has_div:
+        a(1, "div_free = 0")
+    a(1, "reg_ready = [0] * 32")
+    if has_mem:
+        a(1, "store_ready = {}")
+    a(1, "commit_cycle = 1")
+    a(1, "commit_n = 0")
+    if not multi:
+        a(1, "lim = issue_width if issue_width < n_ialu else n_ialu")
+    if O:
+        a(1, "st_disp_ruu = st_disp_width = 0")
+        a(1, "st_issue_operands = st_issue_store_dep = 0")
+        a(1, "st_issue_pfu = st_issue_div = st_issue_struct = 0")
+        a(1, "st_commit_width = 0")
+        a(1, "issue_widths = []")
+        a(1, "reconfigs = []")
+    if multi:
+        a(1, "for k, (cls, grp, s1, s2, dst, lat) in enumerate(per_k):")
+    else:
+        a(1, "for k, (s1, s2, dst, lat) in enumerate(per_k):")
+    # -- dispatch --
+    a(2, "d = fcyc[k] + 1")
+    if O:
+        # clamp before the RUU check so stall cycles attribute to the
+        # RUU exactly as in the reference loop
+        a(2, "if d < disp_cycle:")
+        a(3, "d = disp_cycle")
+    a(2, "kslot = k % ruu_size")
+    a(2, "freed = commit_ring[kslot] + 1")
+    a(2, "if freed > d:")
+    if O:
+        a(3, "st_disp_ruu += freed - d")
+    a(3, "d = freed")
+    a(2, "if d > disp_cycle:")
+    a(3, "disp_cycle = d")
+    a(3, "disp_n = 1")
+    a(2, "elif disp_n >= decode_width:")
+    if O:
+        a(3, "st_disp_width += 1")
+    a(3, "d = disp_cycle + 1")
+    a(3, "disp_cycle = d")
+    a(3, "disp_n = 1")
+    a(2, "else:")
+    a(3, "d = disp_cycle")
+    a(3, "disp_n += 1")
+    if has_ext and O:
+        # the non-obs variant acquires inside its ext issue branch; the
+        # call only consumes ``d``, so deferring it past the operand
+        # waits is order-preserving
+        a(2, "if cls == 7:")
+        a(3, "conf = conf_tab[indices[k]]")
+        a(3, "misses_before = bank.misses")
+        a(3, "config_ready, pfu_slot = bank.acquire(conf, d)")
+        a(3, "if bank.misses != misses_before:")
+        a(4, "rl = bank.latency_for(conf)")
+        a(4, "reconfigs.append("
+             "(conf, pfu_slot, config_ready - rl, config_ready))")
+    # -- issue: operand/dependence waits --
+    a(2, "t = d + 1")
+    a(2, "if s1:")
+    a(3, "rr = reg_ready[s1]")
+    a(3, "if rr > t:")
+    a(4, "t = rr")
+    a(3, "if s2:")
+    a(4, "rr = reg_ready[s2]")
+    a(4, "if rr > t:")
+    a(5, "t = rr")
+    if O:
+        a(2, "if t > d + 1:")
+        a(3, "st_issue_operands += t - (d + 1)")
+        if has_mem:
+            a(2, "if cls == 3:")
+            a(3, "dep = store_ready.get(addrs[k] >> 2, 0)")
+            a(3, "if dep > t:")
+            a(4, "st_issue_store_dep += dep - t")
+            a(4, "t = dep")
+        if has_ext:
+            a(2, "if cls == 7 and config_ready > t:")
+            a(3, "st_issue_pfu += config_ready - t")
+            a(3, "t = config_ready")
+        if has_div:
+            a(2, "if cls == 2 and div_free > t:")
+            a(3, "st_issue_div += div_free - t")
+            a(3, "t = div_free")
+        a(2, "t_pre = t")
+    # -- issue: structural search (and, for the non-obs multi-group
+    # variant, the class-specific waits and completion, fused into the
+    # per-group branch so ALU iterations skip every dead class check) --
+    def horizon_check(level: int) -> None:
+        a(level, "if t - d >= horizon:")
+        a(level + 1, "return None")
+
+    def div_search(level: int) -> None:
+        a(level, "while True:")
+        a(level + 1, "i = t & mask")
+        a(level + 1, "if iss_s[i] == t and iss_c[i] >= issue_width:")
+        a(level + 2, "t += 1")
+        a(level + 2, "continue")
+        a(level + 1, "if mul_s[i] == t:")
+        a(level + 2, "if mul_c[i] >= n_imult:")
+        a(level + 3, "t += 1")
+        a(level + 3, "continue")
+        a(level + 2, "mul_c[i] += 1")
+        a(level + 1, "else:")
+        a(level + 2, "mul_s[i] = t")
+        a(level + 2, "mul_c[i] = 1")
+        a(level + 1, "div_free = t + lat")
+        issued_update(level + 1)
+        a(level + 1, "break")
+
+    def ext_search(level: int) -> None:
+        a(level, "ps = pfu_s[pfu_slot] if pfu_slot is not None"
+                 " else None")
+        a(level, "while True:")
+        a(level + 1, "i = t & mask")
+        a(level + 1, "if iss_s[i] == t and iss_c[i] >= issue_width:")
+        a(level + 2, "t += 1")
+        a(level + 2, "continue")
+        a(level + 1, "if ps is not None:")
+        a(level + 2, "if ps[i] == t:")
+        a(level + 3, "t += 1")
+        a(level + 3, "continue")
+        a(level + 2, "ps[i] = t")
+        issued_update(level + 1)
+        a(level + 1, "break")
+        a(level, "bank.note_issue(pfu_slot, t)")
+
+    if multi:
+        branches: list[tuple[str, object]] = [
+            ("0", ("alu_s", "alu_c", "n_ialu"))
+        ]
+        if has_mem:
+            branches.append(("3", ("mem_s", "mem_c", "n_memports")))
+        if has_mul:
+            branches.append(("1", ("mul_s", "mul_c", "n_imult")))
+        if has_div:
+            branches.append(("2", "div"))
+        if has_ext:
+            branches.append(("4", "ext"))
+
+    if not multi:
+        # single resource group: the issue-width and ALU rings always
+        # carry equal counts, so one ring with the tighter limit serves
+        a(2, "while True:")
+        a(3, "i = t & mask")
+        a(3, "if iss_s[i] == t:")
+        a(4, "if iss_c[i] >= lim:")
+        a(5, "t += 1")
+        a(5, "continue")
+        a(4, "iss_c[i] += 1")
+        a(3, "else:")
+        if O:
+            a(4, "if iss_c[i]:")
+            a(5, "issue_widths.append(iss_c[i])")
+        a(4, "iss_s[i] = t")
+        a(4, "iss_c[i] = 1")
+        a(3, "break")
+        horizon_check(2)
+        if O:
+            a(2, "if t > t_pre:")
+            a(3, "st_issue_struct += t - t_pre")
+        a(2, "complete = t + lat")
+    elif O:
+        for bi, (grp_lit, spec) in enumerate(branches):
+            if bi == 0:
+                a(2, f"if grp == {grp_lit}:")
+            elif bi < len(branches) - 1:
+                a(2, f"elif grp == {grp_lit}:")
+            else:
+                a(2, "else:")
+            body = 3
+            if spec == "div":
+                div_search(body)
+            elif spec == "ext":
+                ext_search(body)
+            else:
+                us, uc, limit = spec
+                issue_loop(body, us, uc, limit)
+        horizon_check(2)
+        a(2, "if t > t_pre:")
+        a(3, "st_issue_struct += t - t_pre")
+        # -- execute/complete --
+        if has_mem:
+            a(2, "if cls == 3:")
+            a(3, "complete = t + mlat[k]")
+            a(2, "elif cls == 4:")
+            a(3, "complete = t + 1")
+            a(3, "store_ready[addrs[k] >> 2] = complete")
+            a(2, "else:")
+            a(3, "complete = t + lat")
+        else:
+            a(2, "complete = t + lat")
+    else:
+        for bi, (grp_lit, spec) in enumerate(branches):
+            if bi == 0:
+                a(2, f"if grp == {grp_lit}:")
+            elif bi < len(branches) - 1:
+                a(2, f"elif grp == {grp_lit}:")
+            else:
+                a(2, "else:")
+            body = 3
+            if spec == "div":
+                a(body, "if div_free > t:")
+                a(body + 1, "t = div_free")
+                div_search(body)
+                horizon_check(body)
+                a(body, "complete = t + lat")
+            elif spec == "ext":
+                a(body, "conf = conf_tab[indices[k]]")
+                a(body, "config_ready, pfu_slot = bank.acquire(conf, d)")
+                a(body, "if config_ready > t:")
+                a(body + 1, "t = config_ready")
+                ext_search(body)
+                horizon_check(body)
+                a(body, "complete = t + lat")
+            elif grp_lit == "3":
+                a(body, "if cls == 3:")
+                a(body + 1, "dep = store_ready.get(addrs[k] >> 2, 0)")
+                a(body + 1, "if dep > t:")
+                a(body + 2, "t = dep")
+                issue_loop(body, "mem_s", "mem_c", "n_memports")
+                horizon_check(body)
+                a(body, "if cls == 3:")
+                a(body + 1, "complete = t + mlat[k]")
+                a(body, "else:")
+                a(body + 1, "complete = t + 1")
+                a(body + 1, "store_ready[addrs[k] >> 2] = complete")
+            else:
+                us, uc, limit = spec
+                issue_loop(body, us, uc, limit)
+                horizon_check(body)
+                a(body, "complete = t + lat")
+    a(2, "if dst:")
+    a(3, "reg_ready[dst] = complete")
+    # -- commit --
+    a(2, "c = complete + 1")
+    a(2, "if c > commit_cycle:")
+    a(3, "commit_cycle = c")
+    a(3, "commit_n = 1")
+    a(2, "elif commit_n >= commit_width:")
+    if O:
+        a(3, "st_commit_width += 1")
+    a(3, "c = commit_cycle + 1")
+    a(3, "commit_cycle = c")
+    a(3, "commit_n = 1")
+    a(2, "else:")
+    a(3, "c = commit_cycle")
+    a(3, "commit_n += 1")
+    a(2, "commit_ring[kslot] = c")
+    if record:
+        a(2, "if rec_lo <= k < rec_hi:")
+        a(3, "timeline.append((indices[k], fcyc[k], d, t, complete, c))")
+    if O:
+        a(1, "issue_widths.extend(w for w in iss_c if w)")
+        a(1, "return (commit_cycle,")
+        a(1, "        (st_disp_ruu, st_disp_width,")
+        a(1, "         st_issue_operands, st_issue_store_dep, st_issue_pfu,")
+        a(1, "         st_issue_div, st_issue_struct, st_commit_width),")
+        a(1, "        issue_widths, reconfigs)")
+    else:
+        a(1, "return (commit_cycle, None, None, None)")
+    return "\n".join(lines) + "\n"
+
+
+def _fast_loop(
+    has_mul: bool, has_div: bool, has_mem: bool, has_ext: bool,
+    obs_live: bool, record: bool,
+):
+    """Compile (and cache) the replay loop for one specialization."""
+    key = (has_mul, has_div, has_mem, has_ext, obs_live, record)
+    fn = _FAST_LOOP_CACHE.get(key)
+    if fn is None:
+        namespace: dict = {}
+        code = compile(
+            _fast_loop_source(*key), f"<t1000-replay:{key}>", "exec"
+        )
+        exec(code, namespace)  # noqa: S102 - trusted, self-generated source
+        fn = namespace["replay"]
+        _FAST_LOOP_CACHE[key] = fn
+    return fn
+
 
 class OoOSimulator:
     """Timing simulator for one program (reusable across traces only by
@@ -113,6 +505,28 @@ class OoOSimulator:
             else:
                 self._ctrl_kind.append(0)
         self._reconfig_by_conf = self._reconfig_latencies()
+        self._ext_lat_sig = tuple(sorted(ext_latency.items()))
+        self._present = frozenset(self._cls)
+        # Flat per-static replay tuples for the fast path. $zero is
+        # dropped from the sources (it is never written, so reads of it
+        # never wait), which lets the replay loop nest the second
+        # operand check under the first. Programs whose classes all
+        # share the integer ALUs use a short tuple shape: their loop
+        # specialization needs no class/group dispatch at all.
+        self._single_group = {_GRP_OF[c] for c in self._present} <= {_GRP_ALU}
+        rows = []
+        for i, srcs in enumerate(self._srcs):
+            nz = [r for r in srcs if r]
+            s1 = nz[0] if nz else 0
+            s2 = nz[1] if len(nz) > 1 else 0
+            cls = self._cls[i]
+            if self._single_group:
+                rows.append((s1, s2, self._dst[i], self._lat[i]))
+            else:
+                rows.append(
+                    (cls, _GRP_OF[cls], s1, s2, self._dst[i], self._lat[i])
+                )
+        self._static_tab = rows
 
     def _ext_latencies(self) -> dict[int, int]:
         """Per-configuration execution latency (§3.1 latency models)."""
@@ -176,6 +590,296 @@ class OoOSimulator:
         return stats
 
     def _simulate(
+        self,
+        trace: DynTrace,
+        record_window: tuple[int, int] | None,
+        obs,
+    ) -> SimStats:
+        """Inner loop dispatcher: the dense-window fast path when legal,
+        else the reference loop. Both produce identical :class:`SimStats`
+        (verified by differential tests); the fast path bounds the
+        per-cycle resource bookkeeping to O(horizon) memory."""
+        if self._fast_eligible():
+            horizon = self._initial_horizon()
+            while horizon <= _MAX_HORIZON:
+                stats = self._simulate_fast(trace, record_window, obs, horizon)
+                if stats is not None:
+                    return stats
+                horizon *= 8
+        return self._simulate_reference(trace, record_window, obs)
+
+    def _fast_eligible(self) -> bool:
+        """The fast path requires the paper's perfect branch prediction:
+        with a bimodal predictor, fetch redirects change the I-cache
+        access sequence, so cache latencies cannot be precomputed from
+        the trace alone."""
+        if not self.config.sim_fast_path:
+            return False
+        if self.config.branch_predictor != "perfect":
+            return False
+        return os.environ.get("REPRO_SIM_REFERENCE", "") not in ("1", "true")
+
+    def _initial_horizon(self) -> int:
+        """Ring-buffer size: a power of two safely above the largest
+        plausible issue-past-dispatch drift (RUU window worth of memory
+        stalls, plus one reconfiguration). Exceeding it is detected and
+        retried with larger rings, so this is a fast-start heuristic,
+        not a correctness bound."""
+        cfg = self.config
+        h = cfg.hierarchy
+        mem_worst = (
+            h.dtlb.miss_penalty + h.dl1.hit_latency
+            + h.ul2.hit_latency + h.mem_latency
+        )
+        ifetch_worst = (
+            h.itlb.miss_penalty + h.il1.hit_latency
+            + h.ul2.hit_latency + h.mem_latency
+        )
+        lat_worst = max(self._lat, default=1)
+        reconfig_worst = cfg.reconfig_latency
+        if self._reconfig_by_conf:
+            reconfig_worst = max(
+                reconfig_worst, *self._reconfig_by_conf.values()
+            )
+        span = (
+            cfg.ruu_size * max(mem_worst, lat_worst, 2)
+            + reconfig_worst + ifetch_worst + 64
+        )
+        horizon = 1024
+        while horizon < span:
+            horizon *= 2
+        return min(horizon, _MAX_HORIZON)
+
+    def _dense_pass(self, trace: DynTrace):
+        """Precompute the trace's cache/TLB interactions.
+
+        With perfect branch prediction the hierarchy's access sequence is
+        a pure function of the trace (fetch line transitions and
+        load/store addresses in program order), independent of the core's
+        timing parameters — so one pass yields, for every dynamic
+        instruction, the extra fetch stall and load latency, plus the
+        final cache statistics. The result is cached on the trace
+        instance keyed by the hierarchy config: config sweeps that vary
+        only core parameters (PFU count, reconfiguration latency, widths)
+        replay the same trace without touching the cache model again.
+        """
+        from array import array
+
+        indices, addrs = trace.indices, trace.addrs
+        n = len(indices)
+        key = (id(indices), n, self.config.hierarchy)
+        cached = getattr(trace, _DENSE_ATTR, None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+
+        hier = MemoryHierarchy(self.config.hierarchy)
+        cls_tab = self._cls
+        line_bits = self.config.hierarchy.il1.line_size.bit_length() - 1
+        fextra = array("i", bytes(4 * n))
+        mlat = array("i", bytes(4 * n))
+        taken = bytearray(n)
+        ifetch, dload, dstore = hier.ifetch, hier.dload, hier.dstore
+        cur_line = -1
+        for k in range(n):
+            si = indices[k]
+            pc_addr = TEXT_BASE + 4 * si
+            line = pc_addr >> line_bits
+            if line != cur_line:
+                extra = ifetch(pc_addr) - 1
+                if extra > 0:
+                    fextra[k] = extra
+                cur_line = line
+            cls = cls_tab[si]
+            if cls == _C_LOAD:
+                mlat[k] = dload(addrs[k])
+            elif cls == _C_STORE:
+                dstore(addrs[k])
+            elif cls == _C_CTRL and k + 1 < n and indices[k + 1] != si + 1:
+                taken[k] = 1
+                cur_line = -1  # taken transfer: refetch the target line
+        cache_stats = {
+            "il1": vars(hier.il1.stats).copy(),
+            "dl1": vars(hier.dl1.stats).copy(),
+            "ul2": vars(hier.ul2.stats).copy(),
+            "itlb": vars(hier.itlb.stats).copy(),
+            "dtlb": vars(hier.dtlb.stats).copy(),
+        }
+        data = (fextra, taken, mlat, cache_stats)
+        setattr(trace, _DENSE_ATTR, (key, data))
+        return data
+
+    def _fetch_cycles(self, trace: DynTrace, fextra, taken) -> list[int]:
+        """Fetch cycle of every dynamic instruction.
+
+        Fetch never waits on dispatch, issue or commit in this model
+        (perfect prediction, unbounded fetch buffer), so with the dense
+        pre-pass arrays in hand it is a pure function of the trace and
+        ``fetch_width`` — computed once here and cached on the trace so
+        repeated replays index a flat array instead of re-running the
+        fetch bookkeeping."""
+        key = (
+            id(trace.indices), len(fextra), self.config.hierarchy,
+            self.config.fetch_width,
+        )
+        cached = getattr(trace, _FETCH_ATTR, None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        fw = self.config.fetch_width
+        fcyc = [0] * len(fextra)
+        fc = 1
+        fetched = 0
+        for k, e in enumerate(fextra):
+            if fetched >= fw:
+                fc += 1
+                fetched = 0
+            if e:
+                fc += e
+                fetched = 0
+            fcyc[k] = fc
+            fetched += 1
+            if taken[k]:
+                fc += 1
+                fetched = 0
+        setattr(trace, _FETCH_ATTR, (key, fcyc))
+        return fcyc
+
+    def _replay_tab(self, trace: DynTrace) -> tuple[list, list[int]]:
+        """Per-dynamic-instruction static tuples plus class totals: the
+        program's flat replay table mapped over the trace once
+        (C-level), cached on the trace instance so repeated replays —
+        config sweeps, benchmark iterations — skip the per-instruction
+        static lookups entirely. Class counts are a pure function of
+        the trace, so they are tallied here (via one Counter over the
+        static indices) rather than inside the replay loop."""
+        from collections import Counter
+
+        indices = trace.indices
+        key = (
+            id(indices), len(indices), id(self.program.text),
+            self._ext_lat_sig,
+        )
+        cached = getattr(trace, _REPLAY_ATTR, None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        per_k = list(map(self._static_tab.__getitem__, indices))
+        counts = [0] * len(_CLASS_NAMES)
+        for si, cnt in Counter(indices).items():
+            counts[self._cls[si]] += cnt
+        data = (per_k, counts)
+        setattr(trace, _REPLAY_ATTR, (key, data))
+        return data
+
+    def _simulate_fast(
+        self,
+        trace: DynTrace,
+        record_window: tuple[int, int] | None,
+        obs,
+        horizon: int,
+    ) -> SimStats | None:
+        """Dense-window replay: the reference pipeline model with the
+        per-cycle resource dicts replaced by stamped ring buffers of
+        ``horizon`` slots, the cache hierarchy and fetch stage replaced
+        by precomputed dense arrays, and the loop body specialized to
+        the program's instruction-class mix (:func:`_fast_loop`).
+        Returns None if any instruction's issue cycle drifts
+        ``horizon`` or more cycles past its dispatch cycle (the caller
+        retries with larger rings or falls back to the reference
+        loop)."""
+        cfg = self.config
+        bank = PFUBank(
+            cfg.n_pfus, cfg.reconfig_latency,
+            latency_by_conf=self._reconfig_by_conf or None,
+        )
+        indices, addrs = trace.indices, trace.addrs
+        fextra, taken, mlat, cache_snapshot = self._dense_pass(trace)
+        fcyc = self._fetch_cycles(trace, fextra, taken)
+        per_k, class_counts = self._replay_tab(trace)
+
+        present = self._present
+        has_mul = _C_MUL in present
+        has_div = _C_DIV in present
+        has_mem = _C_LOAD in present or _C_STORE in present
+        has_ext = _C_EXT in present
+        multi = has_mul or has_div or has_mem or has_ext
+
+        # stamped rings: slot `cycle & (horizon-1)` is live iff its stamp
+        # equals the cycle; stale slots read as zero and are reclaimed on
+        # write, so memory stays O(horizon) regardless of trace length
+        iss_s = [0] * horizon
+        iss_c = [0] * horizon
+        if multi:
+            alu_s = [0] * horizon
+            alu_c = [0] * horizon
+        else:
+            alu_s = alu_c = None
+        if has_mul or has_div:
+            mul_s = [0] * horizon
+            mul_c = [0] * horizon
+        else:
+            mul_s = mul_c = None
+        if has_mem:
+            mem_s = [0] * horizon
+            mem_c = [0] * horizon
+        else:
+            mem_s = mem_c = None
+        pfu_s = (
+            [[0] * horizon for _ in range(cfg.n_pfus)]
+            if has_ext and cfg.n_pfus else None
+        )
+
+        timeline: list[tuple[int, int, int, int, int, int]] = []
+        rec_lo, rec_hi = record_window if record_window else (0, -1)
+
+        loop = _fast_loop(
+            has_mul, has_div, has_mem, has_ext,
+            obs is not None, record_window is not None,
+        )
+        out = loop(
+            per_k, indices, addrs, fcyc, mlat, self._conf,
+            cfg.decode_width, cfg.issue_width, cfg.commit_width,
+            cfg.ruu_size, cfg.n_ialu, cfg.n_imult, cfg.n_memports,
+            horizon, bank,
+            iss_s, iss_c, alu_s, alu_c, mul_s, mul_c, mem_s, mem_c,
+            pfu_s, rec_lo, rec_hi, timeline,
+        )
+        if out is None:
+            return None
+        commit_cycle, stalls, issue_widths, reconfigs = out
+
+        stats = SimStats()
+        stats.cycles = commit_cycle
+        stats.instructions = len(indices)
+        stats.ext_instructions = class_counts[_C_EXT]
+        stats.pfu_hits = bank.hits
+        stats.pfu_misses = bank.misses
+        stats.reconfig_cycles = bank.reconfig_cycles
+        stats.class_counts = {
+            name: class_counts[i] for i, name in enumerate(_CLASS_NAMES)
+        }
+        if record_window:
+            stats.timeline = timeline
+        stats.cache = {
+            level: st.copy() for level, st in cache_snapshot.items()
+        }
+        if obs is not None:
+            stats.stall_cycles = {
+                reason: cycles
+                for reason, cycles in zip(
+                    (
+                        "fetch.icache", "dispatch.ruu_full",
+                        "dispatch.width", "issue.operands",
+                        "issue.store_dep", "issue.pfu_config",
+                        "issue.div_busy", "issue.structural",
+                        "commit.width",
+                    ),
+                    (sum(fextra), *stalls),
+                )
+                if cycles
+            }
+            self._publish(obs, stats, issue_widths, reconfigs)
+        return stats
+
+    def _simulate_reference(
         self,
         trace: DynTrace,
         record_window: tuple[int, int] | None,
@@ -466,14 +1170,14 @@ class OoOSimulator:
                 )
                 if cycles
             }
-            self._publish(obs, stats, issued, reconfigs)
+            self._publish(obs, stats, issued.values(), reconfigs)
         return stats
 
     def _publish(
         self,
         obs,
         stats: SimStats,
-        issued: dict[int, int],
+        issue_widths,
         reconfigs: list[tuple[int, int | None, int, int]],
     ) -> None:
         """Publish one run's metrics/spans to a live recorder."""
@@ -489,7 +1193,7 @@ class OoOSimulator:
                 stats.reconfig_cycles
             )
         hist = obs.histogram("sim.issue.width", program=prog)
-        for width in issued.values():
+        for width in issue_widths:
             hist.observe(width)
         for name, count in stats.class_counts.items():
             if count:
@@ -506,6 +1210,34 @@ class OoOSimulator:
                 "pfu.reconfig", start, end, track=track,
                 conf=conf, program=prog,
             )
+
+
+def simulate_many(
+    program: Program,
+    trace: DynTrace,
+    configs: "list[MachineConfig] | tuple[MachineConfig, ...]",
+    ext_defs: Mapping[int, "ExtInstDef"] | None = None,
+    record_window: tuple[int, int] | None = None,
+) -> list[SimStats]:
+    """Replay one dynamic trace under many machine configurations.
+
+    The single-pass sweep entry point: the per-trace replay artefacts —
+    the dense cache/TLB timing pre-pass, the fetch schedule, and the
+    flat per-instruction replay table — are cached on ``trace`` the
+    first time a configuration needs them and shared by every later
+    configuration that can legally reuse them (same memory hierarchy,
+    fetch width, and extended-instruction latency model respectively).
+    A reconfiguration-latency or PFU-count sweep therefore pays the
+    per-dynamic-instruction cache/fetch/decode work once, not once per
+    configuration. Results are returned in configuration order and are
+    bit-identical to running each configuration on its own simulator.
+    """
+    return [
+        OoOSimulator(program, cfg, ext_defs=ext_defs).simulate(
+            trace, record_window
+        )
+        for cfg in configs
+    ]
 
 
 def simulate_program(

@@ -11,7 +11,9 @@ itself stays compact: two parallel integer arrays.
 from __future__ import annotations
 
 from array import array
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass
@@ -29,13 +31,33 @@ class DynTrace:
     def __len__(self) -> int:
         return len(self.indices)
 
+    def __getstate__(self):
+        """Pickle only the two trace arrays: the timing model caches
+        derived per-trace artefacts on the instance (underscore
+        attributes keyed by ``id()``, meaningless in another process);
+        they are recomputed on first replay after unpickling."""
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
+
     def append(self, static_index: int, addr: int = -1) -> None:
         self.indices.append(static_index)
         self.addrs.append(addr)
 
+    def extend(self, indices: Iterable[int], addrs: Iterable[int]) -> None:
+        """Bulk-append parallel index/address runs (what the block-compiled
+        interpreter emits: one call per basic block instead of one per
+        dynamic instruction)."""
+        self.indices.extend(indices)
+        self.addrs.extend(addrs)
+        if len(self.indices) != len(self.addrs):
+            raise ValueError(
+                "extend: indices and addrs runs have different lengths"
+            )
+
     def static_counts(self, n_static: int) -> list[int]:
         """Execution count per static instruction index."""
         counts = [0] * n_static
-        for idx in self.indices:
-            counts[idx] += 1
+        for idx, count in Counter(self.indices).items():
+            counts[idx] = count
         return counts

@@ -1,0 +1,143 @@
+"""Differential tests for the fast-path simulation engine.
+
+The block-compiled functional interpreter (:mod:`repro.sim.compile`) and
+the dense-window timing replay (:mod:`repro.sim.ooo.pipeline`) are pure
+optimisations: every observable — architectural state, dynamic trace,
+profile, and ``SimStats`` — must be identical to the reference loops.
+These tests pin that contract for every registered workload and for the
+fig2/fig6 harness drivers, and guard the fast path's bounded live-set
+property (ring buffers of ``horizon`` slots, not per-cycle dicts that
+grow with the trace).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.asm import assemble
+from repro.engine import EngineConfig, ExperimentEngine
+from repro.extinst.validate import memory_snapshot
+from repro.harness import figures
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def _functional_results(program, ext_defs=None):
+    """Run ``program`` through both functional paths (trace + profile)."""
+    fast = FunctionalSimulator(
+        program, ext_defs=ext_defs, compile_blocks=True
+    ).run(collect_trace=True, profile=True)
+    ref = FunctionalSimulator(
+        program, ext_defs=ext_defs, compile_blocks=False
+    ).run(collect_trace=True, profile=True)
+    return fast, ref
+
+
+def _assert_results_equal(fast, ref):
+    assert fast.halted and ref.halted
+    assert fast.steps == ref.steps
+    assert fast.regs == ref.regs
+    assert memory_snapshot(fast.memory, include_stack=True) == \
+        memory_snapshot(ref.memory, include_stack=True)
+    assert fast.trace.indices == ref.trace.indices
+    assert fast.trace.addrs == ref.trace.addrs
+    assert fast.exec_counts == ref.exec_counts
+    assert fast.bitwidths.max_operand_width == ref.bitwidths.max_operand_width
+    assert fast.bitwidths.max_result_width == ref.bitwidths.max_result_width
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestFunctionalEquivalence:
+    """Compiled blocks vs the reference interpreter, per workload."""
+
+    def test_execution_result_identical(self, name):
+        program = build_workload(name).program
+        fast, ref = _functional_results(program)
+        _assert_results_equal(fast, ref)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestTimingEquivalence:
+    """Dense-window replay vs the reference pipeline loop, per workload."""
+
+    CONFIGS = (
+        MachineConfig(),
+        MachineConfig(issue_width=2, ruu_size=16, n_pfus=2,
+                      reconfig_latency=50),
+    )
+
+    def test_sim_stats_identical(self, name):
+        program = build_workload(name).program
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        for config in self.CONFIGS:
+            fast = OoOSimulator(program, config=config).simulate(trace)
+            slow_cfg = dataclasses.replace(config, sim_fast_path=False)
+            slow = OoOSimulator(program, config=slow_cfg).simulate(trace)
+            assert vars(fast) == vars(slow), (name, config)
+
+
+class TestHarnessEquivalence:
+    """The fig2/fig6 drivers end-to-end: every profile, rewrite, trace
+    and timing run through the fast paths must render byte-identical
+    tables to a run forced onto the reference loops."""
+
+    @staticmethod
+    def _tables(monkeypatch, reference: bool):
+        monkeypatch.setenv(
+            "REPRO_SIM_REFERENCE", "1" if reference else ""
+        )
+        engine = ExperimentEngine(EngineConfig(jobs=1, no_cache=True))
+        fig2 = figures.render(*figures.fig2_greedy(engine=engine))
+        fig6 = figures.render(*figures.fig6_selective(engine=engine))
+        return fig2, fig6
+
+    def test_fig2_fig6_byte_identical(self, monkeypatch):
+        fast = self._tables(monkeypatch, reference=False)
+        ref = self._tables(monkeypatch, reference=True)
+        assert fast == ref
+
+
+class TestBoundedLiveSet:
+    """Regression guard for the fast path's memory contract: per-cycle
+    resource bookkeeping lives in stamped ring buffers of ``horizon``
+    slots, so a trace that runs for vastly more cycles than the horizon
+    must complete on the first attempt (no ring growth, no fallback)."""
+
+    # ~120k dynamic instructions, tens of thousands of cycles
+    _LONG = (
+        ".text\nmain: li $t9, 20000\nloop:\n"
+        "    addu $t0, $t0, $t1\n    xor $t1, $t0, $t9\n"
+        "    sw $t0, 0($sp)\n    lw $t2, 0($sp)\n"
+        "    addiu $t9, $t9, -1\n    bgtz $t9, loop\n    halt\n"
+    )
+
+    def test_long_trace_stays_within_initial_horizon(self):
+        program = assemble(self._LONG)
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        sim = OoOSimulator(program)
+        horizons = []
+        inner = sim._simulate_fast
+
+        def spy(trace, record_window, obs, horizon):
+            horizons.append(horizon)
+            return inner(trace, record_window, obs, horizon)
+
+        sim._simulate_fast = spy
+        stats = sim.simulate(trace)
+        # the fast path ran, once, with its initial ring size — it never
+        # had to retry with larger rings, let alone fall back
+        assert horizons == [sim._initial_horizon()]
+        # and the run was long enough that cycle-keyed bookkeeping would
+        # dwarf the rings: the live set is O(horizon), not O(cycles)
+        assert stats.cycles > 8 * horizons[0]
+        # the bounded path still times every instruction
+        assert stats.instructions == len(trace)
+
+    def test_long_trace_matches_reference(self):
+        program = assemble(self._LONG)
+        trace = FunctionalSimulator(program).run(collect_trace=True).trace
+        fast = OoOSimulator(program).simulate(trace)
+        slow_cfg = MachineConfig(sim_fast_path=False)
+        slow = OoOSimulator(program, config=slow_cfg).simulate(trace)
+        assert vars(fast) == vars(slow)

@@ -8,6 +8,7 @@ from repro.asm import assemble
 from repro.fuzz import (
     FuzzResult,
     check_program,
+    check_simulators,
     random_asm_program,
     random_minic_program,
     run_campaign,
@@ -67,6 +68,46 @@ class TestCheckProgram:
 
         assert main(["fuzz", "-n", "3", "--seed", "5"]) == 0
         assert "fuzz:" in capsys.readouterr().out
+
+
+class TestSimulatorDifferential:
+    def test_random_programs_agree_across_paths(self):
+        """Property: on random programs the compiled interpreter and the
+        dense-window replay are indistinguishable from the reference
+        loops (state, trace, profile, SimStats)."""
+        for seed in range(6):
+            program = assemble(random_asm_program(random.Random(seed)))
+            check_simulators(program)
+
+    def test_rewritten_programs_agree_across_paths(self):
+        """The same property on programs containing ext instructions."""
+        from repro.extinst import apply_selection, selective_select
+        from repro.profiling import profile_program
+
+        program = assemble(random_asm_program(random.Random(11)))
+        selection = selective_select(profile_program(program), 2)
+        rewritten, defs = apply_selection(program, selection)
+        check_simulators(rewritten, defs)
+
+    def test_divergence_raises(self, monkeypatch):
+        """A simulator-path divergence must surface as AssertionError
+        (which the campaign records as a failure)."""
+        import repro.sim.compile as compile_mod
+
+        program = assemble(random_asm_program(random.Random(2)))
+        original = compile_mod.run_compiled
+
+        def corrupted(sim, max_steps, collect_trace, entry_label,
+                      profile=False):
+            result = original(
+                sim, max_steps, collect_trace, entry_label, profile
+            )
+            result.regs[8] ^= 1
+            return result
+
+        monkeypatch.setattr(compile_mod, "run_compiled", corrupted)
+        with pytest.raises(AssertionError):
+            check_simulators(program)
 
 
 class TestFailureReporting:
