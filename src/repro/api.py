@@ -47,6 +47,7 @@ __all__ = [
     "MachineConfig",
     "SelectionParams",
     "compile",
+    "connect",
     "profile",
     "rewrite",
     "select",
@@ -193,3 +194,17 @@ def simulate(
     if observe and not get_recorder().enabled:
         enable()
     return run()
+
+
+def connect(address: "str | tuple[str, int]", **kwargs):
+    """Connect to a ``t1000 serve`` toolflow service.
+
+    Returns a :class:`~repro.serve.client.ServeClient` whose five
+    toolflow methods mirror this module's functions (same keyword
+    arguments, same return types), so a script moves from in-process to
+    served by swapping ``repro.api`` for ``repro.api.connect(addr)``.
+    ``kwargs`` are forwarded (``timeout``, ``retries``, ...).
+    """
+    from repro.serve.client import connect as _connect
+
+    return _connect(address, **kwargs)

@@ -270,8 +270,13 @@ class ArtifactStore:
         root: str | os.PathLike,
         telemetry: Telemetry | None = None,
         max_bytes: int | None = None,
+        create: bool = True,
     ):
         self.root = Path(root)
+        if not create and not self.root.is_dir():
+            raise ConfigurationError(
+                f"cache directory {self.root} does not exist"
+            )
         self.telemetry = telemetry or Telemetry()
         self.max_bytes = max_bytes
         self._objects = self.root / "objects"

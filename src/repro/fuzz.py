@@ -167,13 +167,59 @@ def check_program(program: Program, n_pfus_choices=(1, 2, 4, None)) -> int:
     return folded
 
 
+def build_program(seed: int, flavor: str) -> tuple[Program, str]:
+    """Regenerate the exact program a campaign built from ``seed``.
+
+    This is the single construction path shared by :func:`run_campaign`
+    and :func:`replay`, so a seed printed in a failure report always
+    reproduces byte-identical source."""
+    if flavor not in ("asm", "minic"):
+        raise ValueError(f"unknown program flavor {flavor!r}")
+    sub_rng = random.Random(seed)
+    if flavor == "minic":
+        from repro.cc import compile_source
+
+        source = random_minic_program(sub_rng)
+        return compile_source(source), source
+    source = random_asm_program(sub_rng)
+    return assemble(source), source
+
+
+def _check_one(seed: int, flavor: str, result: FuzzResult) -> None:
+    program, source = build_program(seed, flavor)
+    result.runs += 1
+    try:
+        result.folded_sites += check_program(program)
+    except (ReproError, AssertionError) as exc:
+        result.failures.append(
+            {
+                "seed": seed,
+                "flavor": flavor,
+                "error": str(exc),
+                "source": source,
+            }
+        )
+
+
+def replay(seed: int, flavor: str) -> FuzzResult:
+    """Re-run the one program a failure report identified by its printed
+    per-program ``seed`` (not the campaign seed)."""
+    result = FuzzResult()
+    _check_one(seed, flavor, result)
+    return result
+
+
 def run_campaign(
     n_programs: int = 50,
     seed: int = 0,
     flavor: str = "both",
 ) -> FuzzResult:
     """Fuzz ``n_programs`` random programs. ``flavor``: "asm", "minic",
-    or "both" (alternating)."""
+    or "both" (alternating).
+
+    ``seed`` seeds the campaign; each program gets its own derived seed,
+    printed on failure and replayable via :func:`replay` (or
+    ``t1000 fuzz --replay-seed``)."""
     if flavor not in ("asm", "minic", "both"):
         raise ValueError(f"unknown fuzz flavor {flavor!r}")
     rng = random.Random(seed)
@@ -181,25 +227,5 @@ def run_campaign(
     for k in range(n_programs):
         use_minic = flavor == "minic" or (flavor == "both" and k % 2 == 1)
         program_seed = rng.randrange(2**31)
-        sub_rng = random.Random(program_seed)
-        if use_minic:
-            from repro.cc import compile_source
-
-            source = random_minic_program(sub_rng)
-            program = compile_source(source)
-        else:
-            source = random_asm_program(sub_rng)
-            program = assemble(source)
-        result.runs += 1
-        try:
-            result.folded_sites += check_program(program)
-        except (ReproError, AssertionError) as exc:
-            result.failures.append(
-                {
-                    "seed": program_seed,
-                    "flavor": "minic" if use_minic else "asm",
-                    "error": str(exc),
-                    "source": source,
-                }
-            )
+        _check_one(program_seed, "minic" if use_minic else "asm", result)
     return result

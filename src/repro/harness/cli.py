@@ -144,9 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz", help="differential-fuzz the folding pipeline"
     )
     fuzz_p.add_argument("-n", "--programs", type=int, default=50)
-    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
     fuzz_p.add_argument("--flavor", default="both",
                         choices=["asm", "minic", "both"])
+    fuzz_p.add_argument(
+        "--replay-seed", type=int, default=None, metavar="SEED",
+        help="re-run the one program a failure report printed "
+        "(requires --flavor asm or minic)",
+    )
     _add_obs_flags(fuzz_p)
 
     sel_p = sub.add_parser(
@@ -194,6 +200,67 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metrics JSONL file(s); several are merged")
     mrep_p.add_argument("--top", type=int, default=6,
                         help="stall reasons shown per workload (default 6)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the toolflow as a long-lived batching service "
+        "(see docs/serving.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7077)
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="worker subprocesses (default 2)")
+    serve_p.add_argument("--max-queue", type=int, default=128,
+                         help="admission-queue bound; beyond it requests "
+                         "get explicit 'overloaded' answers (default 128)")
+    serve_p.add_argument("--max-batch", type=int, default=16,
+                         help="largest simulate micro-batch (default 16)")
+    serve_p.add_argument("--timeout-ms", type=int, default=30000,
+                         help="default per-request deadline (default 30000)")
+    serve_p.add_argument("--worker-max-requests", type=int, default=500,
+                         help="recycle a worker after this many requests")
+    serve_p.add_argument(
+        "--cache-dir", default=os.environ.get("T1000_CACHE_DIR") or None,
+        help="persistent artifact store shared by the workers "
+        "(default $T1000_CACHE_DIR)",
+    )
+    serve_p.add_argument("--debug-ops", action="store_true",
+                         help=argparse.SUPPRESS)
+
+    client_p = sub.add_parser(
+        "client", help="talk to a running 't1000 serve' instance"
+    )
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+    for client_cmd, help_text in (
+        ("health", "readiness, worker liveness, queue depth"),
+        ("stats", "metric series from the server's repro.obs registry"),
+        ("run", "run the five-op toolflow for one workload via the service"),
+        ("smoke", "concurrent mixed-load smoke test (CI gate)"),
+    ):
+        cp = client_sub.add_parser(client_cmd, help=help_text)
+        cp.add_argument(
+            "--connect", default=os.environ.get("T1000_SERVE")
+            or "127.0.0.1:7077",
+            metavar="HOST:PORT",
+            help="server address (default 127.0.0.1:7077 / $T1000_SERVE)",
+        )
+        cp.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request client timeout in seconds")
+        if client_cmd == "run":
+            cp.add_argument("workload", choices=list(WORKLOAD_NAMES))
+            cp.add_argument("--scale", type=int, default=1)
+            cp.add_argument("--algorithm", default="selective",
+                            choices=["greedy", "selective"])
+            cp.add_argument(
+                "--pfus",
+                type=lambda s: None if s == "unlimited" else int(s),
+                default=2,
+            )
+        elif client_cmd == "smoke":
+            cp.add_argument("--clients", type=int, default=8,
+                            help="concurrent client threads (default 8)")
+            cp.add_argument("--requests", type=int, default=50,
+                            help="total requests to issue (default 50)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
@@ -319,14 +386,25 @@ def _dispatch(args) -> int:
         _write_full_report(args.out, args.scale, engine)
         _finish(engine, args)
     elif args.command == "fuzz":
-        from repro.fuzz import run_campaign
+        from repro.fuzz import replay, run_campaign
 
-        result = run_campaign(args.programs, args.seed, args.flavor)
+        if args.replay_seed is not None:
+            if args.flavor not in ("asm", "minic"):
+                print("t1000 fuzz: --replay-seed needs --flavor asm or "
+                      "minic (the flavor the failure report printed)",
+                      file=sys.stderr)
+                return 2
+            result = replay(args.replay_seed, args.flavor)
+        else:
+            result = run_campaign(args.programs, args.seed, args.flavor)
         print(result.summary())
         for failure in result.failures:
             print(f"\nFAILURE (seed {failure['seed']}, {failure['flavor']}):")
             print(failure["error"])
             print(failure["source"])
+            print(f"reproduce with: t1000 fuzz "
+                  f"--replay-seed {failure['seed']} "
+                  f"--flavor {failure['flavor']}")
         return 0 if result.ok else 1
     elif args.command == "pipeview":
         from repro.sim.functional import FunctionalSimulator
@@ -397,8 +475,84 @@ def _dispatch(args) -> int:
                       f"JSONL export: {exc}", file=sys.stderr)
                 return 2
         print(render_metrics_report(datasets, top=args.top))
+    elif args.command == "serve":
+        return _serve_command(args)
+    elif args.command == "client":
+        return _client_command(args)
     elif args.command == "cache":
         return _cache_command(args)
+    return 0
+
+
+def _serve_command(args) -> int:
+    """``t1000 serve`` — run the toolflow service until SIGTERM/SIGINT."""
+    from repro.serve import ServeConfig, serve_forever
+
+    cache_dir = (os.path.expanduser(args.cache_dir)
+                 if args.cache_dir else None)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_timeout_ms=args.timeout_ms,
+        worker_max_requests=args.worker_max_requests,
+        cache_dir=cache_dir,
+        debug_ops=args.debug_ops,
+    )
+    serve_forever(config)
+    return 0
+
+
+def _client_command(args) -> int:
+    """``t1000 client health|stats|run|smoke``."""
+    import json
+
+    from repro.serve import protocol
+    from repro.serve.client import ServeClient
+
+    try:
+        with ServeClient(args.connect, timeout=args.timeout) as client:
+            if args.client_command == "health":
+                print(json.dumps(client.health(), indent=2, sort_keys=True))
+            elif args.client_command == "stats":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            elif args.client_command == "run":
+                return _client_run(client, args)
+            elif args.client_command == "smoke":
+                from repro.serve.loadtest import run_smoke
+
+                report = run_smoke(args.connect, clients=args.clients,
+                                   requests=args.requests,
+                                   timeout=args.timeout)
+                print(report.summary())
+                for line in report.mismatches:
+                    print(f"  {line}", file=sys.stderr)
+                return 0 if report.passed else 1
+    except protocol.ServeError as exc:
+        print(f"t1000 client: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _client_run(client, args) -> int:
+    """Drive the five-op toolflow through the service for one workload."""
+    program = client.call_with_backoff("compile", {
+        "workload": args.workload, "scale": args.scale,
+    })
+    baseline = client.simulate(program=program)
+    profile = client.profile(program=program)
+    selection = client.select(profile=profile, algorithm=args.algorithm,
+                              pfus=args.pfus)
+    rewritten, defs = client.rewrite(program=program, selection=selection)
+    stats = client.simulate(program=rewritten, ext_defs=defs)
+    speedup = baseline.cycles / stats.cycles if stats.cycles else 0.0
+    print(f"{args.workload} / {args.algorithm} / pfus={args.pfus} "
+          f"(via {args.connect})")
+    print(f"baseline cycles: {baseline.cycles}")
+    print(f"rewritten cycles: {stats.cycles}")
+    print(f"speedup over baseline: {speedup:.3f}")
     return 0
 
 
@@ -412,8 +566,19 @@ def _cache_command(args) -> int:
         return 2
     # A telemetry sink bridges store counters into the observability
     # recorder, so --metrics-out captures the maintenance traffic too.
-    store = ArtifactStore(os.path.expanduser(args.cache_dir),
-                          telemetry=Telemetry())
+    # Inspecting a store must not create one: a typo'd --cache-dir should
+    # say so, not materialise an empty cache and report zeros.
+    from repro.errors import ConfigurationError
+
+    try:
+        store = ArtifactStore(os.path.expanduser(args.cache_dir),
+                              telemetry=Telemetry(), create=False)
+    except ConfigurationError as exc:
+        print(f"t1000 cache {args.cache_command}: {exc} "
+              "(pass --cache-dir pointing at an existing store, or run "
+              "an experiment with --cache-dir first to create one)",
+              file=sys.stderr)
+        return 2
     if args.cache_command == "stats":
         print(store.stats().render())
     elif args.cache_command == "clear":

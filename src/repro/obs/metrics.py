@@ -142,6 +142,12 @@ class MetricsRegistry:
         """Every series, in registration order."""
         return iter(self._series.values())
 
+    def snapshot(self) -> list[dict]:
+        """JSON-serialisable rows for every series (one per
+        :meth:`MetricSeries.snapshot`), in registration order — the
+        payload behind the serve ``stats`` endpoint."""
+        return [series.snapshot() for series in self._series.values()]
+
     def value(self, name: str, **labels):
         """Current value of a series, or None (test/report convenience)."""
         key = (name, tuple(sorted(labels.items())))

@@ -1,0 +1,208 @@
+"""The request broker: bounded admission, deadlines, micro-batching.
+
+One :class:`RequestBroker` sits between the connection threads (which
+``submit``) and the dispatcher threads (which ``next_batch``).  Its
+contract is the service's backpressure story:
+
+- **bounded admission** — the queue never exceeds ``max_queue``; a full
+  queue rejects at submit time with an ``overloaded`` verdict (the
+  server turns that into a 429-style response with a retry hint)
+  instead of queueing unboundedly;
+- **deadlines** — every request carries an absolute monotonic deadline;
+  requests that expire while queued are failed with
+  ``deadline_exceeded`` at dequeue time, never executed;
+- **micro-batching** — ``simulate`` requests that share a batch key
+  (same program / ext_defs / max_steps payload) are handed out as one
+  batch, which the worker turns into a single shared-trace
+  :func:`~repro.sim.ooo.simulate_many` sweep.  A short ``linger``
+  window lets a dispatcher wait for batchmates when the queue is
+  otherwise empty.
+
+The broker never touches sockets or workers; requests carry their own
+``respond`` callable, so expiry can be answered from inside the broker
+without plumbing connections through it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs import Recorder
+from repro.serve import protocol
+
+#: Sentinel batch key for ops that never batch.
+_UNBATCHED = object()
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for (or undergoing) execution."""
+
+    request_id: Any
+    op: str
+    #: Raw (still-encoded) wire params; the server process never decodes
+    #: payload blobs — only the worker does.
+    params: dict
+    #: Absolute monotonic deadline; queued requests past it are failed.
+    deadline: float
+    respond: Callable[[dict], None]
+    #: Requests sharing a batch key may be dispatched as one batch.
+    batch_key: Any = _UNBATCHED
+    enqueued_at: float = field(default_factory=time.monotonic)
+    seq: int = 0
+
+    def expired(self, now: float | None = None) -> bool:
+        return (now if now is not None else time.monotonic()) > self.deadline
+
+    def fail(self, code: str, message: str, **details: Any) -> None:
+        self.respond(protocol.error_response(
+            self.request_id, code, message, **details
+        ))
+
+
+class RequestBroker:
+    """Bounded FIFO of :class:`PendingRequest` with batch-aware dequeue."""
+
+    def __init__(
+        self,
+        max_queue: int = 128,
+        max_batch: int = 16,
+        linger: float = 0.002,
+        recorder: Recorder | None = None,
+    ):
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.linger = linger
+        self._queue: deque[PendingRequest] = deque()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        self._seq = itertools.count()
+        self._recorder = recorder
+        if recorder is not None:
+            self._depth_gauge = recorder.gauge("serve.queue.depth")
+            self._rejected = recorder.counter("serve.rejected",
+                                              reason="overloaded")
+            self._expired = recorder.counter("serve.rejected",
+                                             reason="deadline")
+        else:
+            self._depth_gauge = self._rejected = self._expired = None
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, request: PendingRequest) -> str | None:
+        """Admit ``request``; returns ``None`` on success or the error
+        code (:data:`~repro.serve.protocol.OVERLOADED` /
+        :data:`~repro.serve.protocol.SHUTTING_DOWN`) on rejection.  The
+        caller answers rejected requests; admitted ones are answered by
+        a dispatcher (or by expiry)."""
+        with self._lock:
+            if self._closed:
+                return protocol.SHUTTING_DOWN
+            if len(self._queue) >= self.max_queue:
+                if self._rejected is not None:
+                    self._rejected.inc()
+                return protocol.OVERLOADED
+            request.seq = next(self._seq)
+            self._queue.append(request)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._queue))
+            self._nonempty.notify()
+            return None
+
+    def close(self) -> None:
+        """Stop admitting; wake every dispatcher so drain can finish."""
+        with self._lock:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    # ------------------------------------------------------------------
+
+    def _pop_expired_aware(self, now: float) -> PendingRequest | None:
+        """Pop the head, failing (and skipping) queued-past-deadline
+        requests. Caller holds the lock."""
+        while self._queue:
+            request = self._queue.popleft()
+            if request.expired(now):
+                if self._expired is not None:
+                    self._expired.inc()
+                request.fail(
+                    protocol.DEADLINE_EXCEEDED,
+                    f"deadline expired after "
+                    f"{now - request.enqueued_at:.3f}s in queue",
+                )
+                continue
+            return request
+        return None
+
+    def _take_batchmates(self, head: PendingRequest, now: float,
+                         batch: list[PendingRequest]) -> None:
+        """Move every queued request sharing ``head``'s batch key into
+        ``batch`` (up to ``max_batch``). Caller holds the lock."""
+        if head.batch_key is _UNBATCHED:
+            return
+        kept: deque[PendingRequest] = deque()
+        while self._queue and len(batch) < self.max_batch:
+            candidate = self._queue.popleft()
+            if candidate.batch_key != head.batch_key:
+                kept.append(candidate)
+                continue
+            if candidate.expired(now):
+                if self._expired is not None:
+                    self._expired.inc()
+                candidate.fail(
+                    protocol.DEADLINE_EXCEEDED,
+                    f"deadline expired after "
+                    f"{now - candidate.enqueued_at:.3f}s in queue",
+                )
+                continue
+            batch.append(candidate)
+        kept.extend(self._queue)
+        self._queue = kept
+
+    def next_batch(self, timeout: float | None = None
+                   ) -> list[PendingRequest] | None:
+        """Block for the next batch of work.
+
+        Returns ``None`` when the broker is closed and fully drained
+        (the dispatcher's exit signal), or an empty list when ``timeout``
+        elapses with nothing to do.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._nonempty:
+            while True:
+                now = time.monotonic()
+                head = self._pop_expired_aware(now)
+                if head is not None:
+                    break
+                if self._closed:
+                    return None
+                if deadline is not None and now >= deadline:
+                    return []
+                self._nonempty.wait(
+                    None if deadline is None else deadline - now
+                )
+            batch = [head]
+            self._take_batchmates(head, now, batch)
+            # Linger briefly for batchmates still in flight from other
+            # connections — only worth it for batchable ops.
+            if (head.batch_key is not _UNBATCHED and self.linger > 0
+                    and len(batch) < self.max_batch and not self._closed):
+                self._nonempty.wait(self.linger)
+                self._take_batchmates(head, time.monotonic(), batch)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._queue))
+            return batch

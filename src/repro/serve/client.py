@@ -1,0 +1,254 @@
+"""Client library for the toolflow service.
+
+:class:`ServeClient` mirrors the :mod:`repro.api` facade over a socket:
+the five toolflow methods take the same keyword arguments and return
+the same dataclasses, so moving a script from in-process to served is a
+one-line change::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient("127.0.0.1:7077") as client:
+        program = client.compile(workload="gsm_encode")
+        profile = client.profile(program=program)
+        selection = client.select(profile=profile, pfus=2)
+        rewritten, defs = client.rewrite(program=program,
+                                         selection=selection)
+        stats = client.simulate(program=rewritten, ext_defs=defs)
+
+Semantics:
+
+- **connect/retry** — the client lazily connects and transparently
+  reconnects; connection-level failures are retried ``retries`` times
+  with linear backoff.  Toolflow ops are pure functions of their
+  payload, so re-sending after an ambiguous failure is safe.
+- **timeouts** — ``timeout`` bounds the socket wait client-side and is
+  shipped as the request's server-side deadline (``timeout_ms``), so a
+  request that would miss its deadline is dropped by the broker rather
+  than executed for nobody.
+- **backpressure** — an ``overloaded`` response raises
+  :class:`~repro.serve.protocol.OverloadedError` carrying
+  ``retry_after_ms``; :meth:`ServeClient.call_with_backoff` is the
+  retrying convenience loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.serve import protocol
+
+_CONNECT_ERRORS = (ConnectionError, socket.timeout, TimeoutError, OSError)
+
+
+def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise protocol.BadRequestError(
+            f"address must be 'host:port' or (host, port), got {address!r}"
+        )
+    return host, int(port)
+
+
+class ServeClient:
+    """One synchronous connection to a :class:`ToolflowServer`."""
+
+    def __init__(
+        self,
+        address: "str | tuple[str, int]",
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+    ):
+        self.address = _parse_address(address)
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # connection management
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the request loop
+
+    def call(self, op: str, params: dict | None = None,
+             timeout_ms: int | None = None) -> Any:
+        """Send one request and return its decoded result.
+
+        Raises the typed :class:`~repro.serve.protocol.ServeError`
+        subclass matching the server's error code."""
+        request_id = next(self._ids)
+        request = {"id": request_id, "op": op, "params": params or {}}
+        request["timeout_ms"] = (
+            timeout_ms if timeout_ms is not None
+            else int(self.timeout * 1000)
+        )
+        line = protocol.dump_line(request)
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                self.connect()
+                self._sock.sendall(line)
+                response = self._read_response(request_id)
+                break
+            except _CONNECT_ERRORS as exc:
+                last_exc = exc
+                self.close()
+                if attempt < self.retries:
+                    time.sleep(self.retry_backoff * (attempt + 1))
+        else:
+            raise protocol.ServerClosedError(
+                f"cannot reach server at {self.address[0]}:"
+                f"{self.address[1]}: {last_exc}"
+            ) from last_exc
+        if response.get("ok"):
+            return protocol.decode_value(response.get("result"))
+        error = response.get("error") or {}
+        code = error.get("code", protocol.OP_FAILED)
+        message = error.get("message", "unknown server error")
+        details = {k: v for k, v in error.items()
+                   if k not in ("code", "message")}
+        raise protocol.error_for(code, message, **details)
+
+    def _read_response(self, request_id: Any) -> dict:
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = protocol.parse_line(line)
+            # Synchronous use gets its own id back immediately; stale
+            # responses (from an abandoned earlier attempt) are skipped.
+            if response.get("id") in (request_id, None):
+                return response
+
+    def call_with_backoff(
+        self, op: str, params: dict | None = None,
+        max_attempts: int = 8, timeout_ms: int | None = None,
+    ) -> Any:
+        """Like :meth:`call`, but honours ``overloaded`` backpressure by
+        sleeping the server's ``retry_after_ms`` hint and retrying."""
+        for attempt in range(max_attempts):
+            try:
+                return self.call(op, params, timeout_ms=timeout_ms)
+            except protocol.OverloadedError as exc:
+                if attempt == max_attempts - 1:
+                    raise
+                time.sleep(exc.retry_after_ms / 1000.0 * (attempt + 1))
+
+    # ------------------------------------------------------------------
+    # the five toolflow ops (mirroring repro.api signatures)
+
+    def compile(self, *, source: str | None = None,
+                workload: str | None = None, scale: int = 1,
+                lang: str | None = None, name: str | None = None):
+        params = {"source": source, "workload": workload, "scale": scale,
+                  "lang": lang, "name": name}
+        return self.call("compile",
+                         {k: v for k, v in params.items() if v is not None
+                          or k in ("source", "workload")})
+
+    def profile(self, *, program, max_steps: int | None = None):
+        params: dict[str, Any] = {"program": protocol.encode_value(program)}
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        return self.call("profile", params)
+
+    def select(self, *, profile, algorithm: str = "selective",
+               pfus: int | None = None, params=None):
+        payload: dict[str, Any] = {
+            "profile": protocol.encode_value(profile),
+            "algorithm": algorithm,
+        }
+        if pfus is not None:
+            payload["pfus"] = pfus
+        if params is not None:
+            payload["params"] = protocol.encode_value(params)
+        return self.call("select", payload)
+
+    def rewrite(self, *, program, selection, validate: bool = True):
+        result = self.call("rewrite", {
+            "program": protocol.encode_value(program),
+            "selection": protocol.encode_value(selection),
+            "validate": validate,
+        })
+        rewritten, ext_defs = result
+        return rewritten, ext_defs
+
+    def simulate(self, *, program, machine=None, ext_defs=None,
+                 max_steps: int | None = None,
+                 timeout_ms: int | None = None):
+        """Simulate ``program``; pass a sequence of machines for a sweep
+        (returns a list of :class:`~repro.sim.ooo.SimStats` in order)."""
+        params: dict[str, Any] = {
+            "program": protocol.encode_value(program),
+            "ext_defs": protocol.encode_value(ext_defs),
+        }
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        if isinstance(machine, (list, tuple)):
+            params["machines"] = [protocol.encode_value(m) for m in machine]
+        else:
+            params["machine"] = protocol.encode_value(machine)
+        return self.call("simulate", params, timeout_ms=timeout_ms)
+
+    # ------------------------------------------------------------------
+    # service endpoints
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def wait_ready(self, timeout: float = 15.0,
+                   poll: float = 0.1) -> dict:
+        """Poll ``health`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except protocol.ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+
+def connect(address: "str | tuple[str, int]", **kwargs: Any) -> ServeClient:
+    """Connect to a toolflow server (convenience constructor)."""
+    return ServeClient(address, **kwargs).connect()

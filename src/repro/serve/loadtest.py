@@ -1,0 +1,208 @@
+"""Concurrent load driver for the toolflow service.
+
+The library behind ``t1000 client smoke`` and the CI serve-smoke job:
+drives a mixed batch of requests (compile / profile / select / rewrite /
+simulate / sweeps / health) from many client threads, absorbs
+``overloaded`` backpressure with retries, and checks the service's two
+core guarantees:
+
+- **no dropped responses** — every issued request is answered, either
+  with a result or an explicit error;
+- **batching is invisible** — every ``simulate`` answer is byte-identical
+  (via the canonical :func:`~repro.engine.store.stats_to_json` encoding)
+  to the same request executed serially through :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Any
+
+from repro import api
+from repro.engine.store import stats_to_json
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+#: Tiny self-contained kernels so the smoke is fast but exercises real
+#: compile -> ... -> simulate chains.
+_SMOKE_SOURCES = {
+    "smoke_mac": """
+.text
+main:
+    li $s0, 400
+    li $t1, 3
+loop:
+    sll  $t2, $t1, 4
+    addu $t2, $t2, $t1
+    andi $t2, $t2, 1023
+    xor  $t3, $t2, $t1
+    andi $t1, $t3, 255
+    addiu $t1, $t1, 1
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $v0, $t2
+    halt
+""",
+    "smoke_shift": """
+.text
+main:
+    li $s0, 300
+    li $t4, 9
+loop:
+    srl  $t5, $t4, 1
+    or   $t5, $t5, $t4
+    andi $t5, $t5, 511
+    addu $t4, $t5, $t4
+    andi $t4, $t4, 127
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $v0, $t4
+    halt
+""",
+}
+
+
+def _canonical(stats) -> str:
+    return json.dumps(stats_to_json(stats), sort_keys=True)
+
+
+@dataclasses.dataclass
+class SmokeReport:
+    """Outcome of one load run."""
+
+    issued: int = 0
+    answered: int = 0
+    ok: int = 0
+    server_errors: int = 0
+    overloaded: int = 0
+    mismatches: list[str] = dataclasses.field(default_factory=list)
+    dropped: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return self.dropped == 0 and not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.passed else "FAILED"
+        return (
+            f"serve smoke: {self.issued} request(s) issued, "
+            f"{self.answered} answered ({self.ok} ok, "
+            f"{self.server_errors} explicit error(s), "
+            f"{self.overloaded} overloaded), "
+            f"{self.dropped} dropped, {len(self.mismatches)} "
+            f"mismatch(es) — {status}"
+        )
+
+
+def run_smoke(
+    address: "str | tuple[str, int]",
+    clients: int = 8,
+    requests: int = 50,
+    timeout: float = 60.0,
+) -> SmokeReport:
+    """Drive ``requests`` mixed requests from ``clients`` threads.
+
+    The request mix cycles through the five toolflow ops plus machine
+    sweeps and health probes; ``simulate`` responses are verified
+    byte-for-byte against a serial in-process :mod:`repro.api` run of
+    the same inputs.
+    """
+    # Local ground truth, computed once (programs are tiny).
+    programs = {
+        name: api.compile(source=source, name=name)
+        for name, source in _SMOKE_SOURCES.items()
+    }
+    machines = [
+        api.MachineConfig(),
+        api.MachineConfig(n_pfus=1, reconfig_latency=40),
+        api.MachineConfig(n_pfus=4, reconfig_latency=0),
+    ]
+    expected = {
+        (name, i): _canonical(api.simulate(program=program, machine=machine))
+        for name, program in programs.items()
+        for i, machine in enumerate(machines)
+    }
+
+    report = SmokeReport(issued=requests)
+    lock = threading.Lock()
+    tickets = iter(range(requests))
+
+    def next_ticket() -> int | None:
+        with lock:
+            return next(tickets, None)
+
+    def record(field: str, amount: int = 1) -> None:
+        with lock:
+            setattr(report, field, getattr(report, field) + amount)
+
+    def one_request(client: ServeClient, ticket: int) -> None:
+        names = sorted(programs)
+        name = names[ticket % len(names)]
+        program = programs[name]
+        kind = ticket % 5
+        if kind == 0:       # full front half of the toolflow
+            compiled = client.call_with_backoff("compile", {
+                "source": _SMOKE_SOURCES[name], "name": name,
+            })
+            profile = client.profile(program=compiled)
+            client.select(profile=profile, algorithm="greedy")
+        elif kind == 4:     # health probe mixed into the load
+            client.health()
+        elif kind == 3:     # client-side sweep (one request, n configs)
+            sweep = client.simulate(program=program, machine=list(machines))
+            for i, stats in enumerate(sweep):
+                if _canonical(stats) != expected[(name, i)]:
+                    with lock:
+                        report.mismatches.append(
+                            f"sweep {name} config {i} diverged"
+                        )
+        else:               # single simulate (the micro-batched path)
+            index = ticket % len(machines)
+            stats = client.simulate(program=program,
+                                    machine=machines[index])
+            if _canonical(stats) != expected[(name, index)]:
+                with lock:
+                    report.mismatches.append(
+                        f"simulate {name} config {index} diverged"
+                    )
+
+    def drive() -> None:
+        with ServeClient(address, timeout=timeout) as client:
+            while True:
+                ticket = next_ticket()
+                if ticket is None:
+                    return
+                try:
+                    one_request(client, ticket)
+                except protocol.OverloadedError:
+                    # An explicit 429-style answer IS an answer: the
+                    # no-drops guarantee is about silence, not success.
+                    record("overloaded")
+                    record("answered")
+                    record("server_errors")
+                except protocol.ServeError as exc:
+                    if isinstance(exc, protocol.ServerClosedError):
+                        record("dropped")
+                        with lock:
+                            report.mismatches.append(
+                                f"ticket {ticket}: no response ({exc})"
+                            )
+                    else:
+                        record("answered")
+                        record("server_errors")
+                else:
+                    record("answered")
+                    record("ok")
+
+    threads = [
+        threading.Thread(target=drive, name=f"smoke-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.dropped += report.issued - report.answered - report.dropped
+    return report

@@ -1,0 +1,268 @@
+"""Wire protocol for the toolflow service.
+
+Two framings share one value codec:
+
+- **client <-> server**: line-delimited JSON (one request or response
+  object per ``\\n``-terminated line, UTF-8).  Requests look like::
+
+      {"id": 7, "op": "simulate", "params": {...}, "timeout_ms": 30000}
+
+  and responses either ``{"id": 7, "ok": true, "result": ...}`` or
+  ``{"id": 7, "ok": false, "error": {"code": "...", "message": "..."}}``.
+  The ``id`` is chosen by the client and echoed verbatim, so a client
+  may pipeline requests and correlate out-of-order responses.
+
+- **server <-> worker**: length-prefixed pickle frames over the worker
+  subprocess's stdin/stdout pipes (``!I`` byte count, then the pickled
+  job or reply).  Pickle never crosses the network unparsed: the server
+  process forwards client payloads opaquely and only the sandboxed-ish
+  worker process decodes them.
+
+Rich toolflow values travel inside the JSON as tagged envelopes
+(:func:`encode_value` / :func:`decode_value`): :class:`SimStats` and
+:class:`Selection` have faithful pure-JSON codecs and use them (so a
+batched ``simulate`` response is byte-comparable to a serial one);
+everything else (``Program``, ``ProgramProfile``, ``DynTrace``,
+``ext_defs`` tables, ``MachineConfig``) rides as base64 pickle.
+
+.. warning::
+   The pickle envelopes mean the service must only be exposed to
+   trusted callers (it binds to localhost by default); see
+   ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import struct
+from typing import Any, BinaryIO
+
+from repro.errors import ReproError
+
+#: Protocol version, echoed by the ``health`` endpoint.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one JSON line (64 MiB) — guards the server against a
+#: runaway or malicious client stream.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+# ----------------------------------------------------------------------
+# error codes
+
+#: Request rejected at admission: the bounded queue is full.  The client
+#: should back off and retry (the response carries ``retry_after_ms``).
+OVERLOADED = "overloaded"
+#: The request's deadline passed while it was queued (or the server
+#: default timeout elapsed); it was never executed.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: The request was malformed (unknown op, bad JSON, missing params).
+BAD_REQUEST = "bad_request"
+#: The operation raised inside the worker; ``message`` carries the
+#: exception text.
+OP_FAILED = "op_failed"
+#: The worker executing the request crashed and retries were exhausted.
+WORKER_CRASHED = "worker_crashed"
+#: The server is draining and no longer admits new work.
+SHUTTING_DOWN = "shutting_down"
+
+ERROR_CODES = frozenset({
+    OVERLOADED, DEADLINE_EXCEEDED, BAD_REQUEST, OP_FAILED,
+    WORKER_CRASHED, SHUTTING_DOWN,
+})
+
+#: The five toolflow operations (mirroring :mod:`repro.api`) plus the
+#: two inline endpoints answered by the server itself.
+TOOLFLOW_OPS = ("compile", "profile", "select", "rewrite", "simulate")
+INLINE_OPS = ("health", "stats")
+
+
+class ServeError(ReproError):
+    """Base class for service-level failures, tagged with a wire code."""
+
+    code = OP_FAILED
+
+    def __init__(self, message: str, **details: Any):
+        self.details = details
+        super().__init__(message)
+
+
+class OverloadedError(ServeError):
+    """The server refused admission; retry after ``retry_after_ms``."""
+
+    code = OVERLOADED
+
+    @property
+    def retry_after_ms(self) -> int:
+        return int(self.details.get("retry_after_ms", 100))
+
+
+class DeadlineExceededError(ServeError):
+    code = DEADLINE_EXCEEDED
+
+
+class BadRequestError(ServeError):
+    code = BAD_REQUEST
+
+
+class RemoteOpError(ServeError):
+    """The toolflow operation itself raised on the server side."""
+
+    code = OP_FAILED
+
+
+class WorkerCrashedError(ServeError):
+    code = WORKER_CRASHED
+
+
+class ServerClosedError(ServeError):
+    code = SHUTTING_DOWN
+
+
+_ERROR_CLASSES: dict[str, type[ServeError]] = {
+    OVERLOADED: OverloadedError,
+    DEADLINE_EXCEEDED: DeadlineExceededError,
+    BAD_REQUEST: BadRequestError,
+    OP_FAILED: RemoteOpError,
+    WORKER_CRASHED: WorkerCrashedError,
+    SHUTTING_DOWN: ServerClosedError,
+}
+
+
+def error_for(code: str, message: str, **details: Any) -> ServeError:
+    """The typed client-side exception for a wire error payload."""
+    cls = _ERROR_CLASSES.get(code, RemoteOpError)
+    return cls(message, **details)
+
+
+# ----------------------------------------------------------------------
+# value codec
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe envelope for a toolflow value.
+
+    Scalars and ``None`` pass through; lists/dicts are encoded
+    recursively; :class:`~repro.sim.ooo.SimStats` and
+    :class:`~repro.extinst.Selection` use their pure-JSON codecs (so
+    responses are byte-comparable across transports); every other
+    object becomes a base64 pickle envelope.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Late imports: the codec must not force the simulator stack into
+    # thin clients that only ship scalars.
+    from repro.engine.store import stats_to_json
+    from repro.extinst import Selection
+    from repro.extinst.serialize import selection_to_json
+    from repro.sim.ooo import SimStats
+
+    if isinstance(value, SimStats):
+        return {"$stats": stats_to_json(value)}
+    if isinstance(value, Selection):
+        return {"$selection": selection_to_json(value)}
+    if isinstance(value, (list, tuple)):
+        return {"$list": [encode_value(item) for item in value]}
+    if isinstance(value, dict) and all(isinstance(k, str) for k in value):
+        if not any(k.startswith("$") for k in value):
+            return {k: encode_value(v) for k, v in value.items()}
+    return {"$pickle": base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if "$pickle" in value:
+            return pickle.loads(base64.b64decode(value["$pickle"]))
+        if "$stats" in value:
+            from repro.engine.store import stats_from_json
+
+            return stats_from_json(value["$stats"])
+        if "$selection" in value:
+            from repro.extinst.serialize import selection_from_json
+
+            return selection_from_json(value["$selection"])
+        if "$list" in value:
+            return [decode_value(item) for item in value["$list"]]
+        return {k: decode_value(v) for k, v in value.items()}
+    raise BadRequestError(f"cannot decode wire value of type {type(value)!r}")
+
+
+def blob_digest(value: Any) -> str:
+    """Stable digest of an *encoded* wire value (micro-batch grouping)."""
+    import hashlib
+
+    blob = json.dumps(value, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# JSON-lines framing (client <-> server)
+
+
+def dump_line(obj: dict) -> bytes:
+    """One wire line for ``obj`` (compact JSON + newline)."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def parse_line(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`BadRequestError` on garbage."""
+    try:
+        obj = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"malformed JSON line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise BadRequestError("wire line is not a JSON object")
+    return obj
+
+
+def ok_response(request_id: Any, result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **details: Any
+) -> dict:
+    error: dict[str, Any] = {"code": code, "message": message}
+    if details:
+        error.update(details)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+# ----------------------------------------------------------------------
+# length-prefixed pickle framing (server <-> worker pipes)
+
+_FRAME_HEADER = struct.Struct("!I")
+
+
+def write_frame(stream: BinaryIO, obj: Any) -> None:
+    """Write one pickled frame and flush."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_FRAME_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Any | None:
+    """Read one pickled frame; ``None`` on a clean EOF at a frame
+    boundary, :class:`EOFError` on a truncated frame."""
+    header = stream.read(_FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _FRAME_HEADER.size:
+        raise EOFError("truncated frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise EOFError("truncated frame payload")
+        payload += chunk
+    return pickle.loads(payload)

@@ -136,6 +136,17 @@ class TestCli:
         assert main(["cache", "stats"]) == 2
         assert "no cache directory" in capsys.readouterr().err
 
+    def test_cache_stats_missing_dir_is_a_clean_error(self, tmp_path,
+                                                      capsys):
+        """A typo'd --cache-dir must produce a human-readable message and
+        exit 2 — not a traceback, and not a freshly created empty store."""
+        missing = tmp_path / "no" / "such" / "store"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+        assert not missing.exists(), "inspection must not create the store"
+
     def test_no_cache_flag_disables_store(self, tmp_path, capsys):
         cache = tmp_path / "cache"
         assert main(["fig2", "--workloads", WORKLOAD,

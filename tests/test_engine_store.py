@@ -52,6 +52,20 @@ def store(tmp_path):
     return ArtifactStore(tmp_path / "cache")
 
 
+class TestCreateFlag:
+    def test_create_false_requires_existing_root(self, tmp_path):
+        missing = tmp_path / "nope"
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            ArtifactStore(missing, create=False)
+        assert not missing.exists()
+
+    def test_create_false_opens_existing_store(self, tmp_path):
+        root = tmp_path / "cache"
+        ArtifactStore(root)                       # materialise
+        reopened = ArtifactStore(root, create=False)
+        assert reopened.root == root
+
+
 class TestKeys:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown artifact kind"):

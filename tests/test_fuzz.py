@@ -125,3 +125,78 @@ class TestFailureReporting:
         assert len(result.failures) == 2
         assert "injected fault" in result.failures[0]["error"]
         assert "seed" in result.failures[0]
+
+
+class TestReplay:
+    def test_replay_regenerates_identical_source(self, monkeypatch):
+        """A seed printed in a failure report must rebuild the exact
+        program: campaign generation and replay share one construction
+        path (``build_program``)."""
+        import repro.fuzz as fuzz_mod
+
+        seen = []
+
+        def spy_check(program, n_pfus_choices=(1, 2, 4, None)):
+            seen.append(program)
+            return 0
+
+        monkeypatch.setattr(fuzz_mod, "check_program", spy_check)
+        # Capture the per-program seeds the campaign derives.
+        rng = random.Random(11)
+        expected_seeds = [rng.randrange(2**31) for _ in range(3)]
+        fuzz_mod.run_campaign(n_programs=3, seed=11, flavor="asm")
+        for seed, campaign_program in zip(expected_seeds, seen):
+            replayed, source = fuzz_mod.build_program(seed, "asm")
+            assert source == random_asm_program(random.Random(seed))
+            assert [str(i) for i in replayed.text] == \
+                [str(i) for i in campaign_program.text]
+
+    def test_replay_reproduces_reported_failure(self, monkeypatch):
+        """The CLI contract: ``t1000 fuzz --replay-seed S --flavor F``
+        hits the same failure the campaign printed."""
+        import repro.fuzz as fuzz_mod
+
+        def broken_check(program, n_pfus_choices=(2,)):
+            raise AssertionError("injected fault")
+
+        monkeypatch.setattr(fuzz_mod, "check_program", broken_check)
+        campaign = fuzz_mod.run_campaign(n_programs=1, seed=3,
+                                         flavor="asm")
+        [failure] = campaign.failures
+        replayed = fuzz_mod.replay(failure["seed"], failure["flavor"])
+        assert not replayed.ok
+        [refailure] = replayed.failures
+        assert refailure["seed"] == failure["seed"]
+        assert refailure["source"] == failure["source"]
+        assert refailure["error"] == failure["error"]
+
+    def test_replay_of_healthy_seed_passes(self):
+        from repro.fuzz import replay
+
+        result = replay(12345, "asm")
+        assert result.ok
+        assert result.runs == 1
+
+    def test_replay_rejects_unknown_flavor(self):
+        from repro.fuzz import build_program
+
+        with pytest.raises(ValueError):
+            build_program(1, "both")
+
+    def test_cli_failure_report_prints_reproduce_hint(self, monkeypatch,
+                                                      capsys):
+        import repro.fuzz as fuzz_mod
+        from repro.harness.cli import main
+
+        def broken_check(program, n_pfus_choices=(2,)):
+            raise AssertionError("injected fault")
+
+        monkeypatch.setattr(fuzz_mod, "check_program", broken_check)
+        assert main(["fuzz", "-n", "1", "--seed", "3",
+                     "--flavor", "asm"]) == 1
+        out = capsys.readouterr().out
+        assert "reproduce with: t1000 fuzz --replay-seed" in out
+        seed = int(out.split("--replay-seed ")[1].split()[0])
+        monkeypatch.undo()
+        assert main(["fuzz", "--replay-seed", str(seed),
+                     "--flavor", "asm"]) == 0

@@ -1,0 +1,104 @@
+"""Worker pool tests: subprocess round-trips, crash respawn with
+bounded retries, and proactive recycling (:mod:`repro.serve.workers`)."""
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.workers import PooledWorker, WorkerCrashed, WorkerHandle
+
+SOURCE = """
+.text
+main:
+    li $t0, 5
+    addiu $t0, $t0, 7
+    halt
+"""
+
+
+def compile_job(name="pool_test"):
+    return {
+        "op": "compile",
+        "items": [{"source": SOURCE, "name": name}],
+    }
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    worker = PooledWorker(debug_ops=True)
+    yield worker
+    worker.close()
+
+
+class TestWorkerHandle:
+    def test_round_trip_and_telemetry(self):
+        handle = WorkerHandle()
+        try:
+            reply = handle.run(compile_job())
+            [result] = reply["results"]
+            assert result["ok"] is True
+            program = protocol.decode_value(result["value"])
+            assert program.name == "pool_test"
+            assert isinstance(reply["telemetry"], dict)
+            assert handle.requests_served == 1
+        finally:
+            handle.close()
+
+    def test_close_is_clean_eof(self):
+        handle = WorkerHandle()
+        handle.close()
+        assert not handle.alive()
+        assert handle.proc.returncode == 0
+
+    def test_per_item_failure_does_not_kill_worker(self):
+        handle = WorkerHandle()
+        try:
+            reply = handle.run({"op": "compile", "items": [{}]})
+            [result] = reply["results"]
+            assert result["ok"] is False
+            assert "message" in result["error"]
+            # still serving after the failed item
+            assert handle.run(compile_job())["results"][0]["ok"]
+        finally:
+            handle.close()
+
+
+class TestPooledWorker:
+    def test_crash_respawns_and_retries(self, pooled):
+        """A ``_crash`` job dies on every attempt, so retries exhaust;
+        the next ordinary job runs on a fresh process."""
+        before = pooled.pid
+        with pytest.raises(WorkerCrashed):
+            pooled.execute({"op": "_crash", "items": [{}]})
+        assert pooled.crashes == pooled.retries + 1
+        reply = pooled.execute(compile_job())
+        assert reply["results"][0]["ok"] is True
+        assert pooled.alive()
+        assert pooled.pid != before
+
+    def test_recycles_after_max_requests(self):
+        worker = PooledWorker(max_requests=2)
+        try:
+            pids = set()
+            for _ in range(5):
+                pids.add(worker.pid)
+                assert worker.execute(compile_job())["results"][0]["ok"]
+            assert worker.recycles == 2
+            assert len(pids) == 3
+            assert worker.crashes == 0
+        finally:
+            worker.close()
+
+    def test_closed_pool_refuses_work(self):
+        worker = PooledWorker()
+        worker.close()
+        assert not worker.alive()
+        with pytest.raises(WorkerCrashed):
+            worker.execute(compile_job())
+
+    def test_debug_ops_gated_off_by_default(self):
+        worker = PooledWorker()   # no debug_ops
+        try:
+            reply = worker.execute({"op": "_crash", "items": [{}]})
+            assert reply["results"][0]["ok"] is False
+        finally:
+            worker.close()
