@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -39,6 +40,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.asm import assemble  # noqa: E402
 from repro.sim.functional import FunctionalSimulator  # noqa: E402
 from repro.sim.ooo import MachineConfig, OoOSimulator  # noqa: E402
+from repro.sim.shard import simulate_sharded  # noqa: E402
 
 # the same kernel bench_simulator_perf benchmarks (keep in sync)
 _KERNEL = (
@@ -46,6 +48,10 @@ _KERNEL = (
     + "\n".join("    addu $t0, $t0, $t1\n    xor $t1, $t0, $t9" for _ in range(4))
     + "\n    addiu $t9, $t9, -1\n    bgtz $t9, loop\n    halt\n"
 )
+
+# a longer run of the same loop for the sharded-replay case: slice
+# parallelism only pays off once per-slice work dwarfs pool startup
+_LONG_KERNEL = _KERNEL.replace("li $t9, 3000", "li $t9, 60000")
 
 
 def _median_seconds(fn, repeats: int = 5) -> float:
@@ -94,7 +100,72 @@ def measure() -> dict:
             "reference_ops_per_s": round(ops / ref_s),
             "speedup_vs_reference": round(ref_s / fast_s, 2),
         }
+    benchmarks.update(_measure_sharded(program, trace))
     return benchmarks
+
+
+def _measure_sharded(program, trace) -> dict:
+    """The sharded-replay entries.
+
+    ``test_sharded_replay_throughput`` mirrors the pytest benchmark (same
+    kernel, jobs=2) so ``--compare`` can regress it; ``sharded_replay_jobs4``
+    is the wall-clock speedup record on a longer trace.  Both record the
+    honest numbers for *this* machine — the ``cores`` field says how much
+    parallelism was physically available, and the divergence check is
+    strict regardless (recording aborts if the stitched stats are not
+    byte-identical to serial).
+    """
+    cores = os.cpu_count() or 1
+
+    def check(serial, sharded) -> None:
+        if vars(serial) != vars(sharded):
+            raise SystemExit("sharded replay diverged from serial replay")
+
+    check(OoOSimulator(program, MachineConfig()).simulate(trace),
+          simulate_sharded(program, trace, jobs=2, slices=4))
+    shard_s = _median_seconds(
+        lambda: simulate_sharded(program, trace, jobs=2, slices=4)
+    )
+    serial_s = _median_seconds(
+        lambda: OoOSimulator(program, MachineConfig()).simulate(trace)
+    )
+    entries = {
+        "test_sharded_replay_throughput": {
+            "median_s": round(shard_s, 6),
+            "ops_per_s": round(len(trace) / shard_s),
+            "serial_median_s": round(serial_s, 6),
+            "speedup_vs_serial": round(serial_s / shard_s, 2),
+            "jobs": 2,
+            "cores": cores,
+        },
+    }
+
+    long_program = assemble(_LONG_KERNEL)
+    long_trace = FunctionalSimulator(long_program).run(
+        collect_trace=True
+    ).trace
+    check(OoOSimulator(long_program, MachineConfig()).simulate(long_trace),
+          simulate_sharded(long_program, long_trace, jobs=4))
+    long_shard_s = _median_seconds(
+        lambda: simulate_sharded(long_program, long_trace, jobs=4),
+        repeats=3,
+    )
+    long_serial_s = _median_seconds(
+        lambda: OoOSimulator(long_program, MachineConfig()).simulate(
+            long_trace
+        ),
+        repeats=3,
+    )
+    entries["sharded_replay_jobs4"] = {
+        "median_s": round(long_shard_s, 6),
+        "ops_per_s": round(len(long_trace) / long_shard_s),
+        "serial_median_s": round(long_serial_s, 6),
+        "speedup_vs_serial": round(long_serial_s / long_shard_s, 2),
+        "jobs": 4,
+        "cores": cores,
+        "trace_instructions": len(long_trace),
+    }
+    return entries
 
 
 def _git_sha() -> str:
@@ -117,16 +188,19 @@ def write_baseline(path: Path) -> None:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "machine": platform.machine(),
+            "cores": os.cpu_count() or 1,
         },
         "benchmarks": measure(),
     }
     path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {path}")
     for name, row in doc["benchmarks"].items():
-        print(
-            f"  {name}: {row['ops_per_s']:,} ops/s "
-            f"({row['speedup_vs_reference']}x vs reference)"
-        )
+        if "speedup_vs_reference" in row:
+            detail = f"{row['speedup_vs_reference']}x vs reference"
+        else:
+            detail = (f"{row['speedup_vs_serial']}x vs serial, "
+                      f"jobs={row['jobs']}, {row['cores']} core(s)")
+        print(f"  {name}: {row['ops_per_s']:,} ops/s ({detail})")
 
 
 def compare(results_path: Path, tolerance: float) -> int:

@@ -158,6 +158,7 @@ def simulate(
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     observe: bool | Recorder = False,
     max_steps: int = _DEFAULT_MAX_STEPS,
+    jobs: int = 1,
 ) -> "SimStats | list[SimStats]":
     """Functionally execute ``program`` then replay it through the
     out-of-order timing model.
@@ -169,6 +170,11 @@ def simulate(
     shared across all configurations via
     :func:`~repro.sim.ooo.simulate_many`); the return value is then a
     list of :class:`~repro.sim.ooo.SimStats` in configuration order.
+    ``jobs > 1`` shards the timing replay into trace slices executed
+    across worker processes (:mod:`repro.sim.shard`); it is purely an
+    execution strategy — results stay byte-identical to ``jobs=1``,
+    with automatic serial fallback whenever exactness cannot be
+    guaranteed.
     ``observe`` controls observability (:mod:`repro.obs`): pass a
     :class:`~repro.obs.Recorder` to install it for the duration of this
     call, or ``True`` to record into the process-wide recorder, enabling
@@ -183,7 +189,15 @@ def simulate(
         )
         if isinstance(machine, (list, tuple)):
             return simulate_many(
-                program, result.trace, machine, ext_defs=ext_defs
+                program, result.trace, machine, ext_defs=ext_defs,
+                jobs=jobs,
+            )
+        if jobs > 1:
+            from repro.sim.shard import simulate_sharded
+
+            return simulate_sharded(
+                program, result.trace, machine, ext_defs=ext_defs,
+                jobs=jobs,
             )
         sim = OoOSimulator(program, config=machine, ext_defs=ext_defs)
         return sim.simulate(result.trace)

@@ -164,9 +164,15 @@ class ArtifactPipeline:
         self,
         store: ArtifactStore | None = None,
         telemetry: Telemetry | None = None,
+        sim_jobs: int = 1,
     ):
         self.telemetry = telemetry or Telemetry()
         self.store = store
+        # Worker processes for sharded trace replay in the timing stages
+        # (repro.sim.shard). Purely an execution strategy: results are
+        # byte-identical to serial, so it must NEVER enter cache keys —
+        # a warm cache serves sharded and serial runs interchangeably.
+        self.sim_jobs = sim_jobs
         if store is not None and store.telemetry is not self.telemetry:
             store.telemetry = self.telemetry
         self._memo: dict[tuple, Any] = {}
@@ -341,6 +347,23 @@ class ArtifactPipeline:
     # ------------------------------------------------------------------
     # timing
 
+    def _replay(
+        self,
+        program: Program,
+        trace: DynTrace,
+        machine: MachineConfig,
+        defs: dict[int, ExtInstDef] | None,
+    ) -> SimStats:
+        """Timing replay, sharded across ``sim_jobs`` processes when
+        configured (byte-identical either way)."""
+        if self.sim_jobs > 1:
+            from repro.sim.shard import simulate_sharded
+
+            return simulate_sharded(
+                program, trace, machine, ext_defs=defs, jobs=self.sim_jobs
+            )
+        return OoOSimulator(program, machine, ext_defs=defs).simulate(trace)
+
     def baseline_timing(
         self, name: str, scale: int, machine: MachineConfig | None = None
     ) -> SimStats:
@@ -352,9 +375,9 @@ class ArtifactPipeline:
             trace = self.trace(name, scale, "baseline")
             self._sim_counter("sim.timing")
             with _scoped(workload=name, algorithm="baseline"):
-                return OoOSimulator(
-                    self.program(name, scale), machine
-                ).simulate(trace)
+                return self._replay(
+                    self.program(name, scale), trace, machine, None
+                )
 
         return self._artifact(
             ("timing", name, scale, "baseline", mfp),
@@ -386,9 +409,7 @@ class ArtifactPipeline:
                 n_pfus=spec.n_pfus,
                 reconfig_latency=spec.reconfig_latency,
             ):
-                return OoOSimulator(program, machine, ext_defs=defs).simulate(
-                    trace
-                )
+                return self._replay(program, trace, machine, defs)
 
         return self._artifact(
             ("timing", spec.workload, spec.scale, spec.algorithm,
@@ -498,13 +519,17 @@ def run_stage(pipeline: ArtifactPipeline, payload: dict) -> dict:
 
 def execute_job(payload: dict) -> dict:
     """Worker-process job runner (resolves the pipeline by cache dir)."""
-    return run_stage(_pipeline_for(payload.get("cache_dir")), payload)
+    pipeline = _pipeline_for(payload.get("cache_dir"))
+    pipeline.sim_jobs = payload.get("sim_jobs", 1)
+    return run_stage(pipeline, payload)
 
 
-def spec_payload(spec: ExperimentSpec, cache_dir: str | None) -> dict:
+def spec_payload(
+    spec: ExperimentSpec, cache_dir: str | None, sim_jobs: int = 1
+) -> dict:
     """Build the picklable job payload for an experiment spec."""
     return {"stage": "experiment", "cache_dir": cache_dir,
-            "spec": asdict(spec)}
+            "spec": asdict(spec), "sim_jobs": sim_jobs}
 
 
 def selection_from_payload(value: dict) -> Selection:

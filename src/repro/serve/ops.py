@@ -75,9 +75,13 @@ def _coerce_machine(machine: Any) -> MachineConfig:
 class OpRunner:
     """Executes op batches against a (possibly store-backed) pipeline."""
 
-    def __init__(self, cache_dir: str | None = None):
+    def __init__(self, cache_dir: str | None = None, sim_jobs: int = 1):
         store = ArtifactStore(cache_dir) if cache_dir else None
-        self.pipeline = ArtifactPipeline(store=store)
+        self.pipeline = ArtifactPipeline(store=store, sim_jobs=sim_jobs)
+        # Sharding threshold logic lives in repro.sim.shard: small traces
+        # in a coalesced batch stay serial regardless, so passing jobs
+        # through unconditionally is safe.
+        self.sim_jobs = sim_jobs
 
     # ------------------------------------------------------------------
     # store plumbing (serve artefacts are keyed by program fingerprint,
@@ -286,7 +290,8 @@ class OpRunner:
             self._sim_counter("sim.timing")
             try:
                 sweep = simulate_many(program, trace, configs,
-                                      ext_defs=ext_defs)
+                                      ext_defs=ext_defs,
+                                      jobs=self.sim_jobs)
                 for indices, stats in zip(missed, sweep):
                     deliver(indices, stats)
             except (ReproError, AssertionError, ValueError) as poisoned:

@@ -65,6 +65,7 @@ class ServeConfig:
     cache_dir: str | None = None       # workers' shared artifact store
     drain_grace: float = 30.0          # close(): max wait for in-flight
     debug_ops: bool = False            # _crash/_sleep test hooks
+    sim_jobs: int = 1                  # shard large replays per worker
 
 
 class _Listener(socketserver.ThreadingTCPServer):
@@ -164,6 +165,7 @@ class ToolflowServer:
                 max_requests=self.config.worker_max_requests,
                 retries=self.config.worker_retries,
                 debug_ops=self.config.debug_ops,
+                sim_jobs=self.config.sim_jobs,
             ))
         for index, worker in enumerate(self._workers):
             thread = threading.Thread(

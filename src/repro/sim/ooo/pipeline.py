@@ -105,7 +105,7 @@ _FAST_LOOP_CACHE: dict[tuple, object] = {}
 
 def _fast_loop_source(
     has_mul: bool, has_div: bool, has_mem: bool, has_ext: bool,
-    obs_live: bool, record: bool,
+    obs_live: bool, record: bool, shard: bool = False,
 ) -> str:
     """Source of a replay loop specialized to one program/run shape.
 
@@ -119,6 +119,14 @@ def _fast_loop_source(
     contend on the integer ALUs additionally fuse the issue-width and
     ALU rings into one (their per-cycle counts are always equal). The
     numeric class literals below are the _C_* constants.
+
+    ``shard=True`` generates the slice-replay variant used by
+    :mod:`repro.sim.shard`: the loop takes a ``seed`` tuple of core
+    state (dispatch/commit bookkeeping, commit ring, register and store
+    readiness, divider busy cycle) instead of starting cold, and
+    returns that state tuple alongside the stats so a slice can be run
+    as warmup segment + kept segment with exact state continuity. The
+    serial specializations are byte-for-byte unchanged.
     """
     O = obs_live
     multi = has_mul or has_div or has_mem or has_ext
@@ -176,18 +184,25 @@ def _fast_loop_source(
     a(0, "           decode_width, issue_width, commit_width,")
     a(0, "           ruu_size, n_ialu, n_imult, n_memports, horizon, bank,")
     a(0, "           iss_s, iss_c, alu_s, alu_c, mul_s, mul_c, mem_s, mem_c,")
-    a(0, "           pfu_s, rec_lo, rec_hi, timeline):")
+    if shard:
+        a(0, "           pfu_s, rec_lo, rec_hi, timeline, seed):")
+    else:
+        a(0, "           pfu_s, rec_lo, rec_hi, timeline):")
     a(1, "mask = horizon - 1")
-    a(1, "disp_cycle = 1")
-    a(1, "disp_n = 0")
-    a(1, "commit_ring = [0] * ruu_size")
-    if has_div:
-        a(1, "div_free = 0")
-    a(1, "reg_ready = [0] * 32")
-    if has_mem:
-        a(1, "store_ready = {}")
-    a(1, "commit_cycle = 1")
-    a(1, "commit_n = 0")
+    if shard:
+        a(1, "(disp_cycle, disp_n, commit_ring, reg_ready, store_ready,")
+        a(1, " div_free, commit_cycle, commit_n) = seed")
+    else:
+        a(1, "disp_cycle = 1")
+        a(1, "disp_n = 0")
+        a(1, "commit_ring = [0] * ruu_size")
+        if has_div:
+            a(1, "div_free = 0")
+        a(1, "reg_ready = [0] * 32")
+        if has_mem:
+            a(1, "store_ready = {}")
+        a(1, "commit_cycle = 1")
+        a(1, "commit_n = 0")
     if not multi:
         a(1, "lim = issue_width if issue_width < n_ialu else n_ialu")
     if O:
@@ -433,7 +448,22 @@ def _fast_loop_source(
     if record:
         a(2, "if rec_lo <= k < rec_hi:")
         a(3, "timeline.append((indices[k], fcyc[k], d, t, complete, c))")
-    if O:
+    if shard:
+        # export the core state for the next segment / boundary check;
+        # the obs issue-width ring flush is left to the shard driver
+        # (the ring keeps live entries that the next segment continues)
+        a(1, "state = (disp_cycle, disp_n, commit_ring, reg_ready,")
+        a(1, "         store_ready, div_free, commit_cycle, commit_n)")
+        if O:
+            a(1, "return (commit_cycle,")
+            a(1, "        (st_disp_ruu, st_disp_width,")
+            a(1, "         st_issue_operands, st_issue_store_dep,"
+                 " st_issue_pfu,")
+            a(1, "         st_issue_div, st_issue_struct, st_commit_width),")
+            a(1, "        issue_widths, reconfigs, state)")
+        else:
+            a(1, "return (commit_cycle, None, None, None, state)")
+    elif O:
         a(1, "issue_widths.extend(w for w in iss_c if w)")
         a(1, "return (commit_cycle,")
         a(1, "        (st_disp_ruu, st_disp_width,")
@@ -447,10 +477,10 @@ def _fast_loop_source(
 
 def _fast_loop(
     has_mul: bool, has_div: bool, has_mem: bool, has_ext: bool,
-    obs_live: bool, record: bool,
+    obs_live: bool, record: bool, shard: bool = False,
 ):
     """Compile (and cache) the replay loop for one specialization."""
-    key = (has_mul, has_div, has_mem, has_ext, obs_live, record)
+    key = (has_mul, has_div, has_mem, has_ext, obs_live, record, shard)
     fn = _FAST_LOOP_CACHE.get(key)
     if fn is None:
         namespace: dict = {}
@@ -1218,6 +1248,7 @@ def simulate_many(
     configs: "list[MachineConfig] | tuple[MachineConfig, ...]",
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     record_window: tuple[int, int] | None = None,
+    jobs: int = 1,
 ) -> list[SimStats]:
     """Replay one dynamic trace under many machine configurations.
 
@@ -1231,7 +1262,20 @@ def simulate_many(
     per-dynamic-instruction cache/fetch/decode work once, not once per
     configuration. Results are returned in configuration order and are
     bit-identical to running each configuration on its own simulator.
+
+    ``jobs > 1`` additionally shards each eligible replay into trace
+    slices and fans every (configuration, slice) pair into one process
+    pool (:mod:`repro.sim.shard`). Sharding is an execution strategy,
+    not a semantic knob: results are byte-identical to ``jobs=1``
+    (exactness is verified per boundary, with automatic serial fallback)
+    and short traces or ineligible configurations simply run serially.
     """
+    if jobs > 1 and record_window is None:
+        from repro.sim.shard import simulate_many_sharded
+
+        return simulate_many_sharded(
+            program, trace, configs, ext_defs=ext_defs, jobs=jobs
+        )
     return [
         OoOSimulator(program, cfg, ext_defs=ext_defs).simulate(
             trace, record_window

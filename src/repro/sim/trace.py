@@ -48,16 +48,33 @@ class DynTrace:
         """Bulk-append parallel index/address runs (what the block-compiled
         interpreter emits: one call per basic block instead of one per
         dynamic instruction)."""
+        before = len(self.indices)
         self.indices.extend(indices)
-        self.addrs.extend(addrs)
-        if len(self.indices) != len(self.addrs):
-            raise ValueError(
-                "extend: indices and addrs runs have different lengths"
-            )
+        try:
+            self.addrs.extend(addrs)
+            if len(self.indices) != len(self.addrs):
+                raise ValueError(
+                    "extend: indices and addrs runs have different lengths"
+                )
+        except Exception:
+            # Roll back so a mismatched call cannot corrupt the trace.
+            del self.indices[before:]
+            del self.addrs[before:]
+            raise
 
     def static_counts(self, n_static: int) -> list[int]:
-        """Execution count per static instruction index."""
+        """Execution count per static instruction index.
+
+        Cached on the instance (and invalidated when the trace grows):
+        profiling and selection call this repeatedly on multi-million-entry
+        traces.  The underscore attribute is excluded from pickling by
+        ``__getstate__``."""
+        key = (len(self.indices), n_static)
+        cached = getattr(self, "_static_counts_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
         counts = [0] * n_static
         for idx, count in Counter(self.indices).items():
             counts[idx] = count
+        self._static_counts_cache = (key, counts)
         return counts

@@ -1,0 +1,338 @@
+"""Sharded parallel trace replay (:mod:`repro.sim.shard`).
+
+The contract under test is exactness: merged per-slice statistics must
+be byte-identical to a serial replay of the same trace — across plain
+and extended-instruction machines, with and without observability, with
+a real worker pool, and through every integration surface (``api``,
+``simulate_many``, the engine's artifact pipeline, the serve worker).
+Also covers the trace-layer satellites: ``DynTrace.extend`` rollback on
+mismatched runs and ``static_counts`` instance caching.
+"""
+
+import dataclasses
+from array import array
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import MachineConfig, OoOSimulator, simulate_many
+from repro.sim.shard import (
+    DEFAULT_WARMUP,
+    MIN_KEPT,
+    plan_slices,
+    simulate_many_sharded,
+    simulate_sharded,
+)
+from repro.sim.trace import DynTrace
+
+
+# ----------------------------------------------------------------------
+# trace-layer satellites
+
+
+class TestDynTraceExtend:
+    def test_extend_appends_parallel_runs(self):
+        trace = DynTrace()
+        trace.extend([1, 2, 3], [-1, 64, -1])
+        assert list(trace.indices) == [1, 2, 3]
+        assert list(trace.addrs) == [-1, 64, -1]
+
+    def test_extend_mismatch_rolls_back(self):
+        trace = DynTrace()
+        trace.extend([7], [128])
+        with pytest.raises(ValueError):
+            trace.extend([1, 2, 3], [-1, -1])
+        # the failed call must not have corrupted the trace
+        assert list(trace.indices) == [7]
+        assert list(trace.addrs) == [128]
+        trace.extend([9], [-1])
+        assert list(trace.indices) == [7, 9]
+
+    def test_extend_bad_addr_type_rolls_back(self):
+        trace = DynTrace()
+        with pytest.raises(TypeError):
+            trace.extend([1, 2], ["x", "y"])
+        assert len(trace) == 0
+
+
+class TestStaticCountsCache:
+    def test_counts_cached_on_instance(self):
+        trace = DynTrace(indices=array("i", [0, 2, 2, 5]),
+                         addrs=array("q", [-1] * 4))
+        first = trace.static_counts(8)
+        assert first == [1, 0, 2, 0, 0, 1, 0, 0]
+        assert trace.static_counts(8) is first   # cached, not recomputed
+
+    def test_cache_invalidated_by_growth_and_width(self):
+        trace = DynTrace(indices=array("i", [0, 1]),
+                         addrs=array("q", [-1, -1]))
+        first = trace.static_counts(4)
+        trace.append(3)
+        second = trace.static_counts(4)
+        assert second is not first
+        assert second == [1, 1, 0, 1]
+        assert trace.static_counts(6) == [1, 1, 0, 1, 0, 0]
+
+    def test_cache_excluded_from_pickle(self):
+        import pickle
+
+        trace = DynTrace(indices=array("i", [0, 1]),
+                         addrs=array("q", [-1, -1]))
+        trace.static_counts(2)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert not hasattr(clone, "_static_counts_cache")
+
+
+# ----------------------------------------------------------------------
+# slice planning
+
+
+class TestPlanSlices:
+    def test_defaults_shrink_to_min_kept(self):
+        plan = plan_slices(MIN_KEPT * 2, jobs=8)
+        assert plan is not None
+        assert plan.n_slices == 2          # 8 jobs shrunk: kept >= MIN_KEPT
+        assert plan.warmup == DEFAULT_WARMUP
+
+    def test_short_trace_or_single_job_is_none(self):
+        assert plan_slices(100, jobs=4) is None
+        assert plan_slices(10_000_000, jobs=1) is None
+        assert plan_slices(2, jobs=4, slices=4) is None   # n < slices
+
+    def test_explicit_slices_bypass_minimum(self):
+        plan = plan_slices(1000, jobs=2, slices=5, warmup=50)
+        assert plan is not None
+        assert plan.n_slices == 5
+        assert plan.boundaries == (0, 200, 400, 600, 800, 1000)
+        assert plan.warmup == 50
+
+    def test_warm_start_clamps_at_zero(self):
+        plan = plan_slices(1000, jobs=2, slices=4, warmup=300)
+        assert plan.warm_start(0) == 0       # slice 0: exact prefix
+        assert plan.warm_start(1) == 0       # 250 - 300 clamps
+        assert plan.warm_start(2) == 200
+        # slice 1 replays 250 warmup rows (clamped), slices 2 and 3 the
+        # full 300 each; slice 0 is the exact prefix and replays none
+        assert plan.warmup_instructions == 850
+
+
+# ----------------------------------------------------------------------
+# exactness: sharded == serial
+
+
+def _kernel_trace(iterations=6000):
+    source = (
+        ".text\nmain:\n    li $t0, 1\n    li $t1, 2\n    li $t2, 3\n"
+        f"    li $s0, {iterations}\nloop:\n"
+        "    addu $t0, $t0, $t1\n    xor $t2, $t2, $t0\n"
+        "    mul $t3, $t1, $t2\n    andi $t3, $t3, 1023\n"
+        "    sw $t3, 0($sp)\n    lw $t4, 0($sp)\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+    )
+    program = assemble(source)
+    trace = FunctionalSimulator(program).run(collect_trace=True).trace
+    return program, trace
+
+
+class TestShardExactness:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return _kernel_trace()
+
+    def test_plain_machine_inline(self, kernel):
+        program, trace = kernel
+        serial = OoOSimulator(program).simulate(trace)
+        sharded = simulate_sharded(program, trace, jobs=1,
+                                   slices=4, warmup=256)
+        assert vars(sharded) == vars(serial)
+
+    def test_real_process_pool(self, kernel):
+        program, trace = kernel
+        serial = OoOSimulator(program).simulate(trace)
+        sharded = simulate_sharded(program, trace, jobs=2,
+                                   slices=4, warmup=256)
+        assert vars(sharded) == vars(serial)
+
+    def test_tiny_warmup_forces_repair(self, kernel):
+        program, trace = kernel
+        serial = OoOSimulator(program).simulate(trace)
+        sharded = simulate_sharded(program, trace, jobs=1,
+                                   slices=12, warmup=4)
+        assert vars(sharded) == vars(serial)
+
+    def test_ext_machine_with_reconfig(self, gsm_encode_lab):
+        program, defs = gsm_encode_lab.rewritten("selective", 2)
+        trace = FunctionalSimulator(program, ext_defs=defs).run(
+            collect_trace=True
+        ).trace
+        config = MachineConfig(n_pfus=2, reconfig_latency=10)
+        serial = OoOSimulator(program, config, ext_defs=defs).simulate(trace)
+        sharded = simulate_sharded(program, trace, config, ext_defs=defs,
+                                   jobs=1, slices=4, warmup=2048)
+        assert vars(sharded) == vars(serial)
+
+    def test_unlimited_pfus(self, gsm_encode_lab):
+        program, defs = gsm_encode_lab.rewritten("selective", None)
+        trace = FunctionalSimulator(program, ext_defs=defs).run(
+            collect_trace=True
+        ).trace
+        config = MachineConfig(n_pfus=None, reconfig_latency=10)
+        serial = OoOSimulator(program, config, ext_defs=defs).simulate(trace)
+        sharded = simulate_sharded(program, trace, config, ext_defs=defs,
+                                   jobs=1, slices=4, warmup=2048)
+        assert vars(sharded) == vars(serial)
+
+    def test_simulate_many_sharded_matches_serial_sweep(self, kernel):
+        program, trace = kernel
+        configs = [
+            MachineConfig(),
+            MachineConfig(issue_width=2),
+            MachineConfig(ruu_size=8),
+        ]
+        serial = simulate_many(program, trace, configs)
+        sharded = simulate_many_sharded(program, trace, configs,
+                                        jobs=2, slices=4, warmup=256)
+        for a, b in zip(sharded, serial):
+            assert vars(a) == vars(b)
+
+    def test_observed_matches_observed_serial(self, kernel):
+        from repro.obs import Recorder, observed
+
+        program, trace = kernel
+        with observed(Recorder(enabled=True)):
+            serial = OoOSimulator(program).simulate(trace)
+        rec = Recorder(enabled=True)
+        with observed(rec):
+            sharded = simulate_sharded(program, trace, jobs=1,
+                                       slices=4, warmup=256)
+        assert vars(sharded) == vars(serial)
+        names = {row["name"] for row in rec.metrics.snapshot()}
+        assert "sim.shard.runs" in names
+        assert "sim.shard.stitch.ms" in names
+        spans = [s for s in rec.spans if s.name == "sim.shard.slice"]
+        assert len(spans) == 4
+
+
+class TestShardFallbacks:
+    def test_bimodal_predictor_falls_back_serially(self):
+        program, trace = _kernel_trace(iterations=800)
+        config = MachineConfig(branch_predictor="bimodal")
+        serial = OoOSimulator(program, config).simulate(trace)
+        sharded = simulate_sharded(program, trace, config,
+                                   jobs=2, slices=4, warmup=64)
+        assert vars(sharded) == vars(serial)
+
+    def test_record_window_stays_serial(self):
+        program, trace = _kernel_trace(iterations=800)
+        serial = OoOSimulator(program).simulate(
+            trace, record_window=(100, 120)
+        )
+        sharded = simulate_sharded(program, trace, jobs=2, slices=4,
+                                   warmup=64, record_window=(100, 120))
+        assert sharded.cycles == serial.cycles
+        assert len(sharded.timeline) == len(serial.timeline)
+
+    def test_small_trace_default_plan_is_serial(self):
+        program, trace = _kernel_trace(iterations=50)
+        serial = OoOSimulator(program).simulate(trace)
+        sharded = simulate_sharded(program, trace, jobs=4)  # < MIN_KEPT
+        assert vars(sharded) == vars(serial)
+
+
+# ----------------------------------------------------------------------
+# integration surfaces
+
+
+class TestIntegration:
+    def test_api_simulate_jobs(self):
+        from repro import api
+
+        source = (
+            "int main() { int acc = 0;"
+            " for (int i = 0; i < 400; i++) { acc = (acc + i) & 1023; }"
+            " return acc; }"
+        )
+        program = api.compile(source=source)
+        serial = api.simulate(program=program)
+        sharded = api.simulate(program=program, jobs=2)
+        assert vars(sharded) == vars(serial)
+
+    def test_api_simulate_many_jobs(self):
+        from repro import api
+
+        program = api.compile(workload="unepic")
+        machines = [MachineConfig(), MachineConfig(issue_width=2)]
+        serial = api.simulate(program=program, machine=machines)
+        sharded = api.simulate(program=program, machine=machines, jobs=2)
+        for a, b in zip(sharded, serial):
+            assert vars(a) == vars(b)
+
+    def test_engine_cache_keys_independent_of_sim_jobs(self, tmp_path):
+        from repro.engine import EngineConfig, ExperimentEngine, make_spec
+
+        spec = make_spec("unepic", "selective", 2, 10)
+        cold = ExperimentEngine(EngineConfig(
+            cache_dir=str(tmp_path), sim_jobs=2
+        ))
+        first = cold.run(spec)
+        warm = ExperimentEngine(EngineConfig(
+            cache_dir=str(tmp_path), sim_jobs=1
+        ))
+        second = warm.run(spec)
+        # a serial engine must serve the sharded engine's artifacts:
+        # same keys, zero new simulations, identical stats
+        assert warm.telemetry.total("sim") == 0
+        assert warm.telemetry.total("cache.miss") == 0
+        assert vars(second.stats) == vars(first.stats)
+
+    def test_serve_op_runner_sim_jobs(self):
+        from repro import api
+        from repro.serve import protocol
+        from repro.serve.ops import OpRunner
+
+        program = api.compile(workload="unepic")
+        items = [{
+            "program": protocol.encode_value(program),
+            "machine": protocol.encode_value(MachineConfig()),
+        }]
+        serial = OpRunner(sim_jobs=1)._simulate_batch(list(items))
+        sharded = OpRunner(sim_jobs=2)._simulate_batch(list(items))
+        assert serial[0]["ok"] and sharded[0]["ok"]
+        assert sharded[0]["value"] == serial[0]["value"]
+
+    def test_cli_flags_parse(self):
+        from repro.harness.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--sim-jobs", "3"])
+        assert args.sim_jobs == 3
+        args = parser.parse_args(["serve", "--sim-jobs", "2"])
+        assert args.sim_jobs == 2
+        args = parser.parse_args(["fig2"])
+        assert args.sim_jobs == 1
+
+    def test_metrics_report_shard_section(self):
+        from repro.obs.report import render_metrics_report
+
+        rows = [
+            {"name": "sim.shard.runs", "kind": "counter", "value": 2,
+             "labels": {}},
+            {"name": "sim.shard.slices", "kind": "counter", "value": 8,
+             "labels": {}},
+            {"name": "sim.shard.repairs", "kind": "counter", "value": 1,
+             "labels": {}},
+            {"name": "sim.shard.fallback", "kind": "counter", "value": 1,
+             "labels": {"reason": "horizon_overflow"}},
+            {"name": "sim.shard.stitch.ms", "kind": "histogram",
+             "count": 2, "sum": 9.0, "labels": {}},
+            {"name": "sim.shard.warmup.frac", "kind": "histogram",
+             "count": 2, "sum": 0.5, "labels": {}},
+        ]
+        report = render_metrics_report([{"metrics": rows}])
+        assert "sharded replay" in report
+        assert "slices replayed: 8 (4.0/run)" in report
+        assert "checkpoint-seeded repairs: 1" in report
+        assert "stitch overhead: 4.50 ms/run" in report
+        assert "warmup fraction: 25.0%" in report
+        assert "horizon_overflow=1" in report
