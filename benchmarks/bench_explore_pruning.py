@@ -1,0 +1,54 @@
+"""Surrogate-guided sweep pruning: dominated design points are skipped,
+the skip log accounts for every one, and the Pareto frontier is exactly
+what an unpruned run produces.
+
+The grid crosses selection algorithm x PFU count x reconfiguration
+latency; only the monotone axes (latency, PFU count) ever prune, so the
+saving is provable rather than heuristic — the benchmark asserts at
+least 20% of the grid is skipped and the (area, speedup) non-dominated
+set is byte-identical to the exhaustive run.
+"""
+
+from conftest import write_result
+
+from repro.explore import SweepSpec, frontier_pairs, frontier_table, run_sweep
+from repro.utils.tables import format_table
+
+GRID = {
+    "name": "bench-pruning",
+    "workloads": ["gsm_encode"],
+    "axes": {
+        "algorithm": ["greedy", "selective"],
+        "n_pfus": [1, 2],
+        "reconfig_latency": [0, 10, 100, 500],
+    },
+}
+
+
+def test_explore_pruning_skips_dominated_points(benchmark, engine):
+    spec = SweepSpec.from_json(GRID)
+    outcome = benchmark(run_sweep, spec, engine)
+
+    assert outcome.n_pruned / outcome.n_points >= 0.20, (
+        f"only {outcome.n_pruned}/{outcome.n_points} points pruned"
+    )
+    skip_lines = [l for l in outcome.log_lines if l.startswith("prune:")]
+    assert len(skip_lines) == outcome.n_pruned
+
+    # exactness: the frontier matches the exhaustive (unpruned) sweep
+    unpruned = run_sweep(spec, engine, prune=False)
+    assert unpruned.n_pruned == 0
+    assert frontier_pairs(outcome.results) == frontier_pairs(
+        unpruned.results
+    )
+
+    write_result(
+        "explore_pruning.txt",
+        f"Sweep pruning on a {outcome.n_points}-point grid: "
+        f"{outcome.n_pruned} point(s) skipped "
+        f"({outcome.n_pruned / outcome.n_points:.0%}), frontier exact "
+        "vs the exhaustive run\n\n"
+        + "\n".join(skip_lines)
+        + "\n\nPareto frontier (area in LUTs vs speedup):\n"
+        + format_table(*frontier_table(outcome.results)),
+    )

@@ -101,6 +101,7 @@ def measure() -> dict:
             "speedup_vs_reference": round(ref_s / fast_s, 2),
         }
     benchmarks.update(_measure_sharded(program, trace))
+    benchmarks.update(_measure_explore_pruning())
     return benchmarks
 
 
@@ -168,6 +169,59 @@ def _measure_sharded(program, trace) -> dict:
     return entries
 
 
+def _measure_explore_pruning() -> dict:
+    """The sweep-pruning entry: points skipped and wall-clock saved.
+
+    Runs ``bench_explore_pruning``'s grid once pruned and once
+    exhaustive, each on a fresh storeless engine so neither leg rides
+    the other's warm artefacts. Single-shot timings — the quantity of
+    record is the pruned fraction; wall-clock is context. Recording
+    aborts unless the pruned frontier is byte-identical to the
+    exhaustive one.
+    """
+    from repro.engine import EngineConfig, ExperimentEngine
+    from repro.explore import SweepSpec, frontier_pairs, run_sweep
+
+    spec = SweepSpec.from_json({
+        "name": "bench-pruning",
+        "workloads": ["gsm_encode"],
+        "axes": {
+            "algorithm": ["greedy", "selective"],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0, 10, 100, 500],
+        },
+    })
+
+    # warm the process-level caches (workload build, program compile) so
+    # neither timed leg pays the one-time costs
+    run_sweep(spec, ExperimentEngine(EngineConfig()))
+
+    t0 = time.perf_counter()
+    pruned = run_sweep(spec, ExperimentEngine(EngineConfig()))
+    pruned_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    unpruned = run_sweep(spec, ExperimentEngine(EngineConfig()),
+                         prune=False)
+    unpruned_s = time.perf_counter() - t0
+
+    if frontier_pairs(pruned.results) != frontier_pairs(unpruned.results):
+        raise SystemExit("pruned sweep frontier diverged from exhaustive")
+
+    return {
+        "explore_pruning": {
+            "median_s": round(pruned_s, 6),
+            "ops_per_s": round(pruned.n_points / pruned_s, 2),
+            "unpruned_median_s": round(unpruned_s, 6),
+            "speedup_vs_unpruned": round(unpruned_s / pruned_s, 2),
+            "points": pruned.n_points,
+            "pruned_points": pruned.n_pruned,
+            "pruned_fraction": round(
+                pruned.n_pruned / pruned.n_points, 3
+            ),
+        },
+    }
+
+
 def _git_sha() -> str:
     try:
         return subprocess.run(
@@ -197,9 +251,13 @@ def write_baseline(path: Path) -> None:
     for name, row in doc["benchmarks"].items():
         if "speedup_vs_reference" in row:
             detail = f"{row['speedup_vs_reference']}x vs reference"
-        else:
+        elif "speedup_vs_serial" in row:
             detail = (f"{row['speedup_vs_serial']}x vs serial, "
                       f"jobs={row['jobs']}, {row['cores']} core(s)")
+        else:
+            detail = (f"{row['pruned_points']}/{row['points']} points "
+                      f"pruned, {row['speedup_vs_unpruned']}x vs "
+                      f"exhaustive")
         print(f"  {name}: {row['ops_per_s']:,} ops/s ({detail})")
 
 

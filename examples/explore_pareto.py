@@ -1,0 +1,46 @@
+"""Sweep a design grid and extract its Pareto frontier.
+
+Builds a small `repro.explore` sweep over selection algorithm, PFU
+count, and reconfiguration latency for one workload, runs it through
+the experiment engine (with surrogate-guided pruning skipping dominated
+corners of the grid), and prints the speedup-vs-LUT-area frontier and
+the best configuration.
+
+Run with: ``python examples/explore_pareto.py [workload]``
+"""
+
+import sys
+
+from repro.engine import EngineConfig, ExperimentEngine
+from repro.explore import SweepSpec, best_table, frontier_table, run_sweep
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gsm_encode"
+    spec = SweepSpec.from_json({
+        "name": "pareto-demo",
+        "workloads": [workload],
+        "axes": {
+            "algorithm": ["greedy", "selective"],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0, 100],
+        },
+    })
+    points = spec.expand()
+    print(f"sweep '{spec.name}': {len(points)} design point(s) over "
+          f"{len(spec.axes)} axes\n")
+
+    outcome = run_sweep(spec, ExperimentEngine(EngineConfig()))
+    for line in outcome.log_lines:
+        print(line)
+
+    print("\nPareto frontier (PFU area in LUTs vs. speedup):")
+    print(format_table(*frontier_table(outcome.results)))
+
+    print("\nbest configuration per workload:")
+    print(format_table(*best_table(outcome.results)))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,7 @@ keep working but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.extinst import (
@@ -154,7 +154,7 @@ def rewrite(
 def simulate(
     *,
     program: Program,
-    machine: "MachineConfig | Sequence[MachineConfig] | None" = None,
+    machine: "MachineConfig | Iterable[MachineConfig] | None" = None,
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     observe: bool | Recorder = False,
     max_steps: int = _DEFAULT_MAX_STEPS,
@@ -165,11 +165,13 @@ def simulate(
 
     ``machine`` defaults to the baseline superscalar
     (:class:`~repro.sim.ooo.MachineConfig` defaults); rewritten programs
-    need their ``ext_defs``.  Pass a sequence of machine configurations
-    to sweep them over a single functional execution (one trace pass
-    shared across all configurations via
-    :func:`~repro.sim.ooo.simulate_many`); the return value is then a
-    list of :class:`~repro.sim.ooo.SimStats` in configuration order.
+    need their ``ext_defs``.  Pass any iterable of machine
+    configurations — list, tuple, or a lazy generator streaming a large
+    design grid — to sweep them over a single functional execution (one
+    trace pass shared across all configurations via
+    :func:`~repro.sim.ooo.simulate_many`; a lazy source is drawn exactly
+    once); the return value is then a list of
+    :class:`~repro.sim.ooo.SimStats` in configuration order.
     ``jobs > 1`` shards the timing replay into trace slices executed
     across worker processes (:mod:`repro.sim.shard`); it is purely an
     execution strategy — results stay byte-identical to ``jobs=1``,
@@ -187,7 +189,7 @@ def simulate(
         result = FunctionalSimulator(program, ext_defs=ext_defs).run(
             max_steps=max_steps, collect_trace=True
         )
-        if isinstance(machine, (list, tuple)):
+        if machine is not None and not isinstance(machine, MachineConfig):
             return simulate_many(
                 program, result.trace, machine, ext_defs=ext_defs,
                 jobs=jobs,

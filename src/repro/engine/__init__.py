@@ -31,6 +31,7 @@ from repro.engine.pipeline import (
     ArtifactPipeline,
     ExperimentResult,
     ExperimentSpec,
+    core_machine,
     execute_job,
     get_default_pipeline,
     make_spec,
@@ -53,10 +54,14 @@ from repro.engine.store import (
     ArtifactStore,
     StoreStats,
     machine_fingerprint,
+    machine_from_json,
+    machine_to_json,
     make_key,
     program_fingerprint,
+    read_json,
     stats_from_json,
     stats_to_json,
+    write_json_atomic,
 )
 from repro.engine.telemetry import JobRecord, Telemetry
 from repro.errors import ReproError
@@ -67,9 +72,11 @@ __all__ = [
     "EngineError", "ExperimentEngine", "ExperimentResult", "ExperimentSpec",
     "Job", "JobGraph", "JobRecord", "JobResult", "JobTimeoutError",
     "SCHEMA_VERSION", "Scheduler", "SchedulerError", "StoreStats",
-    "Telemetry", "TransientJobError", "default_engine", "execute_job",
-    "get_default_pipeline", "machine_fingerprint", "make_key", "make_spec",
-    "program_fingerprint", "stats_from_json", "stats_to_json",
+    "Telemetry", "TransientJobError", "core_machine", "default_engine",
+    "execute_job", "get_default_pipeline", "machine_fingerprint",
+    "machine_from_json", "machine_to_json", "make_key", "make_spec",
+    "program_fingerprint", "read_json", "stats_from_json", "stats_to_json",
+    "write_json_atomic",
 ]
 
 
@@ -240,6 +247,102 @@ class ExperimentEngine:
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         return self.run_batch([spec])[0]
+
+    def run_explore_points(
+        self, requests: list[dict]
+    ) -> list[ExperimentResult]:
+        """Execute design-space points for :mod:`repro.explore`.
+
+        Each request is a dict with keys ``workload``, ``scale``,
+        ``algorithm``, ``select_pfus``, ``validate``, ``machine`` (a
+        :class:`~repro.sim.ooo.MachineConfig`), and ``id`` (a short
+        token used for job naming).  Baseline denominators are
+        deduplicated into one explicit job per (workload, scale, core
+        geometry), so parallel points never race on the same baseline
+        replay; results come back in request order.
+        """
+        graph = JobGraph()
+        leaf_ids: list[str] = []
+        base_ids: dict[tuple, str] = {}
+        for req in requests:
+            machine = req["machine"]
+            workload, scale = req["workload"], req["scale"]
+            algorithm = req["algorithm"]
+            profile_deps: tuple[str, ...] = ()
+            if self.store is not None:
+                profile_id = f"profile:{workload}@{scale}"
+                graph.add(Job(
+                    job_id=profile_id, kind="profile",
+                    payload={"stage": "profile", "cache_dir": self._cache_dir,
+                             "workload": workload, "scale": scale,
+                             "baseline": False,
+                             "sim_jobs": self.config.sim_jobs},
+                    timeout=self.config.job_timeout,
+                    retries=self.config.retries,
+                ))
+                profile_deps = (profile_id,)
+            core = core_machine(machine)
+            core_fp = machine_fingerprint(core)
+            base_key = (workload, scale, core_fp)
+            base_id = base_ids.get(base_key)
+            if base_id is None:
+                base_id = f"explore:base:{workload}@{scale}:{core_fp[:12]}"
+                graph.add(Job(
+                    job_id=base_id, kind="explore",
+                    payload={"stage": "explore", "cache_dir": self._cache_dir,
+                             "workload": workload, "scale": scale,
+                             "algorithm": "baseline", "select_pfus": None,
+                             "validate": req["validate"],
+                             "machine": machine_to_json(core),
+                             "sim_jobs": self.config.sim_jobs},
+                    deps=profile_deps,
+                    timeout=self.config.job_timeout,
+                    retries=self.config.retries,
+                ))
+                base_ids[base_key] = base_id
+            if algorithm == "baseline":
+                leaf_ids.append(base_id)
+                continue
+            deps = [base_id]
+            if self.store is not None:
+                sel = (
+                    "unl" if req["select_pfus"] is None
+                    else req["select_pfus"]
+                )
+                prepare_id = (
+                    f"prepare:{workload}@{scale}:{algorithm}"
+                    f":sel={sel}:val={int(req['validate'])}"
+                )
+                graph.add(Job(
+                    job_id=prepare_id, kind="prepare",
+                    payload={"stage": "prepare", "cache_dir": self._cache_dir,
+                             "workload": workload, "scale": scale,
+                             "algorithm": algorithm,
+                             "select_pfus": req["select_pfus"],
+                             "validate": req["validate"],
+                             "materialize": True},
+                    deps=profile_deps,
+                    timeout=self.config.job_timeout,
+                    retries=self.config.retries,
+                ))
+                deps.append(prepare_id)
+            leaf_id = f"explore:{req['id']}"
+            graph.add(Job(
+                job_id=leaf_id, kind="explore",
+                payload={"stage": "explore", "cache_dir": self._cache_dir,
+                         "workload": workload, "scale": scale,
+                         "algorithm": algorithm,
+                         "select_pfus": req["select_pfus"],
+                         "validate": req["validate"],
+                         "machine": machine_to_json(machine),
+                         "sim_jobs": self.config.sim_jobs},
+                deps=tuple(deps),
+                timeout=self.config.job_timeout,
+                retries=self.config.retries,
+            ))
+            leaf_ids.append(leaf_id)
+        results = self._execute(graph)
+        return [results[leaf].value["value"] for leaf in leaf_ids]
 
     def select_batch(
         self, requests: list[tuple[str, int, str, int | None]]

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable
 
 from repro.engine.store import (
     ArtifactStore,
     machine_fingerprint,
+    machine_from_json,
     make_key,
     program_fingerprint,
 )
@@ -52,6 +53,29 @@ from repro.workloads import Workload, build_workload
 
 #: The baseline machine every speedup is measured against.
 BASELINE_MACHINE = MachineConfig()
+
+
+def core_machine(machine: MachineConfig) -> MachineConfig:
+    """The machine a baseline run for ``machine`` is measured on.
+
+    Baseline programs contain no ``ext`` instructions, so every
+    PFU-related field is inert; normalising them to the defaults lets a
+    single baseline timing artefact serve every (PFU count x
+    reconfiguration latency) point that shares the same core geometry.
+    For the default core this is exactly :data:`BASELINE_MACHINE`, so
+    design-space sweeps share baseline artefacts with the figure
+    drivers.
+    """
+    defaults = MachineConfig()
+    return replace(
+        machine,
+        n_pfus=defaults.n_pfus,
+        reconfig_latency=defaults.reconfig_latency,
+        reconfig_model=defaults.reconfig_model,
+        config_bits_per_cycle=defaults.config_bits_per_cycle,
+        ext_latency_model=defaults.ext_latency_model,
+        lut_levels_per_cycle=defaults.lut_levels_per_cycle,
+    )
 
 
 def _scoped(**labels):
@@ -387,42 +411,98 @@ class ArtifactPipeline:
             compute,
         )
 
+    def timing_for(
+        self,
+        name: str,
+        scale: int,
+        algorithm: str,
+        select_pfus: int | None,
+        validate: bool,
+        machine: MachineConfig,
+    ) -> SimStats:
+        """Timing of the rewritten program on an arbitrary machine.
+
+        The generalisation :meth:`timing` and the design-space explorer
+        (:mod:`repro.explore`) share: any :class:`MachineConfig` field
+        may vary, and the cache key carries the full machine fingerprint
+        — for machines that only vary PFU count and reconfiguration
+        latency the keys are identical to :meth:`timing`'s, so sweeps
+        and figure drivers serve each other's warm artefacts.
+        """
+        if algorithm == "baseline":
+            return self.baseline_timing(name, scale, core_machine(machine))
+        if algorithm == "greedy":
+            select_pfus = None
+        mfp = machine_fingerprint(machine)
+
+        def compute() -> SimStats:
+            program, defs = self.rewrite(
+                name, scale, algorithm, select_pfus, validate
+            )
+            trace = self.trace(name, scale, algorithm, select_pfus, validate)
+            self._sim_counter("sim.timing")
+            with _scoped(
+                workload=name, algorithm=algorithm,
+                n_pfus=machine.n_pfus,
+                reconfig_latency=machine.reconfig_latency,
+            ):
+                return self._replay(program, trace, machine, defs)
+
+        return self._artifact(
+            ("timing", name, scale, algorithm, select_pfus, validate, mfp),
+            dict(kind="timing", workload=name, scale=scale,
+                 fingerprint=self.fingerprint(name, scale),
+                 algorithm=algorithm, select_pfus=select_pfus,
+                 validate=validate, machine=mfp),
+            compute,
+        )
+
     def timing(self, spec: ExperimentSpec) -> SimStats:
         """Timing of the rewritten program on the spec's machine."""
         machine = MachineConfig(
             n_pfus=spec.n_pfus, reconfig_latency=spec.reconfig_latency
         )
-        mfp = machine_fingerprint(machine)
-
-        def compute() -> SimStats:
-            program, defs = self.rewrite(
-                spec.workload, spec.scale, spec.algorithm,
-                spec.select_pfus, spec.validate,
-            )
-            trace = self.trace(
-                spec.workload, spec.scale, spec.algorithm,
-                spec.select_pfus, spec.validate,
-            )
-            self._sim_counter("sim.timing")
-            with _scoped(
-                workload=spec.workload, algorithm=spec.algorithm,
-                n_pfus=spec.n_pfus,
-                reconfig_latency=spec.reconfig_latency,
-            ):
-                return self._replay(program, trace, machine, defs)
-
-        return self._artifact(
-            ("timing", spec.workload, spec.scale, spec.algorithm,
-             spec.select_pfus, spec.validate, mfp),
-            dict(kind="timing", workload=spec.workload, scale=spec.scale,
-                 fingerprint=self.fingerprint(spec.workload, spec.scale),
-                 algorithm=spec.algorithm, select_pfus=spec.select_pfus,
-                 validate=spec.validate, machine=mfp),
-            compute,
+        return self.timing_for(
+            spec.workload, spec.scale, spec.algorithm,
+            spec.select_pfus, spec.validate, machine,
         )
 
     # ------------------------------------------------------------------
     # whole experiments
+
+    def explore_point(
+        self,
+        name: str,
+        scale: int,
+        algorithm: str,
+        select_pfus: int | None,
+        validate: bool,
+        machine: MachineConfig,
+    ) -> ExperimentResult:
+        """One design-space point: timing plus the matching baseline.
+
+        The baseline is measured on :func:`core_machine` of ``machine``
+        (same core geometry, PFU fields normalised), so speedups stay
+        meaningful when the sweep varies RUU size, issue width, or cache
+        geometry, and a whole PFU x latency sub-grid shares one baseline
+        artefact.
+        """
+        base = self.baseline_timing(name, scale, core_machine(machine))
+        if algorithm == "baseline":
+            return ExperimentResult(
+                workload=name, algorithm="baseline", n_pfus=0,
+                reconfig_latency=0, stats=base,
+                baseline_cycles=base.cycles, n_configs=0,
+            )
+        stats = self.timing_for(
+            name, scale, algorithm, select_pfus, validate, machine
+        )
+        selection = self.selection(name, scale, algorithm, select_pfus)
+        return ExperimentResult(
+            workload=name, algorithm=algorithm, n_pfus=machine.n_pfus,
+            reconfig_latency=machine.reconfig_latency, stats=stats,
+            baseline_cycles=base.cycles, n_configs=selection.n_configs,
+        )
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         """Run one T1000 experiment end to end (cached at every stage)."""
@@ -507,6 +587,12 @@ def run_stage(pipeline: ArtifactPipeline, payload: dict) -> dict:
     elif stage == "experiment":
         spec = ExperimentSpec(**payload["spec"])
         value = pipeline.run(spec)
+    elif stage == "explore":
+        value = pipeline.explore_point(
+            payload["workload"], payload["scale"], payload["algorithm"],
+            payload["select_pfus"], payload["validate"],
+            machine_from_json(payload["machine"]),
+        )
     else:
         raise ConfigurationError(f"unknown job stage {stage!r}")
     pipeline.flush()

@@ -45,6 +45,9 @@ from repro.engine.telemetry import Telemetry
 from repro.errors import ConfigurationError
 from repro.extinst.serialize import selection_from_json, selection_to_json
 from repro.program.program import Program
+from repro.sim.cache.cache import CacheConfig
+from repro.sim.cache.hierarchy import HierarchyConfig
+from repro.sim.cache.tlb import TLBConfig
 from repro.sim.ooo import MachineConfig, SimStats
 
 #: Version of the cache-key schema *and* the on-disk artefact envelope.
@@ -76,6 +79,30 @@ def program_fingerprint(program: Program) -> str:
     return h.hexdigest()[:16]
 
 
+def machine_to_json(machine: MachineConfig) -> dict:
+    """JSON-serialisable form of a full :class:`MachineConfig` (hierarchy
+    included).  Inverse of :func:`machine_from_json`; used to ship swept
+    machine configurations to scheduler workers and into sweep-state
+    files without pickling."""
+    return asdict(machine)
+
+
+def machine_from_json(data: dict) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from :func:`machine_to_json`."""
+    fields = dict(data)
+    hier = fields.pop("hierarchy", None)
+    if hier is not None:
+        fields["hierarchy"] = HierarchyConfig(
+            il1=CacheConfig(**hier["il1"]),
+            dl1=CacheConfig(**hier["dl1"]),
+            ul2=CacheConfig(**hier["ul2"]),
+            itlb=TLBConfig(**hier["itlb"]),
+            dtlb=TLBConfig(**hier["dtlb"]),
+            mem_latency=int(hier["mem_latency"]),
+        )
+    return MachineConfig(**fields)
+
+
 def machine_fingerprint(machine: MachineConfig) -> str:
     """Stable digest of every semantic MachineConfig field (hierarchy
     included). Execution-strategy fields that cannot change results
@@ -86,6 +113,39 @@ def machine_fingerprint(machine: MachineConfig) -> str:
     fields.pop("sim_fast_path", None)
     blob = json.dumps(fields, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# sweep-state helpers (small JSON sidecar files next to the store)
+
+
+def write_json_atomic(path: str | os.PathLike, payload: Any) -> None:
+    """Atomically write ``payload`` as sorted JSON to ``path``.
+
+    Used for sweep-state sidecars (:mod:`repro.explore`): a crash mid-
+    write leaves the previous state intact, never a truncated file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=target.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=1)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: str | os.PathLike) -> Any | None:
+    """Read a JSON sidecar; unreadable or corrupt files are ``None``."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
 
 
 # ----------------------------------------------------------------------

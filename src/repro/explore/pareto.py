@@ -1,0 +1,233 @@
+"""Pareto analysis of sweep results: speedup vs LUT area.
+
+The two objectives are the paper's axes of merit — cycle speedup over
+the matching baseline core (maximise) and the LUT area of the selected
+extended instructions from :mod:`repro.hwcost.area` (minimise).  The
+frontier is computed per workload; the baseline point (speedup 1.0,
+area 0) anchors every frontier.
+
+``frontier_pairs`` exposes the set of non-dominated *(area, speedup)*
+objective pairs — the thing that is provably invariant under dominated-
+point pruning, and what the exactness test checks against an unpruned
+run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One simulated (or warm-fetched) sweep point with its objectives."""
+
+    point_id: str
+    workload: str
+    scale: int
+    algorithm: str
+    select_pfus: int | None
+    n_pfus: int | None
+    reconfig_latency: int
+    cycles: int
+    baseline_cycles: int
+    speedup: float
+    area_luts: int
+    n_configs: int
+    status: str = "simulated"       # "simulated" | "warm"
+    axes: tuple[tuple[str, Any], ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "point_id": self.point_id,
+            "workload": self.workload,
+            "scale": self.scale,
+            "algorithm": self.algorithm,
+            "select_pfus": self.select_pfus,
+            "n_pfus": self.n_pfus,
+            "reconfig_latency": self.reconfig_latency,
+            "cycles": self.cycles,
+            "baseline_cycles": self.baseline_cycles,
+            "speedup": self.speedup,
+            "area_luts": self.area_luts,
+            "n_configs": self.n_configs,
+            "status": self.status,
+            "axes": [[name, value] for name, value in self.axes],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PointResult":
+        fields_ = dict(data)
+        fields_["axes"] = tuple(
+            (name, value) for name, value in fields_.get("axes", ())
+        )
+        return cls(**fields_)
+
+
+def _dominated(p: PointResult, q: PointResult) -> bool:
+    """True iff ``q`` strictly dominates ``p`` in objective space."""
+    return (
+        q.speedup >= p.speedup
+        and q.area_luts <= p.area_luts
+        and (q.speedup > p.speedup or q.area_luts < p.area_luts)
+    )
+
+
+def frontier(results: Iterable[PointResult]) -> dict[str, list[PointResult]]:
+    """Per-workload Pareto frontiers (maximise speedup, minimise area).
+
+    A point is on the frontier iff no other point for the same workload
+    strictly dominates its *(area, speedup)* pair.  Points that tie on
+    both objectives are all kept (they are interchangeable designs), so
+    the *pair set* — see :func:`frontier_pairs` — is the canonical,
+    pruning-invariant object.  Within a frontier, points are sorted by
+    area then speedup.
+    """
+    by_workload: dict[str, list[PointResult]] = {}
+    for result in results:
+        by_workload.setdefault(result.workload, []).append(result)
+
+    frontiers: dict[str, list[PointResult]] = {}
+    for workload, members in sorted(by_workload.items()):
+        front = [
+            p for p in members
+            if not any(_dominated(p, q) for q in members)
+        ]
+        front.sort(key=lambda p: (p.area_luts, p.speedup, p.point_id))
+        frontiers[workload] = front
+    return frontiers
+
+
+def frontier_pairs(
+    results: Iterable[PointResult],
+) -> dict[str, set[tuple[int, float]]]:
+    """The non-dominated *(area_luts, speedup)* pairs per workload."""
+    return {
+        workload: {(p.area_luts, p.speedup) for p in front}
+        for workload, front in frontier(results).items()
+    }
+
+
+def best_per_workload(
+    results: Iterable[PointResult],
+) -> dict[str, PointResult]:
+    """Highest-speedup configuration per workload (area breaks ties)."""
+    best: dict[str, PointResult] = {}
+    for result in results:
+        current = best.get(result.workload)
+        if (
+            current is None
+            or result.speedup > current.speedup
+            or (
+                result.speedup == current.speedup
+                and result.area_luts < current.area_luts
+            )
+        ):
+            best[result.workload] = result
+    return dict(sorted(best.items()))
+
+
+# ----------------------------------------------------------------------
+# tables and export
+
+
+def frontier_table(
+    results: Iterable[PointResult],
+) -> tuple[list[str], list[list]]:
+    """(headers, rows) for :func:`repro.harness.reporting.format_table`."""
+    headers = [
+        "workload", "algorithm", "pfus", "select_pfus", "reconfig",
+        "area_luts", "speedup", "n_configs", "status",
+    ]
+    rows: list[list] = []
+    for workload, front in frontier(results).items():
+        for p in front:
+            rows.append([
+                workload,
+                p.algorithm,
+                "unl" if p.n_pfus is None else p.n_pfus,
+                "-" if p.select_pfus is None else p.select_pfus,
+                p.reconfig_latency,
+                p.area_luts,
+                f"{p.speedup:.3f}",
+                p.n_configs,
+                p.status,
+            ])
+    return headers, rows
+
+
+def best_table(
+    results: Iterable[PointResult],
+) -> tuple[list[str], list[list]]:
+    headers = [
+        "workload", "algorithm", "pfus", "reconfig", "area_luts",
+        "speedup",
+    ]
+    rows = [
+        [
+            workload,
+            p.algorithm,
+            "unl" if p.n_pfus is None else p.n_pfus,
+            p.reconfig_latency,
+            p.area_luts,
+            f"{p.speedup:.3f}",
+        ]
+        for workload, p in best_per_workload(results).items()
+    ]
+    return headers, rows
+
+
+@dataclass
+class ParetoReport:
+    """Bundled analysis of a sweep, exportable as JSON or CSV."""
+
+    results: list[PointResult]
+    skipped: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        fronts = frontier(self.results)
+        return {
+            "results": [r.to_json() for r in self.results],
+            "frontier": {
+                workload: [p.to_json() for p in front]
+                for workload, front in fronts.items()
+            },
+            "best": {
+                workload: p.to_json()
+                for workload, p in best_per_workload(self.results).items()
+            },
+            "skipped": list(self.skipped),
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json(), indent=1, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """All point results, one row per point, frontier flag included."""
+        on_front = {
+            p.point_id
+            for front in frontier(self.results).values()
+            for p in front
+        }
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow([
+            "point_id", "workload", "scale", "algorithm", "select_pfus",
+            "n_pfus", "reconfig_latency", "cycles", "baseline_cycles",
+            "speedup", "area_luts", "n_configs", "status", "on_frontier",
+        ])
+        for p in sorted(
+            self.results, key=lambda r: (r.workload, r.area_luts, r.point_id)
+        ):
+            writer.writerow([
+                p.point_id, p.workload, p.scale, p.algorithm,
+                "" if p.select_pfus is None else p.select_pfus,
+                "" if p.n_pfus is None else p.n_pfus,
+                p.reconfig_latency, p.cycles, p.baseline_cycles,
+                f"{p.speedup:.6f}", p.area_luts, p.n_configs, p.status,
+                int(p.point_id in on_front),
+            ])
+        return buf.getvalue()

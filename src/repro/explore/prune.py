@@ -1,0 +1,167 @@
+"""Surrogate-guided pruning of dominated sweep points.
+
+The pruner skips simulating a point when an already-simulated neighbour
+is *known* to be at least as good on both objectives (speedup up, LUT
+area down) by monotonicity of the timing model — no surrogate fit, just
+two provably monotone axes:
+
+* ``reconfig_latency`` — with everything else fixed, a larger
+  reconfiguration penalty can only add cycles, so speedup is
+  non-increasing in latency.
+* ``n_pfus`` — with the *selection* fixed (same ``select_pfus`` budget),
+  more hardware PFUs can only reduce reconfiguration thrash, so speedup
+  is non-decreasing in PFU count (``None`` = unlimited is the top).
+
+Both comparisons are only sound inside a *group* of points that share
+the workload, the selection identity (algorithm, ``select_pfus`` budget,
+validation flag) and every other machine parameter — in particular the
+core geometry, because changing e.g. ``ruu_size`` changes the baseline
+denominator too, so nothing monotone can be said about *speedup* across
+RUU sizes.  LUT area is a pure function of the selection identity, so
+within a group it is constant: a dominated point can change neither
+objective and is safe to skip without ever simulating it.
+
+Every skip is logged as a :class:`SkipRecord` naming the dominating
+point and the speedup bound it implies — coverage is never silently
+truncated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.engine.store import machine_fingerprint
+from repro.explore.spec import SweepPoint
+
+#: Stand-in for "unlimited PFUs" when ordering the n_pfus axis.
+_UNLIMITED = float("inf")
+
+
+def _pfus(point: SweepPoint) -> float:
+    n = point.machine.n_pfus
+    return _UNLIMITED if n is None else n
+
+
+def group_key(point: SweepPoint) -> tuple:
+    """Identity of a prune group: everything except the monotone axes.
+
+    The machine component is the fingerprint of the point's machine with
+    ``reconfig_latency`` and ``n_pfus`` reset to defaults, so two points
+    land in one group iff they differ *only* along the monotone axes.
+    """
+    neutral = replace(point.machine, n_pfus=None, reconfig_latency=0)
+    return (
+        point.workload,
+        point.scale,
+        point.algorithm,
+        point.select_pfus,
+        point.validate,
+        machine_fingerprint(neutral),
+    )
+
+
+def dominates(q: SweepPoint, p: SweepPoint) -> bool:
+    """True iff simulating ``q`` makes simulating ``p`` unnecessary.
+
+    Assumes both points are in the same prune group.  ``q`` dominates
+    ``p`` when it is no worse on both monotone axes and differs on at
+    least one (a point never dominates itself).
+    """
+    if q.machine.reconfig_latency > p.machine.reconfig_latency:
+        return False
+    if _pfus(q) < _pfus(p):
+        return False
+    return (
+        q.machine.reconfig_latency != p.machine.reconfig_latency
+        or _pfus(q) != _pfus(p)
+    )
+
+
+@dataclass(frozen=True)
+class SkipRecord:
+    """One pruned point and the evidence that justified skipping it."""
+
+    point_id: str
+    label: str
+    dominated_by: str       # point_id of the dominating (simulated) point
+    dominated_by_label: str
+    bound_speedup: float | None = None  # dominator's speedup, once known
+
+    def to_json(self) -> dict:
+        return {
+            "point_id": self.point_id,
+            "label": self.label,
+            "dominated_by": self.dominated_by,
+            "dominated_by_label": self.dominated_by_label,
+            "bound_speedup": self.bound_speedup,
+        }
+
+
+@dataclass
+class PrunePlan:
+    """Partition of the sweep into points to simulate and points to skip.
+
+    ``skips`` maps each pruned point's id to the :class:`SweepPoint` of
+    its chosen dominator; the driver fills in the dominator's measured
+    speedup (the bound) when emitting :class:`SkipRecord` lines.
+    """
+
+    simulate: list[SweepPoint]
+    skips: dict[str, tuple[SweepPoint, SweepPoint]]  # id -> (pruned, by)
+
+    @property
+    def n_pruned(self) -> int:
+        return len(self.skips)
+
+
+def plan(points: list[SweepPoint], warm_ids: set[str]) -> PrunePlan:
+    """Choose which cold points to simulate and which to prune.
+
+    Within each prune group the non-dominated points — plus any point
+    that is already warm in the store (free to report, never worth
+    discarding) — are kept; everything else is pruned in favour of its
+    best dominator.  Baseline points are never pruned: they anchor every
+    frontier and every speedup denominator.
+
+    Preference order for a pruned point's dominator: a warm point if one
+    dominates it, else the strongest kept point (lowest latency, most
+    PFUs) so one simulation discharges as many skips as possible.
+    """
+    simulate: list[SweepPoint] = []
+    skips: dict[str, tuple[SweepPoint, SweepPoint]] = {}
+
+    groups: dict[tuple, list[SweepPoint]] = {}
+    for point in points:
+        if point.algorithm == "baseline":
+            simulate.append(point)
+            continue
+        groups.setdefault(group_key(point), []).append(point)
+
+    for members in groups.values():
+        # Strongest first: lowest reconfig latency, most PFUs.
+        ranked = sorted(
+            members,
+            key=lambda p: (p.machine.reconfig_latency, -_pfus(p)),
+        )
+        kept: list[SweepPoint] = []
+        for point in ranked:
+            if point.point_id in warm_ids:
+                kept.append(point)
+                continue
+            dominator = next(
+                (q for q in kept if dominates(q, point)), None
+            )
+            if dominator is None:
+                kept.append(point)
+            else:
+                warm_dom = next(
+                    (
+                        q for q in kept
+                        if q.point_id in warm_ids and dominates(q, point)
+                    ),
+                    None,
+                )
+                skips[point.point_id] = (point, warm_dom or dominator)
+        simulate.extend(kept)
+
+    return PrunePlan(simulate=simulate, skips=skips)

@@ -1,0 +1,98 @@
+"""Persistent sweep state: resumable progress under the artifact store.
+
+A sweep's state lives at ``<cache_dir>/explore/<digest16>/state.json``,
+keyed by the spec's content digest so a renamed spec (or a prune toggle)
+resumes the same sweep.  The state file is written atomically after
+every driver phase; it records per-point status plus the serialised
+result rows, so ``t1000 explore status|frontier`` work offline and a
+crashed sweep resumes with zero repeated simulations (warm points are
+re-verified against the store, never trusted blindly).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.store import read_json, write_json_atomic
+from repro.explore.pareto import PointResult
+from repro.explore.spec import SweepSpec
+
+STATE_VERSION = 1
+
+#: Per-point lifecycle states.
+STATUSES = ("pending", "simulated", "warm", "pruned")
+
+
+def state_dir(cache_dir: str | os.PathLike, spec: SweepSpec) -> Path:
+    return Path(cache_dir) / "explore" / spec.digest[:16]
+
+
+def state_path(cache_dir: str | os.PathLike, spec: SweepSpec) -> Path:
+    return state_dir(cache_dir, spec) / "state.json"
+
+
+@dataclass
+class SweepState:
+    """On-disk mirror of a sweep's progress."""
+
+    spec: SweepSpec
+    statuses: dict[str, str] = field(default_factory=dict)  # point_id -> st
+    results: dict[str, PointResult] = field(default_factory=dict)
+    skipped: list[dict] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for status in self.statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        counts = self.counts()
+        total = len(self.statuses)
+        return (
+            f"sweep {self.spec.name}: {total} point(s): "
+            f"simulated {counts['simulated']}, warm {counts['warm']}, "
+            f"pruned {counts['pruned']}, pending {counts['pending']}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": STATE_VERSION,
+            "spec": self.spec.to_json(),
+            "statuses": dict(sorted(self.statuses.items())),
+            "results": {
+                point_id: result.to_json()
+                for point_id, result in sorted(self.results.items())
+            },
+            "skipped": list(self.skipped),
+        }
+
+    def save(self, cache_dir: str | os.PathLike) -> Path:
+        path = state_path(cache_dir, self.spec)
+        write_json_atomic(path, self.to_json())
+        return path
+
+    @classmethod
+    def load(
+        cls, cache_dir: str | os.PathLike, spec: SweepSpec
+    ) -> "SweepState | None":
+        """The saved state for ``spec``, or None if absent/unreadable."""
+        data = read_json(state_path(cache_dir, spec))
+        if not isinstance(data, dict) or data.get("version") != STATE_VERSION:
+            return None
+        try:
+            return cls(
+                spec=SweepSpec.from_json(data["spec"]),
+                statuses=dict(data.get("statuses", {})),
+                results={
+                    point_id: PointResult.from_json(result)
+                    for point_id, result in data.get("results", {}).items()
+                },
+                skipped=list(data.get("skipped", [])),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None

@@ -278,6 +278,56 @@ def build_parser() -> argparse.ArgumentParser:
             cp.add_argument("--requests", type=int, default=50,
                             help="total requests to issue (default 50)")
 
+    explore_p = sub.add_parser(
+        "explore",
+        help="design-space exploration sweeps (see docs/explore.md)",
+    )
+    explore_sub = explore_p.add_subparsers(dest="explore_command",
+                                           required=True)
+    for explore_cmd, help_text in (
+        ("run", "execute a sweep spec (warm artefacts are never re-run)"),
+        ("resume", "continue an interrupted sweep (alias of run: warm "
+                   "points are recognised from the store)"),
+        ("status", "per-point progress of a sweep from its state file"),
+        ("frontier", "Pareto frontier and best-config tables for a "
+                     "completed sweep"),
+    ):
+        ep = explore_sub.add_parser(explore_cmd, help=help_text)
+        ep.add_argument("spec", metavar="SPEC.json",
+                        help="sweep spec file (JSON; see docs/explore.md)")
+        if explore_cmd in ("run", "resume"):
+            ep.add_argument(
+                "--no-prune", action="store_true",
+                help="simulate every point, even dominated ones",
+            )
+            ep.add_argument(
+                "--connect", default=None, metavar="HOST:PORT",
+                help="execute points on a running 't1000 serve' instance "
+                "instead of the local engine",
+            )
+            ep.add_argument("--out", default=None, metavar="DIR",
+                            help="write frontier.json and points.csv here")
+            _add_engine_flags(ep)
+        elif explore_cmd == "status":
+            ep.add_argument(
+                "--cache-dir",
+                default=os.environ.get("T1000_CACHE_DIR") or None,
+                help="artifact-store directory holding the sweep state "
+                "(default $T1000_CACHE_DIR)",
+            )
+        else:   # frontier
+            ep.add_argument(
+                "--out", default=None, metavar="DIR",
+                help="write frontier.json and points.csv here",
+            )
+            ep.add_argument(
+                "--verify", action="store_true",
+                help="re-run the sweep unpruned and check the frontier's "
+                "non-dominated set is exactly the same",
+            )
+            _add_engine_flags(ep)
+        _add_obs_flags(ep)
+
     cache_p = sub.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
     )
@@ -495,6 +545,8 @@ def _dispatch(args) -> int:
         return _serve_command(args)
     elif args.command == "client":
         return _client_command(args)
+    elif args.command == "explore":
+        return _explore_command(args)
     elif args.command == "cache":
         return _cache_command(args)
     return 0
@@ -570,6 +622,136 @@ def _client_run(client, args) -> int:
     print(f"baseline cycles: {baseline.cycles}")
     print(f"rewritten cycles: {stats.cycles}")
     print(f"speedup over baseline: {speedup:.3f}")
+    return 0
+
+
+def _print_explore_tables(results) -> None:
+    from repro.explore import best_table, frontier_table
+
+    headers, rows = frontier_table(results)
+    print("Pareto frontier — speedup vs LUT area")
+    print(format_table(headers, rows))
+    headers, rows = best_table(results)
+    print()
+    print("Best configuration per workload")
+    print(format_table(headers, rows))
+
+
+def _explore_export(report, out_dir: str) -> None:
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "frontier.json")
+    csv_path = os.path.join(out_dir, "points.csv")
+    with open(json_path, "w") as fh:
+        fh.write(report.to_json_str() + "\n")
+    with open(csv_path, "w") as fh:
+        fh.write(report.to_csv())
+    print(f"wrote {json_path} and {csv_path}")
+
+
+def _explore_command(args) -> int:
+    """``t1000 explore run|resume|status|frontier`` (docs/explore.md)."""
+    from repro.errors import ReproError
+    from repro.explore import (
+        ParetoReport,
+        SweepSpec,
+        SweepState,
+        frontier_pairs,
+        run_sweep,
+    )
+
+    try:
+        spec = SweepSpec.load(args.spec)
+    except ReproError as exc:
+        print(f"t1000 explore: {exc}", file=sys.stderr)
+        return 2
+
+    if args.explore_command in ("run", "resume"):
+        engine = _engine_from_args(args)
+        client = None
+        if args.connect:
+            from repro.serve.client import ServeClient
+
+            client = ServeClient(args.connect)
+        try:
+            outcome = run_sweep(
+                spec, engine,
+                prune=False if args.no_prune else None,
+                client=client,
+            )
+        finally:
+            if client is not None:
+                client.close()
+        for line in outcome.log_lines:
+            print(line)
+        print()
+        _print_explore_tables(outcome.results)
+        if outcome.state_path:
+            print(f"state: {outcome.state_path}")
+        if args.out:
+            _explore_export(outcome.report(), args.out)
+        _finish(engine, args)
+        return 0
+
+    # status / frontier work from the saved state, no simulation
+    cache_dir = args.cache_dir
+    if not cache_dir:
+        print("t1000 explore: --cache-dir (or $T1000_CACHE_DIR) is needed "
+              "to locate the sweep state", file=sys.stderr)
+        return 2
+    state = SweepState.load(os.path.expanduser(cache_dir), spec)
+    if state is None:
+        print(f"t1000 explore: no state for this spec under {cache_dir}; "
+              "run 't1000 explore run' first", file=sys.stderr)
+        return 2
+
+    if args.explore_command == "status":
+        print(state.summary())
+        results = sorted(
+            state.results.values(),
+            key=lambda r: (r.workload, r.algorithm, r.area_luts, r.point_id),
+        )
+        headers = ["workload", "algorithm", "pfus", "reconfig", "speedup",
+                   "status"]
+        rows = [
+            [r.workload, r.algorithm,
+             "unl" if r.n_pfus is None else r.n_pfus,
+             r.reconfig_latency, f"{r.speedup:.3f}", r.status]
+            for r in results
+        ]
+        print(format_table(headers, rows))
+        for record in state.skipped:
+            print(f"pruned: {record['label']} dominated by "
+                  f"{record['dominated_by_label']}")
+        return 0
+
+    # frontier
+    results = list(state.results.values())
+    _print_explore_tables(results)
+    if args.out:
+        _explore_export(
+            ParetoReport(results=results, skipped=list(state.skipped)),
+            args.out,
+        )
+    if args.verify:
+        engine = _engine_from_args(args)
+        unpruned = run_sweep(spec, engine, prune=False)
+        expected = frontier_pairs(unpruned.results)
+        actual = frontier_pairs(results)
+        if actual == expected:
+            print("frontier verified: non-dominated set matches the "
+                  "unpruned run exactly")
+        else:
+            for workload in sorted(set(expected) | set(actual)):
+                missing = expected.get(workload, set()) - actual.get(
+                    workload, set())
+                extra = actual.get(workload, set()) - expected.get(
+                    workload, set())
+                if missing or extra:
+                    print(f"frontier mismatch for {workload}: "
+                          f"missing {sorted(missing)}, extra {sorted(extra)}",
+                          file=sys.stderr)
+            return 1
+        _finish(engine, args)
     return 0
 
 

@@ -55,6 +55,30 @@ def distribution_for_defs(
     return AreaDistribution(costs=costs)
 
 
+def selection_area(
+    selection, input_widths: tuple[int, ...] = (18, 18),
+    used_only: bool = True,
+) -> int:
+    """Total LUT area of a selection's configuration table.
+
+    ``used_only`` counts only configurations actually referenced by a
+    rewrite site (the hardware that must exist for the rewritten program
+    to run) — the same filter Figure 7 applies.  The argument is any
+    object with ``ext_defs`` and ``configs_in_sites()``, i.e. a
+    :class:`repro.extinst.Selection` (duck-typed to keep this module
+    free of selection imports).
+    """
+    used = (
+        selection.configs_in_sites() if used_only
+        else set(selection.ext_defs)
+    )
+    return sum(
+        estimate_cost(extdef, input_widths).luts
+        for conf, extdef in sorted(selection.ext_defs.items())
+        if conf in used
+    )
+
+
 def cost_report(ext_defs: dict[int, ExtInstDef]) -> list[tuple[int, int, int]]:
     """(conf, luts, levels) per configuration, sorted by conf id."""
     out = []

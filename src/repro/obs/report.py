@@ -200,6 +200,31 @@ def render_metrics_report(datasets: list[dict], top: int = 6) -> str:
             )
             lines.append(f"  serial fallbacks: {parts}")
 
+    # ------------------------------------------------------- explore
+    sweeps: dict[str, dict[str, float]] = defaultdict(dict)
+    for row in rows:
+        if row["name"] != "explore.points" or row["kind"] != "counter":
+            continue
+        labels = row["labels"]
+        sweep = str(labels.get("sweep", "(unnamed)"))
+        status = str(labels.get("status", "(unknown)"))
+        sweeps[sweep][status] = sweeps[sweep].get(status, 0) + row["value"]
+    if sweeps:
+        lines.append("")
+        lines.append("design-space sweeps (points by outcome)")
+        for sweep in sorted(sweeps):
+            statuses = sweeps[sweep]
+            total = sum(statuses.values())
+            parts = ", ".join(
+                f"{status}={_fmt_count(n)}"
+                for status, n in sorted(statuses.items())
+            )
+            pruned = statuses.get("pruned", 0)
+            saved = f" ({pruned / total:.1%} pruned)" if pruned else ""
+            lines.append(
+                f"  {sweep}: {_fmt_count(total)} point(s) — {parts}{saved}"
+            )
+
     # ------------------------------------------------------- engine
     engine = [
         row for row in rows

@@ -29,6 +29,12 @@ Semantics:
   :class:`~repro.serve.protocol.OverloadedError` carrying
   ``retry_after_ms``; :meth:`ServeClient.call_with_backoff` is the
   retrying convenience loop.
+- **pipelining** — :meth:`ServeClient.submit` sends a request without
+  waiting and returns a :class:`PendingCall`; many requests can be in
+  flight on one connection and resolved in any order (out-of-order
+  responses are stashed by id until their owner asks).  The design
+  space explorer (:mod:`repro.explore`) uses this to batch a sweep's
+  simulate calls against a fleet.
 """
 
 from __future__ import annotations
@@ -41,6 +47,26 @@ from typing import Any, Mapping, Sequence
 from repro.serve import protocol
 
 _CONNECT_ERRORS = (ConnectionError, socket.timeout, TimeoutError, OSError)
+
+
+class PendingCall:
+    """Handle for a pipelined request sent with :meth:`ServeClient.submit`.
+
+    ``result()`` blocks until the response arrives (draining and
+    stashing any other pipelined responses it passes on the way) and
+    raises the same typed errors as :meth:`ServeClient.call`.
+    """
+
+    def __init__(self, client: "ServeClient", request_id: int, op: str):
+        self._client = client
+        self.request_id = request_id
+        self.op = op
+        self._response: dict | None = None
+
+    def result(self) -> Any:
+        if self._response is None:
+            self._response = self._client._read_response(self.request_id)
+        return self._client._decode_response(self._response)
 
 
 def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
@@ -71,6 +97,7 @@ class ServeClient:
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count(1)
+        self._stash: dict[Any, dict] = {}
 
     # ------------------------------------------------------------------
     # connection management
@@ -97,6 +124,9 @@ class ServeClient:
             except OSError:
                 pass
             self._sock = None
+        # A stashed response can only arrive on the connection its
+        # request went out on; once that is gone, pending calls are too.
+        self._stash.clear()
 
     def __enter__(self) -> "ServeClient":
         return self.connect()
@@ -137,6 +167,29 @@ class ServeClient:
                 f"cannot reach server at {self.address[0]}:"
                 f"{self.address[1]}: {last_exc}"
             ) from last_exc
+        return self._decode_response(response)
+
+    def submit(self, op: str, params: dict | None = None,
+               timeout_ms: int | None = None) -> PendingCall:
+        """Send one request without waiting; resolve via the returned
+        :class:`PendingCall`.
+
+        Unlike :meth:`call` there is no transparent reconnect: a
+        reconnect would orphan every other request in flight on the
+        connection, so connection failures surface to the caller (who
+        can safely resubmit the whole batch — toolflow ops are pure).
+        """
+        request_id = next(self._ids)
+        request = {"id": request_id, "op": op, "params": params or {}}
+        request["timeout_ms"] = (
+            timeout_ms if timeout_ms is not None
+            else int(self.timeout * 1000)
+        )
+        self.connect()
+        self._sock.sendall(protocol.dump_line(request))
+        return PendingCall(self, request_id, op)
+
+    def _decode_response(self, response: dict) -> Any:
         if response.get("ok"):
             return protocol.decode_value(response.get("result"))
         error = response.get("error") or {}
@@ -147,15 +200,22 @@ class ServeClient:
         raise protocol.error_for(code, message, **details)
 
     def _read_response(self, request_id: Any) -> dict:
+        stashed = self._stash.pop(request_id, None)
+        if stashed is not None:
+            return stashed
         while True:
             line = self._rfile.readline()
             if not line:
                 raise ConnectionError("server closed the connection")
             response = protocol.parse_line(line)
-            # Synchronous use gets its own id back immediately; stale
-            # responses (from an abandoned earlier attempt) are skipped.
-            if response.get("id") in (request_id, None):
+            rid = response.get("id")
+            if rid in (request_id, None):
                 return response
+            # A response to another pipelined request: keep it for the
+            # PendingCall that owns it.  (Stale ids from an abandoned
+            # attempt cannot appear here — an abandoned call closes the
+            # connection, and the stash is cleared with it.)
+            self._stash[rid] = response
 
     def call_with_backoff(
         self, op: str, params: dict | None = None,
@@ -226,6 +286,27 @@ class ServeClient:
         else:
             params["machine"] = protocol.encode_value(machine)
         return self.call("simulate", params, timeout_ms=timeout_ms)
+
+    def simulate_submit(self, *, program, machine=None, ext_defs=None,
+                        max_steps: int | None = None,
+                        timeout_ms: int | None = None) -> PendingCall:
+        """Pipelined :meth:`simulate`: send now, collect later.
+
+        Submit a batch of these, then ``result()`` each — the sweep
+        driver's pattern for fanning one rewritten program across many
+        machine configurations without a round trip per point.
+        """
+        params: dict[str, Any] = {
+            "program": protocol.encode_value(program),
+            "ext_defs": protocol.encode_value(ext_defs),
+        }
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        if isinstance(machine, (list, tuple)):
+            params["machines"] = [protocol.encode_value(m) for m in machine]
+        else:
+            params["machine"] = protocol.encode_value(machine)
+        return self.submit("simulate", params, timeout_ms=timeout_ms)
 
     # ------------------------------------------------------------------
     # service endpoints

@@ -29,7 +29,7 @@ import os
 import warnings
 from contextlib import nullcontext
 from math import ceil
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import SimulationError
 from repro.isa.encoding import TEXT_BASE
@@ -1245,7 +1245,7 @@ class OoOSimulator:
 def simulate_many(
     program: Program,
     trace: DynTrace,
-    configs: "list[MachineConfig] | tuple[MachineConfig, ...]",
+    configs: "Iterable[MachineConfig]",
     ext_defs: Mapping[int, "ExtInstDef"] | None = None,
     record_window: tuple[int, int] | None = None,
     jobs: int = 1,
@@ -1270,6 +1270,10 @@ def simulate_many(
     (exactness is verified per boundary, with automatic serial fallback)
     and short traces or ineligible configurations simply run serially.
     """
+    # Accept any iterable (the explorer streams large grids); a lazy
+    # source is drawn exactly once, here.
+    if not isinstance(configs, (list, tuple)):
+        configs = list(configs)
     if jobs > 1 and record_window is None:
         from repro.sim.shard import simulate_many_sharded
 

@@ -129,6 +129,37 @@ class TestToolflow:
         assert accel.cycles < base.cycles
         assert accel.ext_instructions > 0
 
+    def test_simulate_accepts_lazy_machine_iterable(self, program):
+        machines = [
+            api.MachineConfig(ruu_size=ruu) for ruu in (16, 32, 64)
+        ]
+        expected = api.simulate(program=program, machine=machines)
+        assert len(expected) == 3
+
+        drawn = []
+
+        def stream():
+            for config in machines:
+                drawn.append(config)
+                yield config
+
+        streamed = api.simulate(program=program, machine=stream())
+        # the generator is drawn exactly once, never re-materialised
+        assert drawn == machines
+        assert [s.cycles for s in streamed] == [s.cycles for s in expected]
+
+    def test_simulate_iterable_matches_single_runs(self, program):
+        machines = (
+            api.MachineConfig(n_pfus=1),
+            api.MachineConfig(reconfig_latency=100),
+        )
+        swept = api.simulate(program=program, machine=iter(machines))
+        singles = [
+            api.simulate(program=program, machine=config)
+            for config in machines
+        ]
+        assert [s.cycles for s in swept] == [s.cycles for s in singles]
+
     def test_simulate_observe_recorder(self, program):
         rec = Recorder()
         before = get_recorder()

@@ -1,0 +1,392 @@
+"""Unit tests for repro.explore: specs, pruning, Pareto analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import machine_fingerprint
+from repro.engine.pipeline import BASELINE_MACHINE, core_machine
+from repro.errors import ConfigurationError
+from repro.explore import (
+    PointResult,
+    SweepSpec,
+    best_per_workload,
+    dominates,
+    frontier,
+    frontier_pairs,
+    group_key,
+    prune_plan,
+)
+from repro.explore.pareto import ParetoReport
+from repro.explore.state import SweepState
+from repro.sim.ooo import MachineConfig
+
+
+def spec_of(axes: dict, **kwargs) -> SweepSpec:
+    base = {"name": "t", "workloads": ["gsm_encode"], "axes": axes}
+    base.update(kwargs)
+    return SweepSpec.from_json(base)
+
+
+# ----------------------------------------------------------------------
+# spec expansion
+
+
+class TestSweepSpec:
+    def test_grid_expansion_counts(self):
+        spec = spec_of({
+            "algorithm": ["selective"],
+            "n_pfus": [1, 2, 4],
+            "reconfig_latency": [0, 10],
+        })
+        points = spec.expand()
+        selective = [p for p in points if p.algorithm == "selective"]
+        baselines = [p for p in points if p.algorithm == "baseline"]
+        assert len(selective) == 6
+        # One baseline anchor per (workload, core geometry): all machines
+        # share the default core here.
+        assert len(baselines) == 1
+        assert baselines[0].machine == BASELINE_MACHINE
+
+    def test_zip_mode(self):
+        spec = spec_of(
+            {"n_pfus": [1, 2], "reconfig_latency": [0, 100]}, mode="zip"
+        )
+        pairs = {
+            (p.machine.n_pfus, p.machine.reconfig_latency)
+            for p in spec.expand() if p.algorithm != "baseline"
+        }
+        assert pairs == {(1, 0), (2, 100)}
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="same length"):
+            spec_of({"n_pfus": [1, 2, 4], "reconfig_latency": [0]},
+                    mode="zip")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+            spec_of({"warp_factor": [9]})
+
+    def test_duplicate_points_deduped(self):
+        # greedy ignores select_pfus, so the select_pfus axis collapses
+        spec = spec_of({
+            "algorithm": ["greedy"],
+            "select_pfus": [1, 2, 4],
+            "n_pfus": [2],
+        })
+        greedy = [p for p in spec.expand() if p.algorithm == "greedy"]
+        assert len(greedy) == 1
+        assert greedy[0].select_pfus is None
+
+    def test_select_pfus_same_ties_to_hardware(self):
+        spec = spec_of({"algorithm": ["selective"], "n_pfus": [1, 4]})
+        budgets = {
+            p.machine.n_pfus: p.select_pfus
+            for p in spec.expand() if p.algorithm == "selective"
+        }
+        assert budgets == {1: 1, 4: 4}
+
+    def test_hierarchy_and_scalar_axes(self):
+        spec = spec_of({
+            "algorithm": ["selective"],
+            "ruu_size": [8, 32],
+            "dl1.assoc": [1, 4],
+            "mem_latency": [64],
+        })
+        machines = [
+            p.machine for p in spec.expand() if p.algorithm == "selective"
+        ]
+        assert len(machines) == 4
+        assert {m.ruu_size for m in machines} == {8, 32}
+        assert {m.hierarchy.dl1.assoc for m in machines} == {1, 4}
+        assert all(m.hierarchy.mem_latency == 64 for m in machines)
+        # distinct cores mean distinct baseline anchors
+        spec_points = spec.expand()
+        baselines = [p for p in spec_points if p.algorithm == "baseline"]
+        assert len(baselines) == 4
+
+    def test_json_round_trip(self):
+        spec = spec_of(
+            {"algorithm": ["greedy", "selective"], "n_pfus": [2, None]},
+            mode="grid", scale=2, prune=False,
+        )
+        again = SweepSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.digest == spec.digest
+
+    def test_digest_ignores_name_and_prune(self):
+        a = spec_of({"n_pfus": [1, 2]}, name="a", prune=True)
+        b = spec_of({"n_pfus": [1, 2]}, name="b", prune=False)
+        assert a.digest == b.digest
+        c = spec_of({"n_pfus": [1, 4]})
+        assert c.digest != a.digest
+
+    def test_point_ids_stable_and_distinct(self):
+        spec = spec_of({
+            "algorithm": ["selective"],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0, 100],
+        })
+        ids = [p.point_id for p in spec.expand()]
+        assert len(set(ids)) == len(ids)
+        assert ids == [p.point_id for p in spec.expand()]
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep spec"):
+            SweepSpec.from_json({
+                "name": "x", "workloads": ["epic"], "axes": {}, "bogus": 1
+            })
+
+
+# ----------------------------------------------------------------------
+# pruning
+
+
+def expand(axes: dict, **kwargs) -> list:
+    return spec_of(axes, **kwargs).expand()
+
+
+class TestPrune:
+    def test_dominance_on_monotone_axes(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "select_pfus": [2],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0, 100],
+        })
+        by = {
+            (p.machine.n_pfus, p.machine.reconfig_latency): p
+            for p in points if p.algorithm == "selective"
+        }
+        # lower latency + more PFUs dominates
+        assert dominates(by[(2, 0)], by[(1, 100)])
+        assert dominates(by[(2, 0)], by[(2, 100)])
+        assert not dominates(by[(1, 100)], by[(2, 0)])
+        # incomparable: fewer PFUs but lower latency
+        assert not dominates(by[(1, 0)], by[(2, 100)])
+        assert not dominates(by[(2, 100)], by[(1, 0)])
+        # never self-dominating
+        assert not dominates(by[(2, 0)], by[(2, 0)])
+
+    def test_unlimited_pfus_is_top(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "select_pfus": [2],
+            "n_pfus": [4, None],
+            "reconfig_latency": [10],
+        })
+        selective = [p for p in points if p.algorithm == "selective"]
+        unlimited = next(p for p in selective if p.machine.n_pfus is None)
+        limited = next(p for p in selective if p.machine.n_pfus == 4)
+        assert dominates(unlimited, limited)
+        assert not dominates(limited, unlimited)
+
+    def test_groups_split_on_selection_and_core(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "n_pfus": [1, 2],            # select_pfus "same" -> differs
+            "ruu_size": [8, 16],         # changes the baseline core
+            "reconfig_latency": [0, 100],
+        })
+        selective = [p for p in points if p.algorithm == "selective"]
+        groups = {group_key(p) for p in selective}
+        # 2 budgets x 2 cores: latency is the only within-group axis
+        assert len(groups) == 4
+
+    def test_plan_prunes_dominated_latencies(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "n_pfus": [2],
+            "reconfig_latency": [0, 10, 100, 500],
+        })
+        plan = prune_plan(points, warm_ids=set())
+        kept = [p for p in plan.simulate if p.algorithm == "selective"]
+        assert len(kept) == 1
+        assert kept[0].machine.reconfig_latency == 0
+        assert plan.n_pruned == 3
+        for pruned, dominator in plan.skips.values():
+            assert dominates(dominator, pruned)
+
+    def test_plan_never_prunes_baselines_or_ruu(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "n_pfus": [2],
+            "ruu_size": [8, 16, 32, 64],
+        })
+        plan = prune_plan(points, warm_ids=set())
+        # different RUU sizes change the speedup denominator: none prunable
+        assert plan.n_pruned == 0
+        assert len(plan.simulate) == len(points)
+
+    def test_warm_points_kept_and_preferred_as_dominators(self):
+        points = expand({
+            "algorithm": ["selective"],
+            "n_pfus": [2],
+            "reconfig_latency": [0, 10, 100],
+        })
+        selective = {
+            p.machine.reconfig_latency: p
+            for p in points if p.algorithm == "selective"
+        }
+        warm = {selective[10].point_id}
+        plan = prune_plan(points, warm_ids=warm)
+        kept_lat = {
+            p.machine.reconfig_latency
+            for p in plan.simulate if p.algorithm == "selective"
+        }
+        # warm lat=10 is free, lat=0 is non-dominated; only 100 pruned
+        assert kept_lat == {0, 10}
+        ((pruned, dominator),) = plan.skips.values()
+        assert pruned.machine.reconfig_latency == 100
+        # the warm dominator wins over the stronger cold one
+        assert dominator.point_id in warm
+
+    def test_acceptance_shaped_grid_prunes_enough(self):
+        # the acceptance criterion's 10 x 5 x 4 grid shape
+        points = spec_of(
+            {
+                "algorithm": ["selective"],
+                "n_pfus": [1, 2, 3, 4, 5, 6, 7, 8, 12, None],
+                "reconfig_latency": [0, 10, 50, 100, 500],
+                "ruu_size": [8, 16, 32, 64],
+            },
+            workloads=["gsm_encode", "epic"],
+        ).expand()
+        plan = prune_plan(points, warm_ids=set())
+        assert plan.n_pruned / len(points) >= 0.20
+        for pruned, dominator in plan.skips.values():
+            assert group_key(pruned) == group_key(dominator)
+            assert dominates(dominator, pruned)
+
+
+# ----------------------------------------------------------------------
+# pareto analysis
+
+
+def result(workload="w", speedup=1.0, area=0, pid=None, **kwargs) -> PointResult:
+    fields = dict(
+        point_id=pid or f"{workload}-{speedup}-{area}",
+        workload=workload, scale=1, algorithm="selective",
+        select_pfus=2, n_pfus=2, reconfig_latency=0,
+        cycles=1000, baseline_cycles=int(1000 * speedup),
+        speedup=speedup, area_luts=area, n_configs=2,
+    )
+    fields.update(kwargs)
+    return PointResult(**fields)
+
+
+class TestPareto:
+    def test_frontier_drops_dominated(self):
+        results = [
+            result(speedup=1.0, area=0),
+            result(speedup=1.2, area=50),
+            result(speedup=1.1, area=80),    # dominated: worse both ways
+            result(speedup=1.4, area=120),
+        ]
+        front = frontier(results)["w"]
+        assert [(p.area_luts, p.speedup) for p in front] == [
+            (0, 1.0), (50, 1.2), (120, 1.4)
+        ]
+
+    def test_frontier_keeps_objective_ties(self):
+        results = [
+            result(speedup=1.2, area=50, pid="a"),
+            result(speedup=1.2, area=50, pid="b"),
+        ]
+        front = frontier(results)["w"]
+        assert {p.point_id for p in front} == {"a", "b"}
+        assert frontier_pairs(results)["w"] == {(50, 1.2)}
+
+    def test_frontier_per_workload(self):
+        results = [
+            result(workload="a", speedup=1.5, area=10),
+            result(workload="b", speedup=1.1, area=90),
+        ]
+        fronts = frontier(results)
+        assert set(fronts) == {"a", "b"}
+
+    def test_best_per_workload(self):
+        results = [
+            result(speedup=1.3, area=90, pid="big"),
+            result(speedup=1.3, area=40, pid="small"),
+            result(speedup=1.1, area=10, pid="slow"),
+        ]
+        assert best_per_workload(results)["w"].point_id == "small"
+
+    def test_report_round_trip_and_csv(self):
+        results = [
+            result(speedup=1.0, area=0, pid="base"),
+            result(speedup=1.25, area=60, pid="good"),
+            result(speedup=1.05, area=90, pid="bad"),
+        ]
+        report = ParetoReport(results=results, skipped=[{"point_id": "x"}])
+        data = report.to_json()
+        assert {r["point_id"] for r in data["results"]} == {
+            "base", "good", "bad"
+        }
+        assert [p["point_id"] for p in data["frontier"]["w"]] == [
+            "base", "good"
+        ]
+        assert data["best"]["w"]["point_id"] == "good"
+        csv_text = report.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("point_id,")
+        on_front = {
+            line.split(",")[0]: line.rsplit(",", 1)[1] for line in lines[1:]
+        }
+        assert on_front == {"base": "1", "good": "1", "bad": "0"}
+
+    def test_point_result_json_round_trip(self):
+        original = result(speedup=1.2, area=50, axes=(("n_pfus", 2),))
+        again = PointResult.from_json(original.to_json())
+        assert again == original
+
+
+# ----------------------------------------------------------------------
+# state
+
+
+class TestState:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = spec_of({"n_pfus": [1, 2]})
+        state = SweepState(
+            spec=spec,
+            statuses={"aaa": "simulated", "bbb": "pruned"},
+            results={"aaa": result(pid="aaa")},
+            skipped=[{"point_id": "bbb", "label": "x",
+                      "dominated_by": "aaa", "dominated_by_label": "y",
+                      "bound_speedup": 1.2}],
+        )
+        state.save(tmp_path)
+        loaded = SweepState.load(tmp_path, spec)
+        assert loaded is not None
+        assert loaded.spec == spec
+        assert loaded.statuses == state.statuses
+        assert loaded.results == state.results
+        assert loaded.skipped == state.skipped
+        assert "simulated 1" in loaded.summary()
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert SweepState.load(tmp_path, spec_of({"n_pfus": [1]})) is None
+
+    def test_renamed_spec_resumes_same_state(self, tmp_path):
+        a = spec_of({"n_pfus": [1, 2]}, name="first")
+        b = spec_of({"n_pfus": [1, 2]}, name="second", prune=False)
+        SweepState(spec=a, statuses={"p": "simulated"}).save(tmp_path)
+        loaded = SweepState.load(tmp_path, b)
+        assert loaded is not None and loaded.statuses == {"p": "simulated"}
+
+
+# ----------------------------------------------------------------------
+# fingerprints shared with the engine
+
+
+def test_core_machine_normalises_to_baseline():
+    machine = MachineConfig(n_pfus=4, reconfig_latency=500)
+    assert core_machine(machine) == BASELINE_MACHINE
+    bigger = MachineConfig(n_pfus=4, reconfig_latency=500, ruu_size=128)
+    core = core_machine(bigger)
+    assert core.ruu_size == 128
+    assert core != BASELINE_MACHINE
+    assert machine_fingerprint(core) != machine_fingerprint(BASELINE_MACHINE)

@@ -1,0 +1,260 @@
+"""Integration tests for the sweep driver: caching, resume, pruning
+exactness, parallel parity, the Fig. 6 regime, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import EngineConfig, ExperimentEngine, make_spec
+from repro.explore import SweepSpec, frontier_pairs, run_sweep
+from repro.harness import cli, figures
+from repro.utils.tables import format_table
+
+FIG6_SPEC = os.path.join(os.path.dirname(__file__), "data",
+                         "fig6_hard_regime.json")
+
+
+def small_spec(**overrides) -> SweepSpec:
+    data = {
+        "name": "small",
+        "workloads": ["gsm_encode"],
+        "axes": {
+            "algorithm": ["selective"],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0, 100],
+        },
+    }
+    data.update(overrides)
+    return SweepSpec.from_json(data)
+
+
+def engine_for(tmp_path, **kwargs) -> ExperimentEngine:
+    return ExperimentEngine(
+        EngineConfig(cache_dir=str(tmp_path / "cache"), **kwargs)
+    )
+
+
+class TestDriver:
+    def test_counts_pruning_and_logging(self, tmp_path):
+        outcome = run_sweep(small_spec(), engine_for(tmp_path))
+        # 4 selective points + 1 shared baseline; one latency pruned
+        # per (pfus) group
+        assert outcome.n_points == 5
+        assert outcome.n_simulated == 3
+        assert outcome.n_warm == 0
+        assert outcome.n_pruned == 2
+        # every skip is logged, naming its dominator and the bound
+        prune_lines = [l for l in outcome.log_lines if l.startswith("prune:")]
+        assert len(prune_lines) == outcome.n_pruned
+        assert all("dominated by" in l for l in prune_lines)
+        assert all("speedup <=" in l for l in prune_lines)
+        assert outcome.state_path and os.path.exists(outcome.state_path)
+
+    def test_rerun_is_all_warm_zero_simulations(self, tmp_path):
+        run_sweep(small_spec(), engine_for(tmp_path))
+        engine = engine_for(tmp_path)
+        again = run_sweep(small_spec(), engine)
+        assert again.n_simulated == 0
+        assert again.n_warm == 3
+        assert engine.telemetry.total("sim") == 0
+        # identical results either way
+        first = run_sweep(small_spec(), engine_for(tmp_path))
+        assert {r.point_id: r.speedup for r in again.results} == {
+            r.point_id: r.speedup for r in first.results
+        }
+
+    def test_resume_after_partial_run_repeats_nothing(self, tmp_path):
+        # Simulate a mid-sweep kill: only part of the grid is warm.
+        partial = small_spec()
+        partial = SweepSpec.from_json({
+            **partial.to_json(),
+            "axes": {**dict(partial.to_json()["axes"]), "n_pfus": [1]},
+        })
+        run_sweep(partial, engine_for(tmp_path))
+        engine = engine_for(tmp_path)
+        resumed = run_sweep(small_spec(), engine)
+        # the n_pfus=1 half (and the baseline) is warm; only the
+        # n_pfus=2 group's non-dominated point is simulated
+        assert resumed.n_warm == 2
+        assert resumed.n_simulated == 1
+        # exactly one timing replay ran; the warm half re-ran nothing
+        # (the functional trace for the new select_pfus=2 rewrite is new
+        # work, not a repeat)
+        assert engine.telemetry.total("sim.timing") == 1
+
+    def test_pruned_frontier_exact_vs_unpruned(self, tmp_path):
+        spec = small_spec(workloads=["gsm_encode", "epic"])
+        pruned = run_sweep(spec, engine_for(tmp_path))
+        assert pruned.n_pruned > 0
+        unpruned = run_sweep(spec, engine_for(tmp_path), prune=False)
+        assert unpruned.n_pruned == 0
+        assert len(unpruned.results) == pruned.n_points
+        assert frontier_pairs(pruned.results) == frontier_pairs(
+            unpruned.results
+        )
+
+    def test_parallel_jobs_match_serial(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, engine_for(tmp_path / "a"))
+        parallel = run_sweep(spec, engine_for(tmp_path / "b", jobs=2))
+        assert {r.point_id: (r.cycles, r.baseline_cycles, r.area_luts)
+                for r in serial.results} == {
+            r.point_id: (r.cycles, r.baseline_cycles, r.area_luts)
+            for r in parallel.results
+        }
+
+    def test_storeless_engine_runs_and_reports_nothing_warm(self):
+        engine = ExperimentEngine(EngineConfig())
+        outcome = run_sweep(small_spec(), engine)
+        assert outcome.n_simulated == 3
+        assert outcome.n_warm == 0
+        assert outcome.state_path is None
+
+
+class TestFig6Regime:
+    """The paper's hard regime through the new subsystem, byte-for-byte
+    against the existing figures drivers on one shared cache."""
+
+    @pytest.fixture(scope="class")
+    def shared(self, tmp_path_factory):
+        cache = str(tmp_path_factory.mktemp("fig6") / "cache")
+        spec = SweepSpec.load(FIG6_SPEC)
+        outcome = run_sweep(
+            spec, ExperimentEngine(EngineConfig(cache_dir=cache))
+        )
+        return cache, spec, outcome
+
+    def test_fixture_simulates_every_point(self, shared):
+        _, spec, outcome = shared
+        assert spec.prune is False
+        # 2 workloads x (4 greedy + 4 selective) + 2 baselines
+        assert outcome.n_pruned == 0
+        assert outcome.n_simulated == 18
+
+    def test_selective_table_matches_figures_byte_for_byte(self, shared):
+        cache, spec, outcome = shared
+        latencies = (0, 10, 100, 500)
+        engine = ExperimentEngine(EngineConfig(cache_dir=cache))
+        expected = format_table(*figures.reconfig_sweep(
+            1, spec.workloads, latencies=latencies, n_pfus=2, engine=engine
+        ))
+        # the figures driver found every artefact warm in the sweep's cache
+        assert engine.telemetry.total("sim") == 0
+        by_point = {
+            (r.workload, r.reconfig_latency): r.speedup
+            for r in outcome.results if r.algorithm == "selective"
+        }
+        headers = ["workload"] + [f"reconf={lat}" for lat in latencies]
+        rows = [
+            [name] + [by_point[(name, lat)] for lat in latencies]
+            for name in spec.workloads
+        ]
+        assert format_table(headers, rows) == expected
+
+    def test_greedy_points_match_engine_results(self, shared):
+        cache, spec, outcome = shared
+        engine = ExperimentEngine(EngineConfig(cache_dir=cache))
+        specs = [
+            make_spec(name, "greedy", 2, lat)
+            for name in spec.workloads for lat in (0, 10, 100, 500)
+        ]
+        results = engine.run_batch(specs)
+        assert engine.telemetry.total("sim") == 0
+        expected = {
+            (s.workload, s.reconfig_latency): r.speedup
+            for s, r in zip(specs, results)
+        }
+        actual = {
+            (r.workload, r.reconfig_latency): r.speedup
+            for r in outcome.results if r.algorithm == "greedy"
+        }
+        assert actual == expected
+
+
+class TestCli:
+    def spec_path(self, tmp_path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(small_spec().to_json()))
+        return str(path)
+
+    def test_run_status_frontier(self, tmp_path, capsys):
+        spec_path = self.spec_path(tmp_path)
+        cache = str(tmp_path / "cache")
+        out_dir = str(tmp_path / "out")
+
+        assert cli.main(["explore", "run", spec_path, "--cache-dir", cache,
+                         "--out", out_dir]) == 0
+        run_out = capsys.readouterr().out
+        assert "simulated 3" in run_out and "pruned 2" in run_out
+        assert "Pareto frontier" in run_out
+        assert os.path.exists(os.path.join(out_dir, "frontier.json"))
+        assert os.path.exists(os.path.join(out_dir, "points.csv"))
+        with open(os.path.join(out_dir, "frontier.json")) as fh:
+            data = json.load(fh)
+        assert data["frontier"] and data["skipped"]
+
+        assert cli.main(["explore", "status", spec_path,
+                         "--cache-dir", cache]) == 0
+        status_out = capsys.readouterr().out
+        assert "pending 0" in status_out
+        assert status_out.count("pruned:") == 2
+
+        assert cli.main(["explore", "frontier", spec_path,
+                         "--cache-dir", cache, "--verify"]) == 0
+        frontier_out = capsys.readouterr().out
+        assert "frontier verified" in frontier_out
+
+    def test_resume_runs_nothing_twice(self, tmp_path, capsys):
+        spec_path = self.spec_path(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert cli.main(["explore", "run", spec_path,
+                         "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert cli.main(["explore", "resume", spec_path,
+                         "--cache-dir", cache]) == 0
+        resume_out = capsys.readouterr().out
+        assert "simulated 0" in resume_out and "warm 3" in resume_out
+
+    def test_status_without_state_errors(self, tmp_path, capsys):
+        spec_path = self.spec_path(tmp_path)
+        assert cli.main(["explore", "status", spec_path,
+                         "--cache-dir", str(tmp_path / "empty")]) == 2
+        assert "no state" in capsys.readouterr().err
+
+    def test_bad_spec_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert cli.main(["explore", "run", str(bad),
+                         "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_serve_backend_matches_engine(tmp_path):
+    from repro.serve import ServeConfig, ToolflowServer
+    from repro.serve.client import ServeClient
+
+    spec = SweepSpec.from_json({
+        "name": "served",
+        "workloads": ["gsm_encode"],
+        "axes": {
+            "algorithm": ["selective"],
+            "n_pfus": [1, 2],
+            "reconfig_latency": [0],
+        },
+    })
+    local = run_sweep(spec, engine_for(tmp_path))
+    with ToolflowServer(ServeConfig(workers=1)) as server:
+        with ServeClient(server.address) as client:
+            client.wait_ready()
+            served = run_sweep(
+                spec, ExperimentEngine(EngineConfig()), client=client
+            )
+    assert served.state_path is None
+    assert {r.point_id: (r.cycles, r.baseline_cycles, r.area_luts)
+            for r in served.results} == {
+        r.point_id: (r.cycles, r.baseline_cycles, r.area_luts)
+        for r in local.results
+    }

@@ -2,7 +2,12 @@
 
 from repro.extinst.extdef import sequential_chain
 from repro.hwcost import XC4000, config_bits, estimate_cost, fits_single_cycle
-from repro.hwcost.area import AreaDistribution, distribution_for_defs
+from repro.hwcost.area import (
+    AreaDistribution,
+    cost_report,
+    distribution_for_defs,
+    selection_area,
+)
 from repro.hwcost.xc4000 import clbs_for_luts
 from repro.isa.opcodes import Opcode as O
 
@@ -170,3 +175,77 @@ class TestAreaDistribution:
         dist = distribution_for_defs(defs)
         assert len(dist.costs) == 2
         assert dist.max_luts >= 18
+
+
+#: Three chained variable shifts + adds blow well past the last bucket.
+def _outlier_def():
+    return chain(
+        (O.SLLV, ("in", 0), ("in", 1)),
+        (O.SLLV, ("node", 0), ("in", 1)),
+        (O.ADDU, ("node", 1), ("in", 0)),
+    )
+
+
+class TestAreaEdgeCases:
+    def test_empty_ext_defs(self):
+        dist = distribution_for_defs({})
+        assert dist.costs == []
+        assert dist.max_luts == 0
+        assert all(count == 0 for _, count in dist.bucket_counts())
+        assert ">150" not in dist.render()
+        assert cost_report({}) == []
+
+    def test_single_op_extension(self):
+        defs = {3: chain((O.ADDU, ("in", 0), ("in", 1)))}
+        dist = distribution_for_defs(defs, input_widths=(16, 16))
+        assert dist.costs == [16]
+        assert dict(dist.bucket_counts())["1-20 LUTs"] == 1
+        [(conf, luts, levels)] = cost_report(defs)
+        assert conf == 3
+        assert luts == 18       # cost_report uses the default 18-bit widths
+        assert levels >= 1
+
+    def test_outlier_lands_in_overflow_bucket(self):
+        defs = {0: _outlier_def()}
+        dist = distribution_for_defs(defs)
+        assert dist.max_luts > 150
+        counts = dict(dist.bucket_counts())
+        assert counts[">150 LUTs"] == 1
+        assert sum(counts.values()) == 1
+        assert ">150 LUTs" in dist.render()
+
+    def test_cost_report_sorted_by_conf(self):
+        defs = {
+            2: chain((O.XOR, ("in", 0), ("in", 1))),
+            0: _outlier_def(),
+        }
+        report = cost_report(defs)
+        assert [conf for conf, _, _ in report] == [0, 2]
+
+
+class _FakeSelection:
+    def __init__(self, ext_defs, used):
+        self.ext_defs = ext_defs
+        self._used = used
+
+    def configs_in_sites(self):
+        return set(self._used)
+
+
+class TestSelectionArea:
+    def test_counts_only_used_configs(self):
+        defs = {
+            0: chain((O.ADDU, ("in", 0), ("in", 1))),   # 18 LUTs
+            1: chain((O.XOR, ("in", 0), ("in", 1))),    # 18 LUTs
+        }
+        selection = _FakeSelection(defs, used=[0])
+        assert selection_area(selection) == 18
+        assert selection_area(selection, used_only=False) == 36
+
+    def test_empty_selection_is_free(self):
+        assert selection_area(_FakeSelection({}, used=[])) == 0
+
+    def test_input_widths_forwarded(self):
+        defs = {0: chain((O.ADDU, ("in", 0), ("in", 1)))}
+        selection = _FakeSelection(defs, used=[0])
+        assert selection_area(selection, input_widths=(8, 8)) == 8

@@ -114,6 +114,34 @@ class TestEndToEnd:
             "workload" in str(exc_info.value)
 
 
+class TestPipelining:
+    def test_pipelined_submits_match_serial(self, client, program):
+        machines = [api.MachineConfig(n_pfus=n, reconfig_latency=lat)
+                    for n in (1, 2) for lat in (0, 100)]
+        pending = [client.simulate_submit(program=program, machine=m)
+                   for m in machines]
+        piped = [p.result() for p in pending]
+        serial = [client.simulate(program=program, machine=m)
+                  for m in machines]
+        assert [canonical(s) for s in piped] == \
+            [canonical(s) for s in serial]
+
+    def test_results_collectable_out_of_order(self, client, program):
+        first = client.submit("simulate", {
+            "program": protocol.encode_value(program)
+        })
+        second = client.submit("health", {})
+        # draining the later call first stashes the earlier response
+        assert second.result()["status"] == "ok"
+        assert canonical(first.result()) == \
+            canonical(api.simulate(program=program))
+
+    def test_submitted_op_error_raises_on_result(self, client):
+        pending = client.submit("compile", {})
+        with pytest.raises(protocol.RemoteOpError):
+            pending.result()
+
+
 class TestBatching:
     def test_concurrent_simulates_batch_and_match_serial(
         self, server, program
