@@ -102,6 +102,7 @@ def measure() -> dict:
         }
     benchmarks.update(_measure_sharded(program, trace))
     benchmarks.update(_measure_explore_pruning())
+    benchmarks.update(_measure_selection())
     return benchmarks
 
 
@@ -222,6 +223,40 @@ def _measure_explore_pruning() -> dict:
     }
 
 
+def _measure_selection() -> dict:
+    """The selector-runtime entry: wall-clock of every registered
+    selection algorithm on the same profiled workload (gsm_encode,
+    2-PFU budget).
+
+    One entry, one sub-row per algorithm — the quantity of record is
+    how much slower the iterative selectors are than greedy, so a
+    future algorithmic regression (e.g. an accidental re-fold inside
+    the KL loop) shows up as a runtime cliff here.
+    """
+    from repro.extinst import SelectionParams, run_selection
+    from repro.extinst.registry import registered_algorithms
+    from repro.profiling import profile_program
+    from repro.workloads import build_workload
+
+    profile = profile_program(build_workload("gsm_encode", 1).program)
+    entry: dict = {"workload": "gsm_encode", "select_pfus": 2,
+                   "algorithms": {}}
+    total_s = 0.0
+    for algorithm in registered_algorithms():
+        params = SelectionParams(algorithm=algorithm, select_pfus=2)
+        median_s = _median_seconds(lambda: run_selection(profile, params))
+        selection = run_selection(profile, params)
+        entry["algorithms"][algorithm] = {
+            "median_s": round(median_s, 6),
+            "n_configs": selection.n_configs,
+            "n_sites": len(selection.sites),
+        }
+        total_s += median_s
+    entry["median_s"] = round(total_s, 6)
+    entry["ops_per_s"] = round(len(entry["algorithms"]) / total_s, 2)
+    return {"selector_runtime": entry}
+
+
 def _git_sha() -> str:
     try:
         return subprocess.run(
@@ -254,6 +289,11 @@ def write_baseline(path: Path) -> None:
         elif "speedup_vs_serial" in row:
             detail = (f"{row['speedup_vs_serial']}x vs serial, "
                       f"jobs={row['jobs']}, {row['cores']} core(s)")
+        elif "algorithms" in row:
+            detail = ", ".join(
+                f"{name} {sub['median_s'] * 1e3:.1f}ms"
+                for name, sub in row["algorithms"].items()
+            )
         else:
             detail = (f"{row['pruned_points']}/{row['points']} points "
                       f"pruned, {row['speedup_vs_unpruned']}x vs "

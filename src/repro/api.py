@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.extinst import (
+    SELECTIVE,
     Selection,
     SelectionParams,
     apply_selection,
@@ -107,29 +108,54 @@ def profile(
     return profile_program(program, max_steps=max_steps)
 
 
+#: Distinguishes "pfus not given" from an explicit ``pfus=None``
+#: (unlimited budget) in :func:`select`.
+_UNSET = object()
+
+
 def select(
     *,
     profile: ProgramProfile,
-    algorithm: str = "selective",
-    pfus: int | None = None,
+    algorithm: str | None = None,
+    pfus: "int | None" = _UNSET,  # type: ignore[assignment]
     params: SelectionParams | None = None,
 ) -> Selection:
     """Choose extended instructions from a profile.
 
-    ``algorithm`` is ``"greedy"`` (§4) or ``"selective"`` (§5); ``pfus``
-    is the PFU budget the selection plans for (``None`` = unlimited).
-    Pass ``params`` (a full :class:`~repro.extinst.SelectionParams`)
-    instead to control the gain threshold and extraction tunables —
-    ``algorithm``/``pfus`` must then be left at their defaults.
+    ``algorithm`` names any selector registered in
+    :mod:`repro.extinst.registry` — ``"greedy"`` (§4), ``"selective"``
+    (§5, the default), ``"isegen"`` (iterative improvement), or a
+    plugin; ``pfus`` is the PFU budget the selection plans for
+    (``None`` = unlimited).  Pass ``params`` (a full
+    :class:`~repro.extinst.SelectionParams`) to control the algorithm's
+    tunables; ``params`` may itself name any registered algorithm.
+    Explicit ``algorithm=``/``pfus=`` combine with ``params=`` as
+    overrides: a redundant-but-consistent combination is accepted, and
+    ``pfus=`` fills in a budget ``params`` left unlimited — but a
+    combination that *contradicts* ``params`` raises
+    :class:`~repro.errors.ConfigurationError` naming both values.
     """
-    if params is not None:
-        if algorithm != "selective" or pfus is not None:
-            raise ConfigurationError(
-                "pass either params= or algorithm=/pfus=, not both"
-            )
-        request = params
+    from dataclasses import replace as _replace
+
+    if params is None:
+        request = SelectionParams(
+            algorithm=algorithm if algorithm is not None else SELECTIVE,
+            select_pfus=None if pfus is _UNSET else pfus,
+        )
     else:
-        request = SelectionParams(algorithm=algorithm, select_pfus=pfus)
+        request = params
+        if algorithm is not None and algorithm != params.algorithm:
+            raise ConfigurationError(
+                f"algorithm={algorithm!r} contradicts "
+                f"params.algorithm={params.algorithm!r}"
+            )
+        if pfus is not _UNSET and pfus != params.select_pfus:
+            if params.select_pfus is not None:
+                raise ConfigurationError(
+                    f"pfus={pfus!r} contradicts "
+                    f"params.select_pfus={params.select_pfus!r}"
+                )
+            request = _replace(params, select_pfus=pfus)
     return run_selection(profile, request)
 
 

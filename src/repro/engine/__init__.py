@@ -65,7 +65,8 @@ from repro.engine.store import (
 )
 from repro.engine.telemetry import JobRecord, Telemetry
 from repro.errors import ReproError
-from repro.extinst import Selection
+from repro.extinst import BASELINE, Selection
+from repro.extinst.registry import normalize_select_pfus
 
 __all__ = [
     "ArtifactKey", "ArtifactPipeline", "ArtifactStore", "EngineConfig",
@@ -204,7 +205,7 @@ class ExperimentEngine:
                      "sim_jobs": self.config.sim_jobs},
             timeout=self.config.job_timeout, retries=self.config.retries,
         ))
-        if spec.algorithm == "baseline":
+        if spec.algorithm == BASELINE:
             return (profile_id,)
         sel = "unl" if spec.select_pfus is None else spec.select_pfus
         prepare_id = (
@@ -291,7 +292,7 @@ class ExperimentEngine:
                     job_id=base_id, kind="explore",
                     payload={"stage": "explore", "cache_dir": self._cache_dir,
                              "workload": workload, "scale": scale,
-                             "algorithm": "baseline", "select_pfus": None,
+                             "algorithm": BASELINE, "select_pfus": None,
                              "validate": req["validate"],
                              "machine": machine_to_json(core),
                              "sim_jobs": self.config.sim_jobs},
@@ -300,7 +301,7 @@ class ExperimentEngine:
                     retries=self.config.retries,
                 ))
                 base_ids[base_key] = base_id
-            if algorithm == "baseline":
+            if algorithm == BASELINE:
                 leaf_ids.append(base_id)
                 continue
             deps = [base_id]
@@ -352,8 +353,7 @@ class ExperimentEngine:
         graph = JobGraph()
         leaf_ids: list[str] = []
         for workload, scale, algorithm, select_pfus in requests:
-            if algorithm == "greedy":
-                select_pfus = None
+            select_pfus = normalize_select_pfus(algorithm, select_pfus)
             deps: tuple[str, ...] = ()
             if self.store is not None:
                 profile_id = f"profile:{workload}@{scale}"

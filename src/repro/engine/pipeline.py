@@ -34,6 +34,7 @@ from repro.engine.store import (
 from repro.engine.telemetry import Telemetry
 from repro.errors import ConfigurationError
 from repro.extinst import (
+    BASELINE,
     Selection,
     SelectionParams,
     apply_selection,
@@ -42,6 +43,11 @@ from repro.extinst import (
     validate_equivalence,
 )
 from repro.extinst.extdef import ExtInstDef
+from repro.extinst.registry import (
+    get_selector,
+    normalize_select_pfus,
+    selection_cache_extras,
+)
 from repro.obs import get_recorder
 from repro.extinst.serialize import selection_from_json, selection_to_json
 from repro.profiling import ProgramProfile, profile_program
@@ -104,7 +110,7 @@ class ExperimentSpec:
     """
 
     workload: str
-    algorithm: str                  # "baseline" | "greedy" | "selective"
+    algorithm: str                  # "baseline" or any registered selector
     n_pfus: int | None
     reconfig_latency: int
     scale: int = 1
@@ -141,18 +147,16 @@ def make_spec(
         params = algorithm.normalized()
         algorithm = params.algorithm
         select_pfus = params.select_pfus
-    if algorithm == "baseline":
+    if algorithm == BASELINE:
         return ExperimentSpec(
-            workload=workload, algorithm="baseline", n_pfus=0,
+            workload=workload, algorithm=BASELINE, n_pfus=0,
             reconfig_latency=0, scale=scale, select_pfus=None,
             validate=validate,
         )
-    if algorithm not in ("greedy", "selective"):
-        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+    get_selector(algorithm)     # raises naming the registered choices
     if select_pfus == "same":
         select_pfus = n_pfus
-    if algorithm == "greedy":
-        select_pfus = None      # greedy ignores the PFU budget
+    select_pfus = normalize_select_pfus(algorithm, select_pfus)
     return ExperimentSpec(
         workload=workload, algorithm=algorithm, n_pfus=n_pfus,
         reconfig_latency=reconfig_latency, scale=scale,
@@ -165,7 +169,7 @@ class ExperimentResult:
     """One timing experiment on one workload."""
 
     workload: str
-    algorithm: str           # "baseline" | "greedy" | "selective"
+    algorithm: str           # "baseline" or any registered selector
     n_pfus: int | None
     reconfig_latency: int
     stats: SimStats
@@ -278,14 +282,10 @@ class ArtifactPipeline:
         """
         params = coerce_selection_params(algorithm, select_pfus)
         algorithm, select_pfus = params.algorithm, params.select_pfus
-        # Non-default tunables must key the cache or they would alias
-        # with default-parameter selections; defaults keep legacy keys.
-        extras: dict[str, Any] = {}
-        defaults = SelectionParams(algorithm=algorithm)
-        if params.gain_threshold != defaults.gain_threshold:
-            extras["gain_threshold"] = params.gain_threshold
-        if params.extraction != defaults.extraction:
-            extras["extraction"] = repr(params.extraction)
+        # Non-default tunables (as declared by the algorithm's registry
+        # spec) must key the cache or they would alias with
+        # default-parameter selections; defaults keep legacy keys.
+        extras: dict[str, Any] = selection_cache_extras(params)
 
         def compute() -> Selection:
             self.telemetry.incr("compute.selection")
@@ -306,8 +306,7 @@ class ArtifactPipeline:
         self, name: str, scale: int, algorithm: str,
         select_pfus: int | None, validate: bool,
     ) -> tuple[Program, dict[int, ExtInstDef]]:
-        if algorithm == "greedy":
-            select_pfus = None
+        select_pfus = normalize_select_pfus(algorithm, select_pfus)
 
         def compute() -> tuple[Program, dict[int, ExtInstDef]]:
             selection = self.selection(name, scale, algorithm, select_pfus)
@@ -332,22 +331,21 @@ class ArtifactPipeline:
         )
 
     def trace(
-        self, name: str, scale: int, algorithm: str = "baseline",
+        self, name: str, scale: int, algorithm: str = BASELINE,
         select_pfus: int | None = None, validate: bool = True,
     ) -> DynTrace:
         """Dynamic trace of the (possibly rewritten) program."""
-        if algorithm == "baseline":
-            params: dict[str, Any] = dict(algorithm="baseline")
-            memo_key = ("trace", name, scale, "baseline")
+        if algorithm == BASELINE:
+            params: dict[str, Any] = dict(algorithm=BASELINE)
+            memo_key = ("trace", name, scale, BASELINE)
         else:
-            if algorithm == "greedy":
-                select_pfus = None
+            select_pfus = normalize_select_pfus(algorithm, select_pfus)
             params = dict(algorithm=algorithm, select_pfus=select_pfus,
                           validate=validate)
             memo_key = ("trace", name, scale, algorithm, select_pfus, validate)
 
         def compute() -> DynTrace:
-            if algorithm == "baseline":
+            if algorithm == BASELINE:
                 program, defs = self.program(name, scale), None
             else:
                 program, defs = self.rewrite(
@@ -396,18 +394,18 @@ class ArtifactPipeline:
         mfp = machine_fingerprint(machine)
 
         def compute() -> SimStats:
-            trace = self.trace(name, scale, "baseline")
+            trace = self.trace(name, scale, BASELINE)
             self._sim_counter("sim.timing")
-            with _scoped(workload=name, algorithm="baseline"):
+            with _scoped(workload=name, algorithm=BASELINE):
                 return self._replay(
                     self.program(name, scale), trace, machine, None
                 )
 
         return self._artifact(
-            ("timing", name, scale, "baseline", mfp),
+            ("timing", name, scale, BASELINE, mfp),
             dict(kind="timing", workload=name, scale=scale,
                  fingerprint=self.fingerprint(name, scale),
-                 algorithm="baseline", machine=mfp),
+                 algorithm=BASELINE, machine=mfp),
             compute,
         )
 
@@ -429,10 +427,9 @@ class ArtifactPipeline:
         latency the keys are identical to :meth:`timing`'s, so sweeps
         and figure drivers serve each other's warm artefacts.
         """
-        if algorithm == "baseline":
+        if algorithm == BASELINE:
             return self.baseline_timing(name, scale, core_machine(machine))
-        if algorithm == "greedy":
-            select_pfus = None
+        select_pfus = normalize_select_pfus(algorithm, select_pfus)
         mfp = machine_fingerprint(machine)
 
         def compute() -> SimStats:
@@ -488,9 +485,9 @@ class ArtifactPipeline:
         artefact.
         """
         base = self.baseline_timing(name, scale, core_machine(machine))
-        if algorithm == "baseline":
+        if algorithm == BASELINE:
             return ExperimentResult(
-                workload=name, algorithm="baseline", n_pfus=0,
+                workload=name, algorithm=BASELINE, n_pfus=0,
                 reconfig_latency=0, stats=base,
                 baseline_cycles=base.cycles, n_configs=0,
             )
@@ -507,9 +504,9 @@ class ArtifactPipeline:
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         """Run one T1000 experiment end to end (cached at every stage)."""
         base = self.baseline_timing(spec.workload, spec.scale)
-        if spec.algorithm == "baseline":
+        if spec.algorithm == BASELINE:
             return ExperimentResult(
-                workload=spec.workload, algorithm="baseline", n_pfus=0,
+                workload=spec.workload, algorithm=BASELINE, n_pfus=0,
                 reconfig_latency=0, stats=base,
                 baseline_cycles=base.cycles, n_configs=0,
             )

@@ -49,6 +49,12 @@ from repro.engine.store import (
     make_key,
 )
 from repro.errors import ConfigurationError
+from repro.extinst.registry import (
+    BASELINE,
+    SELECTIVE,
+    normalize_select_pfus,
+    registered_algorithms,
+)
 from repro.sim.cache.hierarchy import HierarchyConfig
 from repro.sim.ooo import MachineConfig
 
@@ -65,7 +71,10 @@ MACHINE_AXES = tuple(
 #: Dotted cache-geometry axes: ``<level>.<field>`` plus ``mem_latency``.
 _HIERARCHY_LEVELS = ("il1", "dl1", "ul2", "itlb", "dtlb")
 
-_ALGORITHMS = ("baseline", "greedy", "selective")
+
+def _valid_algorithms() -> tuple[str, ...]:
+    """Axis values: the baseline anchor plus every registered selector."""
+    return (BASELINE,) + registered_algorithms()
 
 
 def _is_hierarchy_axis(name: str) -> bool:
@@ -98,7 +107,7 @@ class SweepPoint:
 
     workload: str
     scale: int
-    algorithm: str              # "baseline" | "greedy" | "selective"
+    algorithm: str              # "baseline" or any registered selector
     select_pfus: int | None
     validate: bool
     machine: MachineConfig
@@ -121,8 +130,8 @@ class SweepPoint:
         return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
     def label(self) -> str:
-        if self.algorithm == "baseline":
-            return f"{self.workload}@{self.scale}:baseline"
+        if self.algorithm == BASELINE:
+            return f"{self.workload}@{self.scale}:{BASELINE}"
         pfus = "unl" if self.machine.n_pfus is None else self.machine.n_pfus
         extra = "".join(
             f":{name}={value}"
@@ -140,10 +149,10 @@ class SweepPoint:
         same experiment, so warm artefacts are shared both ways."""
         from repro.engine.pipeline import core_machine
 
-        if self.algorithm == "baseline":
+        if self.algorithm == BASELINE:
             return make_key(
                 "timing", self.workload, self.scale, fingerprint,
-                algorithm="baseline",
+                algorithm=BASELINE,
                 machine=machine_fingerprint(core_machine(self.machine)),
             )
         return make_key(
@@ -358,16 +367,17 @@ class SweepSpec:
         for workload in self.workloads:
             for assignment in self._assignments():
                 machine = _build_machine(assignment)
-                algorithm = assignment.get("algorithm", "selective")
-                if algorithm not in _ALGORITHMS:
+                algorithm = assignment.get("algorithm", SELECTIVE)
+                if algorithm not in _valid_algorithms():
                     raise ConfigurationError(
-                        f"unknown algorithm {algorithm!r} in sweep axis"
+                        f"unknown algorithm {algorithm!r} in sweep axis "
+                        f"(expected one of {_valid_algorithms()})"
                     )
                 axes = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
-                if algorithm == "baseline":
+                if algorithm == BASELINE:
                     add(SweepPoint(
                         workload=workload, scale=self.scale,
-                        algorithm="baseline", select_pfus=None,
+                        algorithm=BASELINE, select_pfus=None,
                         validate=self.validate,
                         machine=core_machine(machine), axes=axes,
                     ))
@@ -375,8 +385,7 @@ class SweepSpec:
                 select_pfus = assignment.get("select_pfus", "same")
                 if select_pfus == "same":
                     select_pfus = machine.n_pfus
-                if algorithm == "greedy":
-                    select_pfus = None
+                select_pfus = normalize_select_pfus(algorithm, select_pfus)
                 if select_pfus is not None and not isinstance(
                     select_pfus, int
                 ):
@@ -387,10 +396,10 @@ class SweepSpec:
                 if self.include_baseline:
                     add(SweepPoint(
                         workload=workload, scale=self.scale,
-                        algorithm="baseline", select_pfus=None,
+                        algorithm=BASELINE, select_pfus=None,
                         validate=self.validate,
                         machine=core_machine(machine),
-                        axes=(("algorithm", "baseline"),),
+                        axes=(("algorithm", BASELINE),),
                     ))
                 add(SweepPoint(
                     workload=workload, scale=self.scale,

@@ -8,10 +8,15 @@ Pipeline:
    from basic-block dataflow graphs under the §4 constraints: candidate
    (narrow ALU) operations only, at most two register inputs, one output,
    intermediate values dead outside the sequence.
-3. Either :func:`repro.extinst.greedy.greedy_select` (§4: take everything)
-   or :func:`repro.extinst.selective.selective_select` (§5: the gain
-   threshold + per-loop subsequence-matrix algorithm) picks which
-   sequences become PFU configurations.
+3. A selector registered in :mod:`repro.extinst.registry` picks which
+   sequences become PFU configurations:
+   :func:`repro.extinst.greedy.greedy_select` (§4: take everything),
+   :func:`repro.extinst.selective.selective_select` (§5: the gain
+   threshold + per-loop subsequence-matrix algorithm), or
+   :func:`repro.extinst.isegen.isegen_select` (Kernighan-Lin iterative
+   improvement over the selective seed).  Every entry point dispatches
+   through the registry, so new selectors plug in without touching the
+   callers.
 4. :mod:`repro.extinst.rewriter` rewrites the program, replacing each
    chosen occurrence with a single ``ext`` instruction, and emits the
    ``conf -> ExtInstDef`` table both simulators consume.
@@ -25,11 +30,25 @@ from repro.extinst.extraction import (
     ExtractionParams,
     extract_candidate_sequences,
 )
+from repro.extinst.estimate import CyclesSavedEstimate, estimate_cycles_saved
 from repro.extinst.greedy import greedy_select
+from repro.extinst.isegen import isegen_select
 from repro.extinst.params import (
     SelectionParams,
     coerce_selection_params,
     run_selection,
+)
+from repro.extinst.registry import (
+    BASELINE,
+    GREEDY,
+    ISEGEN,
+    SELECTIVE,
+    SelectorSpec,
+    Tunable,
+    get_selector,
+    register_selector,
+    registered_algorithms,
+    selector_specs,
 )
 from repro.extinst.rewriter import apply_selection
 from repro.extinst.selection import RewriteSite, Selection
@@ -37,6 +56,19 @@ from repro.extinst.selective import SelectiveParams, selective_select
 from repro.extinst.validate import validate_equivalence
 
 __all__ = [
+    "BASELINE",
+    "GREEDY",
+    "ISEGEN",
+    "SELECTIVE",
+    "SelectorSpec",
+    "Tunable",
+    "CyclesSavedEstimate",
+    "estimate_cycles_saved",
+    "get_selector",
+    "isegen_select",
+    "register_selector",
+    "registered_algorithms",
+    "selector_specs",
     "ExtInstDef",
     "ExtOp",
     "OperandRef",

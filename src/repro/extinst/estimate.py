@@ -1,0 +1,87 @@
+"""The shared estimated-cycles-saved model all selectors are judged by.
+
+A selection's worth under a reconfigurable machine is not just the sum
+of its sites' savings: every distinct configuration a top-level loop
+uses must be loaded into a PFU, and a loop needing more configurations
+than the machine has PFUs reconfigures *inside* its steady state (the
+thrashing the paper's Figure 6 measures).  This module scores a
+:class:`~repro.extinst.selection.Selection` under that model:
+
+* fold gain — ``exec_count * (depth - 1)`` per site, the cycles the
+  collapsed dependence chains no longer serialise;
+* reconfiguration cost — within a top-level loop group that fits the
+  PFU budget, one cold load per distinct configuration; for a group
+  over budget, a pessimistic reload per extended-instruction execution
+  (steady-state thrashing).
+
+It is the objective isegen's Kernighan-Lin moves climb, the score the
+figures harness compares the three selectors on, and the quantity the
+fuzz differential checks never goes negative.  Keeping it in one place
+means "isegen ties or beats selective" is measured by the same ruler
+isegen optimised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extinst.selection import Selection
+from repro.profiling.profiler import ProgramProfile
+
+
+@dataclass(frozen=True)
+class CyclesSavedEstimate:
+    """Breakdown of a selection's estimated payoff on one machine."""
+
+    fold_gain: int
+    reconfig_cost: int
+    n_thrashing_groups: int
+
+    @property
+    def saved(self) -> int:
+        """Net estimated cycles saved (may be negative when thrashing)."""
+        return self.fold_gain - self.reconfig_cost
+
+
+def estimate_cycles_saved(
+    profile: ProgramProfile,
+    selection: Selection,
+    n_pfus: int | None,
+    reconfig_latency: int,
+) -> CyclesSavedEstimate:
+    """Score ``selection`` on a machine with ``n_pfus`` PFUs and the
+    given reconfiguration latency.
+
+    Sites are grouped by the *top-level* loop containing them (the same
+    grouping selective and isegen budget by): a nested loop's
+    configurations are a subset of its enclosing top-level loop's, so
+    the outermost group determines whether steady state reconfigures.
+    ``n_pfus=None`` models an unbounded PFU array (cold loads only).
+    """
+    fold_gain = 0
+    group_confs: dict[int | None, set[int]] = {}
+    group_execs: dict[int | None, int] = {}
+    for site in selection.sites:
+        execs = max(1, profile.exec_counts[site.root])
+        fold_gain += execs * selection.ext_defs[site.conf].gain_per_execution
+        loop = profile.outermost_loop_of(site.root)
+        header = loop.header if loop else None
+        group_confs.setdefault(header, set()).add(site.conf)
+        group_execs[header] = group_execs.get(header, 0) + execs
+
+    reconfig_cost = 0
+    thrashing = 0
+    for header, confs in group_confs.items():
+        if n_pfus is None or len(confs) <= n_pfus:
+            reconfig_cost += reconfig_latency * len(confs)
+        else:
+            thrashing += 1
+            reconfig_cost += reconfig_latency * group_execs[header]
+    return CyclesSavedEstimate(
+        fold_gain=fold_gain,
+        reconfig_cost=reconfig_cost,
+        n_thrashing_groups=thrashing,
+    )
+
+
+__all__ = ["CyclesSavedEstimate", "estimate_cycles_saved"]

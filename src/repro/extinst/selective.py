@@ -274,10 +274,25 @@ def _select_per_loop(
 
     # Rewrite phase: inside each group, fold non-overlapping embeddings of
     # that group's chosen patterns, largest saving first.
+    allocator, sites = fold_group_sites(groups, subs_cache, chosen_for_group)
+    return Selection(
+        ext_defs=allocator.defs, sites=sites, algorithm="selective", meta=meta
+    )
+
+
+def fold_group_sites(
+    groups: dict[int | None, list[CandidateSequence]],
+    subs_cache: dict[int | None, dict[int, dict[tuple, list[SubOccurrence]]]],
+    chosen_for_group: dict[int | None, set[tuple]],
+) -> tuple[ConfAllocator, list[RewriteSite]]:
+    """The rewrite fold selective and isegen share: inside each group,
+    fold non-overlapping embeddings of that group's chosen patterns,
+    largest saving first.  Deterministic given deterministic inputs —
+    groups iterate in insertion order, embeddings sort on a total key."""
     allocator = ConfAllocator()
     sites: list[RewriteSite] = []
     for header, seqs_g in groups.items():
-        allowed = chosen_for_group[header]
+        allowed = chosen_for_group.get(header)
         if not allowed:
             continue
         for i, seq in enumerate(seqs_g):
@@ -301,6 +316,4 @@ def _select_per_loop(
                         output_reg=occ.build.output_reg,
                     )
                 )
-    return Selection(
-        ext_defs=allocator.defs, sites=sites, algorithm="selective", meta=meta
-    )
+    return allocator, sites

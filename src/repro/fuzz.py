@@ -26,11 +26,13 @@ from dataclasses import dataclass, field
 from repro.asm import assemble
 from repro.errors import ReproError
 from repro.extinst import (
+    SelectionParams,
     apply_selection,
-    greedy_select,
-    selective_select,
+    estimate_cycles_saved,
+    run_selection,
     validate_equivalence,
 )
+from repro.extinst.registry import get_selector, registered_algorithms
 from repro.profiling import profile_program
 from repro.program.program import Program
 
@@ -165,20 +167,44 @@ def check_simulators(program: Program, ext_defs=None) -> None:
 
 
 def check_program(program: Program, n_pfus_choices=(1, 2, 4, None)) -> int:
-    """Run every selection algorithm over ``program`` and validate each
-    rewrite (semantic equivalence of the rewritten program *and*
-    fast-vs-reference agreement of both simulators on it). Returns the
-    number of folded sites; raises on divergence."""
+    """Run every *registered* selection algorithm over ``program`` and
+    validate each rewrite: semantic equivalence of the rewritten
+    program, fast-vs-reference agreement of both simulators on it, and
+    the selection-differential property that no selector loses estimated
+    cycles to the baseline (the empty selection, which saves exactly
+    zero) under the regime that selector planned for — its PFU budget
+    (or one PFU per configuration for budget-free selectors) and the
+    reconfiguration latency its objective accounted for (zero for
+    selectors whose gain model ignores reconfiguration cost).
+    Budget-aware selectors are exercised at every budget in
+    ``n_pfus_choices``.  Returns the number of folded sites; raises on
+    divergence."""
     profile = profile_program(program)
     folded = 0
     check_simulators(program)
-    selections = [greedy_select(profile)]
-    selections += [selective_select(profile, n) for n in n_pfus_choices]
-    for selection in selections:
-        rewritten, defs = apply_selection(program, selection)
-        validate_equivalence(program, rewritten, defs)
-        check_simulators(rewritten, defs)
-        folded += len(selection.sites)
+
+    for algorithm in registered_algorithms():
+        spec = get_selector(algorithm)
+        budgets = n_pfus_choices if spec.uses_select_pfus else (None,)
+        for n_pfus in budgets:
+            params = SelectionParams(algorithm=algorithm, select_pfus=n_pfus)
+            selection = run_selection(profile, params)
+            rewritten, defs = apply_selection(program, selection)
+            validate_equivalence(program, rewritten, defs)
+            check_simulators(rewritten, defs)
+            folded += len(selection.sites)
+
+            estimate = estimate_cycles_saved(
+                profile, selection,
+                n_pfus if n_pfus is not None else max(1, selection.n_configs),
+                params.reconfig_latency if spec.latency_aware else 0,
+            )
+            assert estimate.saved >= 0, (
+                f"{algorithm} (pfus={n_pfus}) loses an estimated "
+                f"{-estimate.saved} cycle(s) to baseline under its own "
+                f"planning regime (fold gain {estimate.fold_gain}, "
+                f"reconfiguration cost {estimate.reconfig_cost})"
+            )
     return folded
 
 

@@ -36,6 +36,12 @@ import os
 import sys
 
 from repro.engine import ArtifactStore, EngineConfig, ExperimentEngine, make_spec
+from repro.extinst.registry import (
+    BASELINE,
+    SELECTIVE,
+    registered_algorithms,
+    selector_specs,
+)
 from repro.harness import figures
 from repro.harness.runner import WorkloadLab
 from repro.utils.tables import format_table
@@ -134,8 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dynamic instructions to skip (warm-up)")
     pipe_p.add_argument("--count", type=int, default=24)
     pipe_p.add_argument(
-        "--algorithm", default="baseline",
-        choices=["baseline", "greedy", "selective"]
+        "--algorithm", default=BASELINE,
+        choices=[BASELINE, *registered_algorithms()]
     )
     pipe_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
                         default=2)
@@ -149,6 +155,30 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--scale", type=int, default=1)
     _add_engine_flags(report_p)
     _add_obs_flags(report_p)
+
+    sub.add_parser(
+        "algorithms",
+        help="list the registered selection algorithms and their tunables",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare-selectors",
+        help="three-way selector comparison: estimated cycles saved per "
+        "registered algorithm under a hard reconfiguration regime",
+    )
+    _add_common(cmp_p)
+    cmp_p.add_argument("--pfus", type=int, default=2,
+                       help="PFU budget every selector plans for (default 2)")
+    cmp_p.add_argument(
+        "--latencies", type=int, nargs="+", default=[10, 100, 500],
+        metavar="CYCLES",
+        help="reconfiguration latencies to compare at (default 10 100 500)",
+    )
+    cmp_p.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero if isegen scores below any other selector "
+        "at any point (CI gate)",
+    )
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential-fuzz the folding pipeline"
@@ -171,8 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sel_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
     sel_p.add_argument("--scale", type=int, default=1)
-    sel_p.add_argument("--algorithm", default="selective",
-                       choices=["greedy", "selective"])
+    sel_p.add_argument("--algorithm", default=SELECTIVE,
+                       choices=list(registered_algorithms()))
     sel_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
                        default=2)
     sel_p.add_argument("-o", "--output", required=True)
@@ -183,8 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("workload", choices=list(WORKLOAD_NAMES))
     run_p.add_argument("--scale", type=int, default=1)
     run_p.add_argument(
-        "--algorithm", default="selective",
-        choices=["baseline", "greedy", "selective"]
+        "--algorithm", default=SELECTIVE,
+        choices=[BASELINE, *registered_algorithms()]
     )
     run_p.add_argument("--pfus", type=lambda s: None if s == "unlimited" else int(s),
                        default=2, help="PFU count or 'unlimited'")
@@ -265,8 +295,8 @@ def build_parser() -> argparse.ArgumentParser:
         if client_cmd == "run":
             cp.add_argument("workload", choices=list(WORKLOAD_NAMES))
             cp.add_argument("--scale", type=int, default=1)
-            cp.add_argument("--algorithm", default="selective",
-                            choices=["greedy", "selective"])
+            cp.add_argument("--algorithm", default=SELECTIVE,
+                            choices=list(registered_algorithms()))
             cp.add_argument(
                 "--pfus",
                 type=lambda s: None if s == "unlimited" else int(s),
@@ -439,6 +469,26 @@ def _dispatch(args) -> int:
         print("Selective speedup vs PFU count (10-cycle reconfig, §5.2)")
         print(format_table(headers, rows))
         _finish(engine, args)
+    elif args.command == "algorithms":
+        print(_render_algorithms())
+    elif args.command == "compare-selectors":
+        engine = _engine_from_args(args)
+        headers, rows, shortfalls = figures.selector_comparison(
+            args.scale, tuple(args.workloads),
+            latencies=tuple(args.latencies), n_pfus=args.pfus,
+            engine=engine,
+        )
+        print(f"Estimated cycles saved per selector "
+              f"({args.pfus} PFUs; reconfiguration latencies "
+              f"{', '.join(str(latency) for latency in args.latencies)})")
+        print(format_table(headers, rows))
+        for workload, latency, got, best, winners in shortfalls:
+            print(f"shortfall: {workload} @ reconf={latency}: "
+                  f"isegen saved {got}, {winners} saved {best}",
+                  file=sys.stderr)
+        _finish(engine, args)
+        if args.check and shortfalls:
+            return 1
     elif args.command == "profile":
         from repro.profiling.report import full_report
 
@@ -480,7 +530,7 @@ def _dispatch(args) -> int:
         engine = _engine_from_args(args)
         lab = WorkloadLab(args.workload, args.scale,
                           pipeline=engine.pipeline)
-        if args.algorithm == "baseline":
+        if args.algorithm == BASELINE:
             program, defs = lab.program, None
         else:
             program, defs = lab.rewritten(args.algorithm, args.pfus)
@@ -550,6 +600,27 @@ def _dispatch(args) -> int:
     elif args.command == "cache":
         return _cache_command(args)
     return 0
+
+
+def _render_algorithms() -> str:
+    """``t1000 algorithms`` — registry-driven selector listing."""
+    lines = []
+    for spec in selector_specs():
+        lines.append(f"{spec.name}")
+        lines.append(f"    {spec.description}")
+        budget = ("plans for a --pfus budget" if spec.uses_select_pfus
+                  else "ignores --pfus (selects everything)")
+        latency = ("re-selects per reconfiguration latency"
+                   if spec.latency_aware
+                   else "selection independent of reconfiguration latency")
+        lines.append(f"    {budget}; {latency}")
+        if spec.tunables:
+            lines.append("    tunables:")
+            for tunable in spec.tunables:
+                lines.append(f"        {tunable.name} "
+                             f"(default {tunable.default!r}) — {tunable.doc}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def _serve_command(args) -> int:

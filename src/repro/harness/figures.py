@@ -17,7 +17,9 @@ paper's numbers.
 from __future__ import annotations
 
 from repro.engine import ExperimentEngine, default_engine, make_spec
+from repro.extinst import SelectionParams, estimate_cycles_saved
 from repro.extinst.extdef import ExtInstDef
+from repro.extinst.registry import GREEDY, ISEGEN, SELECTIVE, registered_algorithms
 from repro.hwcost.area import distribution_for_defs
 from repro.utils.tables import format_table
 from repro.workloads import WORKLOAD_NAMES
@@ -40,8 +42,8 @@ def fig2_greedy(
                "T1000 2 PFUs (10cy)", "reconfigs(2PFU)"]
     specs = []
     for name in workloads:
-        specs.append(make_spec(name, "greedy", None, 0, scale=scale))
-        specs.append(make_spec(name, "greedy", 2, 10, scale=scale))
+        specs.append(make_spec(name, GREEDY, None, 0, scale=scale))
+        specs.append(make_spec(name, GREEDY, 2, 10, scale=scale))
     results = _engine(engine).run_batch(specs)
     rows = []
     for i, name in enumerate(workloads):
@@ -63,7 +65,7 @@ def fig6_selective(
                "T1000 unlimited"]
     pfu_counts = (2, 4, None)
     specs = [
-        make_spec(name, "selective", n, 10, scale=scale)
+        make_spec(name, SELECTIVE, n, 10, scale=scale)
         for name in workloads for n in pfu_counts
     ]
     results = _engine(engine).run_batch(specs)
@@ -81,7 +83,7 @@ def fig7_area(
     """Figure 7: LUT-cost distribution of the extended instructions the
     selective algorithm chooses across all eight benchmarks."""
     selections = _engine(engine).select_batch(
-        [(name, scale, "selective", select_pfus) for name in workloads]
+        [(name, scale, SELECTIVE, select_pfus) for name in workloads]
     )
     all_defs: dict[tuple, ExtInstDef] = {}
     for selection in selections:
@@ -104,7 +106,7 @@ def greedy_stats(
     headers = ["workload", "distinct configs", "rewrite sites",
                "min length", "max length"]
     selections = _engine(engine).select_batch(
-        [(name, scale, "greedy", None) for name in workloads]
+        [(name, scale, GREEDY, None) for name in workloads]
     )
     rows = []
     for name, selection in zip(workloads, selections):
@@ -127,7 +129,7 @@ def reconfig_sweep(
     high as 500 cycles"."""
     headers = ["workload"] + [f"reconf={lat}" for lat in latencies]
     specs = [
-        make_spec(name, "selective", n_pfus, lat, scale=scale)
+        make_spec(name, SELECTIVE, n_pfus, lat, scale=scale)
         for name in workloads for lat in latencies
     ]
     results = _engine(engine).run_batch(specs)
@@ -155,7 +157,7 @@ def pfu_sweep(
         "unlimited" if n is None else f"{n} PFU" for n in pfu_counts
     ]
     specs = [
-        make_spec(name, "selective", n, reconfig_latency, scale=scale)
+        make_spec(name, SELECTIVE, n, reconfig_latency, scale=scale)
         for name in workloads for n in pfu_counts
     ]
     results = _engine(engine).run_batch(specs)
@@ -168,6 +170,59 @@ def pfu_sweep(
         )
         rows.append(row)
     return headers, rows
+
+
+def selector_comparison(
+    scale: int = 1,
+    workloads=WORKLOAD_NAMES,
+    latencies=(10, 100, 500),
+    n_pfus: int = 2,
+    engine: ExperimentEngine | None = None,
+):
+    """Three-way selector comparison under the paper's hard regime.
+
+    For every workload x reconfiguration latency, runs each registered
+    selector with a ``n_pfus`` budget (latency-aware selectors re-select
+    per latency) and scores the selections with the shared
+    :func:`~repro.extinst.estimate.estimate_cycles_saved` model.
+    Returns ``(headers, rows, shortfalls)``: one row per (workload,
+    latency) with estimated cycles saved per selector and the winner
+    name, and ``shortfalls`` listing every point where isegen scored
+    below another selector (empty means the acceptance property
+    "isegen ties or beats greedy and selective everywhere" holds).
+
+    Selection-stage work only — no timing simulations — so the whole
+    grid is cheap and cache-friendly.
+    """
+    pipeline = _engine(engine).pipeline
+    algorithms = registered_algorithms()
+    headers = ["workload", "reconf"] + list(algorithms) + ["best"]
+    rows = []
+    shortfalls = []
+    for name in workloads:
+        profile = pipeline.profile(name, scale)
+        for lat in latencies:
+            scores = {}
+            for algo in algorithms:
+                params = SelectionParams(
+                    algorithm=algo, select_pfus=n_pfus,
+                    reconfig_latency=lat,
+                )
+                selection = pipeline.selection(name, scale, params)
+                scores[algo] = estimate_cycles_saved(
+                    profile, selection, n_pfus, lat
+                ).saved
+            best = max(scores.values())
+            winners = [a for a in algorithms if scores[a] == best]
+            rows.append(
+                [name, lat] + [scores[a] for a in algorithms]
+                + ["/".join(winners)]
+            )
+            if scores[ISEGEN] < best:
+                shortfalls.append(
+                    (name, lat, scores[ISEGEN], best, "/".join(winners))
+                )
+    return headers, rows, shortfalls
 
 
 def render(headers, rows) -> str:

@@ -20,6 +20,7 @@ from repro.engine.pipeline import (
     make_spec,
 )
 from repro.extinst import Selection, SelectionParams
+from repro.extinst.registry import BASELINE
 from repro.extinst.extdef import ExtInstDef
 from repro.profiling import ProgramProfile
 from repro.program.program import Program
@@ -83,7 +84,7 @@ class WorkloadLab:
         )
 
     def trace(
-        self, algorithm: str = "baseline", select_pfus: int | None = None
+        self, algorithm: str = BASELINE, select_pfus: int | None = None
     ) -> DynTrace:
         return self.pipeline.trace(
             self.name, self.scale, algorithm, select_pfus, self.validate

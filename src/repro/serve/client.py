@@ -46,6 +46,10 @@ from typing import Any, Mapping, Sequence
 
 from repro.serve import protocol
 
+#: Distinguishes "argument not given" from an explicit ``None`` in
+#: :meth:`ServeClient.select`, mirroring :func:`repro.api.select`.
+_UNSET = object()
+
 _CONNECT_ERRORS = (ConnectionError, socket.timeout, TimeoutError, OSError)
 
 
@@ -249,13 +253,18 @@ class ServeClient:
             params["max_steps"] = max_steps
         return self.call("profile", params)
 
-    def select(self, *, profile, algorithm: str = "selective",
-               pfus: int | None = None, params=None):
+    def select(self, *, profile, algorithm: str | None = None,
+               pfus: "int | None" = _UNSET,  # type: ignore[assignment]
+               params=None):
+        """Mirror of :func:`repro.api.select`: arguments left unset are
+        omitted from the request, so the server applies the same
+        defaults and override semantics as the in-process facade."""
         payload: dict[str, Any] = {
             "profile": protocol.encode_value(profile),
-            "algorithm": algorithm,
         }
-        if pfus is not None:
+        if algorithm is not None:
+            payload["algorithm"] = algorithm
+        if pfus is not _UNSET:
             payload["pfus"] = pfus
         if params is not None:
             payload["params"] = protocol.encode_value(params)

@@ -21,6 +21,7 @@ import threading
 from typing import Any
 
 from repro import api
+from repro.extinst.registry import GREEDY
 from repro.engine.store import stats_to_json
 from repro.serve import protocol
 from repro.serve.client import ServeClient
@@ -147,7 +148,7 @@ def run_smoke(
                 "source": _SMOKE_SOURCES[name], "name": name,
             })
             profile = client.profile(program=compiled)
-            client.select(profile=profile, algorithm="greedy")
+            client.select(profile=profile, algorithm=GREEDY)
         elif kind == 4:     # health probe mixed into the load
             client.health()
         elif kind == 3:     # client-side sweep (one request, n configs)

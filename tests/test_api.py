@@ -111,10 +111,35 @@ class TestToolflow:
 
     def test_select_params_conflicts_with_kwargs(self, profile):
         params = SelectionParams()
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="greedy"):
             api.select(profile=profile, params=params, algorithm="greedy")
-        with pytest.raises(ConfigurationError):
-            api.select(profile=profile, params=params, pfus=2)
+        bounded = SelectionParams(select_pfus=4)
+        with pytest.raises(ConfigurationError, match=r"pfus=2.*select_pfus=4"):
+            api.select(profile=profile, params=bounded, pfus=2)
+
+    def test_select_redundant_kwargs_accepted(self, profile):
+        params = SelectionParams(select_pfus=2)
+        consistent = api.select(profile=profile, params=params,
+                                algorithm="selective", pfus=2)
+        assert consistent.algorithm == "selective"
+
+    def test_select_pfus_fills_unlimited_budget(self, profile):
+        filled = api.select(profile=profile, params=SelectionParams(), pfus=2)
+        direct = api.select(profile=profile, algorithm="selective", pfus=2)
+        assert filled.n_configs == direct.n_configs
+        assert filled.sites == direct.sites
+
+    def test_select_params_may_name_any_registered_algorithm(self, profile):
+        for algorithm in ("greedy", "selective", "isegen"):
+            selection = api.select(
+                profile=profile,
+                params=SelectionParams(algorithm=algorithm, select_pfus=2),
+            )
+            assert selection.algorithm == algorithm
+
+    def test_select_isegen_by_name(self, profile):
+        selection = api.select(profile=profile, algorithm="isegen", pfus=2)
+        assert selection.algorithm == "isegen"
 
     def test_rewrite_and_simulate_speedup(self, program, profile):
         selection = api.select(profile=profile, algorithm="selective", pfus=2)

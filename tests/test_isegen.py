@@ -1,0 +1,156 @@
+"""The ISEGEN iterative-improvement selector (:mod:`repro.extinst.isegen`).
+
+The acceptance property: under the hard regime the paper's selective
+algorithm was designed for (2 PFUs, reconfiguration latencies from 10 to
+500 cycles), isegen must tie or beat both greedy and selective on
+estimated cycles saved — and on at least one program it must strictly
+improve on the selective seed.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.extinst import (
+    SelectionParams,
+    apply_selection,
+    estimate_cycles_saved,
+    isegen_select,
+    run_selection,
+    selective_select,
+    validate_equivalence,
+)
+from repro.extinst.registry import GREEDY, ISEGEN, SELECTIVE
+from repro.profiling import profile_program
+from repro.workloads import build_workload
+
+HARD_LATENCIES = (10, 100, 500)
+
+
+@pytest.fixture(scope="module")
+def gsm_profile():
+    return profile_program(build_workload("gsm_encode", 1).program)
+
+
+# Two hot chains sharing one loop plus a warm loop: selective's per-loop
+# budgeting keeps 2 configurations, but a third chain still pays for
+# itself at a 10-cycle reconfiguration latency, so isegen must find it.
+IMPROVABLE = """
+.text
+main:
+    li $a0, 11
+    li $a1, 23
+    li $t9, 8000
+hot:
+    addu $t0, $a0, $a1
+    xor  $t1, $t0, $a0
+    subu $t2, $t1, $a1
+    xor  $t3, $a1, $a0
+    addu $t4, $t3, $a1
+    xor  $t5, $t4, $a0
+    addiu $t9, $t9, -1
+    bgtz $t9, hot
+    li $t8, 40
+warm:
+    subu $t0, $a0, $a1
+    addu $t1, $t0, $a0
+    xor  $t2, $t1, $a1
+    addiu $t8, $t8, -1
+    bgtz $t8, warm
+    halt
+"""
+
+
+class TestIsegenOnWorkloads:
+    @pytest.mark.parametrize("latency", HARD_LATENCIES)
+    def test_ties_or_beats_greedy_and_selective(self, gsm_profile, latency):
+        n_pfus = 2
+        scores = {}
+        for algorithm in (GREEDY, SELECTIVE, ISEGEN):
+            selection = run_selection(gsm_profile, SelectionParams(
+                algorithm=algorithm, select_pfus=n_pfus,
+                reconfig_latency=latency,
+            ))
+            scores[algorithm] = estimate_cycles_saved(
+                gsm_profile, selection, n_pfus, latency
+            ).saved
+        assert scores[ISEGEN] >= scores[SELECTIVE]
+        assert scores[ISEGEN] >= scores[GREEDY]
+
+    def test_deterministic(self, gsm_profile):
+        a = isegen_select(gsm_profile, 2)
+        b = isegen_select(gsm_profile, 2)
+        assert a.sites == b.sites
+        assert a.ext_defs == b.ext_defs
+        assert a.meta == b.meta
+
+    def test_respects_per_loop_budget(self, gsm_profile):
+        n_pfus = 2
+        selection = isegen_select(gsm_profile, n_pfus)
+        per_loop: dict = {}
+        for site in selection.sites:
+            loop = gsm_profile.outermost_loop_of(site.root)
+            header = loop.header if loop is not None else None
+            per_loop.setdefault(header, set()).add(site.conf)
+        for header, confs in per_loop.items():
+            assert len(confs) <= n_pfus, (header, confs)
+
+    def test_meta_records_the_run(self, gsm_profile):
+        selection = isegen_select(gsm_profile, 2)
+        assert selection.algorithm == ISEGEN
+        for field in ("n_pfus", "reconfig_latency", "passes",
+                      "moves_committed", "seed_objective",
+                      "final_objective", "estimated_cycles_saved"):
+            assert field in selection.meta, field
+        assert (selection.meta["final_objective"]
+                >= selection.meta["seed_objective"])
+
+
+class TestIsegenStrictImprovement:
+    def test_beats_selective_seed(self):
+        program = assemble(IMPROVABLE)
+        profile = profile_program(program)
+        n_pfus, latency = 2, 10
+        params = SelectionParams(algorithm=ISEGEN, select_pfus=n_pfus,
+                                 reconfig_latency=latency)
+        seed = selective_select(profile, n_pfus)
+        improved = isegen_select(profile, n_pfus, params)
+        seed_saved = estimate_cycles_saved(
+            profile, seed, n_pfus, latency
+        ).saved
+        improved_saved = estimate_cycles_saved(
+            profile, improved, n_pfus, latency
+        ).saved
+        assert improved_saved > seed_saved
+        assert improved.n_configs > seed.n_configs
+
+    def test_improved_selection_rewrites_and_validates(self):
+        program = assemble(IMPROVABLE)
+        profile = profile_program(program)
+        selection = isegen_select(profile, 2)
+        rewritten, defs = apply_selection(program, selection)
+        validate_equivalence(program, rewritten, defs)
+        assert len(rewritten.text) < len(program.text)
+
+
+class TestIsegenFallback:
+    def test_never_below_seed_even_at_extreme_latency(self, gsm_profile):
+        for latency in (10, 100000):
+            params = SelectionParams(algorithm=ISEGEN, select_pfus=2,
+                                     reconfig_latency=latency)
+            seed = selective_select(gsm_profile, 2)
+            improved = run_selection(gsm_profile, params)
+            assert estimate_cycles_saved(
+                gsm_profile, improved, 2, latency
+            ).saved >= estimate_cycles_saved(
+                gsm_profile, seed, 2, latency
+            ).saved
+
+    def test_latency_is_part_of_the_objective(self, gsm_profile):
+        lo = isegen_select(gsm_profile, 2, SelectionParams(
+            algorithm=ISEGEN, select_pfus=2, reconfig_latency=10))
+        hi = isegen_select(gsm_profile, 2, SelectionParams(
+            algorithm=ISEGEN, select_pfus=2, reconfig_latency=100000))
+        assert lo.meta["reconfig_latency"] == 10
+        assert hi.meta["reconfig_latency"] == 100000
+        # a higher configured latency can only shrink the chosen set
+        assert hi.n_configs <= lo.n_configs

@@ -1,0 +1,249 @@
+"""The selection-algorithm registry (:mod:`repro.extinst.registry`).
+
+Covers the registration surface (duplicates, unknown names, listing),
+the cache-key contract — pre-existing greedy/selective artefact digests
+must stay byte-identical to their values from before the registry
+existed — and the repo-wide rule that no module outside
+``repro.extinst`` spells an algorithm name as a string literal.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.engine import make_key
+from repro.errors import ConfigurationError
+from repro.extinst import (
+    ExtractionParams,
+    SelectionParams,
+    SelectorSpec,
+    Tunable,
+    get_selector,
+    register_selector,
+    registered_algorithms,
+    selector_specs,
+)
+from repro.extinst.registry import (
+    BASELINE,
+    GREEDY,
+    ISEGEN,
+    SELECTIVE,
+    normalize_select_pfus,
+    selection_cache_extras,
+    unregister_selector,
+)
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert registered_algorithms() == (GREEDY, SELECTIVE, ISEGEN)
+        for name in registered_algorithms():
+            spec = get_selector(name)
+            assert isinstance(spec, SelectorSpec)
+            assert spec.name == name
+            assert spec.description
+
+    def test_baseline_is_not_an_algorithm(self):
+        assert BASELINE not in registered_algorithms()
+        with pytest.raises(ConfigurationError):
+            get_selector(BASELINE)
+
+    def test_unknown_algorithm_names_valid_choices(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_selector("simulated-annealing")
+        message = str(exc.value)
+        assert "simulated-annealing" in message
+        for name in registered_algorithms():
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_selector(SelectorSpec(
+                name=GREEDY,
+                run=lambda profile, params: None,
+                description="an impostor",
+            ))
+
+    def test_register_and_unregister_plugin(self):
+        spec = SelectorSpec(
+            name="always-empty",
+            run=lambda profile, params: None,
+            description="selects nothing",
+        )
+        register_selector(spec)
+        try:
+            assert "always-empty" in registered_algorithms()
+            assert get_selector("always-empty") is spec
+            # plugins are valid SelectionParams algorithms immediately
+            params = SelectionParams(algorithm="always-empty")
+            assert params.normalized().algorithm == "always-empty"
+        finally:
+            unregister_selector("always-empty")
+        assert "always-empty" not in registered_algorithms()
+
+    def test_selector_specs_lists_tunables(self):
+        by_name = {spec.name: spec for spec in selector_specs()}
+        assert not by_name[GREEDY].uses_select_pfus
+        assert by_name[SELECTIVE].uses_select_pfus
+        assert by_name[ISEGEN].latency_aware
+        isegen_tunables = {t.name for t in by_name[ISEGEN].tunables}
+        assert {"gain_threshold", "reconfig_latency", "max_passes",
+                "stall_passes", "extraction"} <= isegen_tunables
+        for spec in selector_specs():
+            for tunable in spec.tunables:
+                assert isinstance(tunable, Tunable)
+                assert tunable.doc
+
+    def test_normalize_select_pfus(self):
+        assert normalize_select_pfus(GREEDY, 4) is None
+        assert normalize_select_pfus(SELECTIVE, 4) == 4
+        assert normalize_select_pfus(ISEGEN, 2) == 2
+        with pytest.raises(ConfigurationError):
+            normalize_select_pfus("nonsense", 2)
+
+
+class TestCacheExtras:
+    def test_defaults_produce_no_extras(self):
+        for algorithm in registered_algorithms():
+            params = SelectionParams(algorithm=algorithm, select_pfus=2)
+            assert selection_cache_extras(params) == {}
+
+    def test_non_default_tunables_key_the_cache(self):
+        tuned = SelectionParams(algorithm=SELECTIVE, select_pfus=2,
+                                gain_threshold=0.01)
+        assert selection_cache_extras(tuned) == {"gain_threshold": 0.01}
+        latency = SelectionParams(algorithm=ISEGEN, select_pfus=2,
+                                  reconfig_latency=500)
+        assert selection_cache_extras(latency) == {"reconfig_latency": 500}
+
+    def test_undeclared_tunables_never_leak_into_keys(self):
+        # greedy does not declare gain_threshold, so a (meaningless)
+        # non-default value must not fork its cache key
+        params = SelectionParams(algorithm=GREEDY, gain_threshold=0.5)
+        assert selection_cache_extras(params) == {}
+
+    def test_non_scalar_tunables_key_by_repr(self):
+        extraction = ExtractionParams(max_nodes=4)
+        params = SelectionParams(algorithm=SELECTIVE, select_pfus=2,
+                                 extraction=extraction)
+        assert selection_cache_extras(params) == {
+            "extraction": repr(extraction)
+        }
+
+
+class TestNormalized:
+    def test_greedy_drops_undeclared_fields(self):
+        params = SelectionParams(algorithm=GREEDY, select_pfus=4,
+                                 gain_threshold=0.5, reconfig_latency=99)
+        norm = params.normalized()
+        assert norm.select_pfus is None
+        assert norm == SelectionParams(algorithm=GREEDY)
+
+    def test_isegen_keeps_declared_fields(self):
+        params = SelectionParams(algorithm=ISEGEN, select_pfus=2,
+                                 reconfig_latency=500, max_passes=3)
+        norm = params.normalized()
+        assert norm.reconfig_latency == 500
+        assert norm.max_passes == 3
+        assert norm is params  # already canonical
+
+    def test_unknown_algorithm_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            SelectionParams(algorithm="nonsense")
+
+
+class TestCacheKeyStability:
+    """Digests of pre-registry artefact keys, captured verbatim from the
+    repository state before this refactor.  If any of these change, warm
+    stores would recompute every artefact — a silent, expensive bug."""
+
+    FINGERPRINT = "f" * 16
+    MACHINE = "m" * 16
+
+    def key(self, kind, **params):
+        return make_key(kind=kind, workload="epic", scale=1,
+                        fingerprint=self.FINGERPRINT, **params)
+
+    def test_selection_keys_byte_identical(self):
+        expected = {
+            (GREEDY, None): "b93eab545ee9aebd1c307b256e7a9f2a7c"
+                            "383e3848077ed40cdc7109b3c1421a",
+            (SELECTIVE, 2): "3d4901c3a1303a55a1fc4441d76e69f0f9"
+                            "472e06f0085db2d5002a2c5026833d",
+            (SELECTIVE, None): "e9767534919a6845e4dd9014bbd4339f"
+                               "57c22fad3a0008e76b4e95a0783050fa",
+        }
+        for (algorithm, pfus), digest in expected.items():
+            params = SelectionParams(algorithm=algorithm, select_pfus=pfus)
+            key = self.key("selection", algorithm=algorithm,
+                           select_pfus=normalize_select_pfus(algorithm, pfus),
+                           **selection_cache_extras(params))
+            assert key.digest == digest, (algorithm, pfus)
+
+    def test_tuned_selection_key_byte_identical(self):
+        params = SelectionParams(algorithm=SELECTIVE, select_pfus=2,
+                                 gain_threshold=0.01)
+        key = self.key("selection", algorithm=SELECTIVE, select_pfus=2,
+                       **selection_cache_extras(params))
+        assert key.digest == ("42cc9fd7e9e6f3ef2d15b53227b7444a"
+                              "1ff39aefb7a69bba38eaca4bbb178b43")
+
+    def test_downstream_keys_byte_identical(self):
+        rewrite = self.key("rewrite", algorithm=SELECTIVE, select_pfus=2,
+                           validate=True)
+        assert rewrite.digest == ("35198af92621c22b0bd0b0d2850820"
+                                  "774cc467fd723458d3a81971a36839f4c7")
+        trace = self.key("trace", algorithm=SELECTIVE, select_pfus=2,
+                         validate=True)
+        assert trace.digest == ("a68e8bfc4eac1c67642ec02fed7aa99f"
+                                "05f51114c46edfa9722791169f94e96e")
+        timing = self.key("timing", algorithm=SELECTIVE, select_pfus=2,
+                          validate=True, machine=self.MACHINE)
+        assert timing.digest == ("75b03192e2af1b2137ae9b333fbd5640"
+                                 "f58313cbe569f861a4476c04a91bda91")
+
+
+class TestNoLiteralAlgorithmNames:
+    """No module outside ``repro.extinst`` may spell an algorithm name
+    as a string literal — everything must go through the registry."""
+
+    ALGORITHM_NAMES = frozenset(registered_algorithms())
+
+    @staticmethod
+    def _docstring_nodes(tree):
+        nodes = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                body = node.body
+                if body and isinstance(body[0], ast.Expr) and isinstance(
+                    body[0].value, ast.Constant
+                ) and isinstance(body[0].value.value, str):
+                    nodes.add(id(body[0].value))
+        return nodes
+
+    def test_no_literals_outside_extinst(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if "extinst" in path.parts:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            docstrings = self._docstring_nodes(tree)
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in self.ALGORITHM_NAMES
+                    and id(node) not in docstrings
+                ):
+                    offenders.append(
+                        f"{path.relative_to(SRC_ROOT)}:{node.lineno}: "
+                        f"{node.value!r}"
+                    )
+        assert not offenders, (
+            "algorithm-name string literals outside repro.extinst "
+            "(use the registry constants):\n" + "\n".join(offenders)
+        )
