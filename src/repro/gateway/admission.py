@@ -1,0 +1,181 @@
+"""Priority admission classes for the gateway.
+
+Two classes share the fleet: ``interactive`` (a human or a latency-
+sensitive caller — served first) and ``sweep`` (bulk design-space
+exploration traffic — served when no interactive work is queued, so a
+running sweep can never starve an interactive client).  Each class has
+its own bounded queue; a full class rejects *that class only*, with the
+same explicit ``overloaded`` error code (and ``retry_after_ms`` hint)
+the backend broker uses, so one misbehaving sweep cannot consume the
+interactive admission budget.
+
+Deadlines follow the broker's contract: an entry whose deadline passes
+while it waits — typically a sweep entry parked behind a stream of
+interactive work — is failed with ``deadline_exceeded`` at dequeue
+time and never dispatched.
+
+The queue is single-event-loop asyncio: :meth:`AdmissionQueue.submit`
+is called from connection coroutines, :meth:`AdmissionQueue.get` from
+dispatcher coroutines; no locks are needed beyond the loop itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.serve import protocol
+
+__all__ = [
+    "INTERACTIVE", "SWEEP", "ADMISSION_CLASSES", "Admitted",
+    "AdmissionQueue",
+]
+
+INTERACTIVE = "interactive"
+SWEEP = "sweep"
+
+#: Priority order: earlier classes dequeue first.
+ADMISSION_CLASSES = (INTERACTIVE, SWEEP)
+
+#: Per-class queue bounds when the config does not override them.
+DEFAULT_LIMITS = {INTERACTIVE: 256, SWEEP: 1024}
+
+
+@dataclass
+class Admitted:
+    """One admitted request waiting for a dispatcher."""
+
+    request_id: Any
+    op: str
+    #: Raw still-encoded wire params — the gateway, like the server
+    #: process, never decodes payload blobs.
+    params: dict
+    klass: str
+    #: Absolute monotonic deadline (from the request's ``timeout_ms``).
+    deadline: float
+    respond: Callable[[dict], None]
+    #: Stable routing key (see :func:`repro.gateway.server.routing_key`).
+    route_key: str = ""
+    #: Backends already tried (failover bookkeeping).
+    tried: set[str] = field(default_factory=set)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: float | None = None) -> bool:
+        return (now if now is not None else time.monotonic()) > self.deadline
+
+    def remaining_ms(self, now: float | None = None) -> int:
+        now = now if now is not None else time.monotonic()
+        return max(1, int((self.deadline - now) * 1000))
+
+    def fail(self, code: str, message: str, **details: Any) -> None:
+        self.respond(protocol.error_response(
+            self.request_id, code, message, **details
+        ))
+
+
+class AdmissionQueue:
+    """Bounded per-class FIFOs with strict-priority dequeue."""
+
+    def __init__(self, limits: Mapping[str, int] | None = None,
+                 recorder=None):
+        self.limits = dict(DEFAULT_LIMITS)
+        if limits:
+            self.limits.update(limits)
+        self._queues: dict[str, list[Admitted]] = {
+            klass: [] for klass in ADMISSION_CLASSES
+        }
+        self._event = asyncio.Event()
+        self._closed = False
+        self._recorder = recorder
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, klass: str) -> int:
+        return len(self._queues[klass])
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _gauge(self, klass: str) -> None:
+        if self._recorder is not None:
+            self._recorder.gauge("gateway.queue.depth", klass=klass).set(
+                len(self._queues[klass])
+            )
+
+    # ------------------------------------------------------------------
+
+    def submit(self, entry: Admitted) -> str | None:
+        """Admit ``entry``; ``None`` on success or the rejection code
+        (``overloaded`` / ``shutting_down``), mirroring the backend
+        broker's verdicts."""
+        if self._closed:
+            return protocol.SHUTTING_DOWN
+        queue = self._queues[entry.klass]
+        if len(queue) >= self.limits[entry.klass]:
+            if self._recorder is not None:
+                self._recorder.counter(
+                    "gateway.rejected", reason="overloaded",
+                    klass=entry.klass,
+                ).inc()
+            return protocol.OVERLOADED
+        queue.append(entry)
+        self._gauge(entry.klass)
+        self._event.set()
+        return None
+
+    def close(self) -> None:
+        """Stop admitting; wake every waiting dispatcher."""
+        self._closed = True
+        self._event.set()
+
+    def requeue(self, entry: Admitted) -> None:
+        """Put a failed-over entry back at the head of its class (it
+        already waited its turn once); bypasses the bound and the
+        closed check — in-flight work is completed during a drain."""
+        self._queues[entry.klass].insert(0, entry)
+        self._gauge(entry.klass)
+        self._event.set()
+
+    # ------------------------------------------------------------------
+
+    def _pop(self) -> Admitted | None:
+        """Highest-priority live entry; expired entries are failed and
+        skipped here (never dispatched)."""
+        now = time.monotonic()
+        for klass in ADMISSION_CLASSES:
+            queue = self._queues[klass]
+            while queue:
+                entry = queue.pop(0)
+                self._gauge(klass)
+                if entry.expired(now):
+                    if self._recorder is not None:
+                        self._recorder.counter(
+                            "gateway.rejected", reason="deadline",
+                            klass=klass,
+                        ).inc()
+                    entry.fail(
+                        protocol.DEADLINE_EXCEEDED,
+                        f"deadline expired after "
+                        f"{now - entry.enqueued_at:.3f}s in gateway queue",
+                    )
+                    continue
+                return entry
+        return None
+
+    async def get(self) -> Admitted | None:
+        """Next entry in priority order; ``None`` once closed and
+        drained (the dispatcher's exit signal)."""
+        while True:
+            entry = self._pop()
+            if entry is not None:
+                return entry
+            if self._closed:
+                return None
+            self._event.clear()
+            await self._event.wait()

@@ -273,6 +273,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--debug-ops", action="store_true",
                          help=argparse.SUPPRESS)
 
+    gateway_p = sub.add_parser(
+        "gateway",
+        help="front a fleet of 't1000 serve' backends behind one "
+        "address (see docs/gateway.md)",
+    )
+    gateway_sub = gateway_p.add_subparsers(dest="gateway_command",
+                                           required=True)
+    gw_run = gateway_sub.add_parser(
+        "run", help="spawn a local backend fleet and serve until SIGTERM"
+    )
+    gw_run.add_argument("--host", default="127.0.0.1")
+    gw_run.add_argument("--port", type=int, default=7080)
+    gw_run.add_argument("--backends", type=int, default=2,
+                        help="local backend subprocesses to spawn; also "
+                        "the autoscale floor (default 2)")
+    gw_run.add_argument("--max-backends", type=int, default=4,
+                        help="autoscale ceiling (default 4)")
+    gw_run.add_argument(
+        "--attach", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="front these already-running backends instead of spawning "
+        "a local fleet (comma-separated; disables autoscaling)",
+    )
+    gw_run.add_argument("--workers", type=int, default=2,
+                        help="worker subprocesses per spawned backend")
+    gw_run.add_argument(
+        "--cache-dir", default=os.environ.get("T1000_CACHE_DIR") or None,
+        help="persistent artifact store shared by the fleet "
+        "(default $T1000_CACHE_DIR)",
+    )
+    gw_run.add_argument(
+        "--sim-jobs", type=int,
+        default=int(os.environ.get("T1000_SIM_JOBS") or 1),
+        help="worker-side replay sharding per backend (default 1)",
+    )
+    gw_run.add_argument("--timeout-ms", type=int, default=30000,
+                        help="default per-request deadline (default 30000)")
+    gw_run.add_argument("--no-autoscale", action="store_true",
+                        help="keep the fleet fixed at --backends")
+    _add_obs_flags(gw_run)   # gateway.* series export on drain
+    for gw_cmd, help_text in (
+        ("status", "gateway health, per-backend counters, ring state"),
+        ("drain", "ask a running gateway to drain and exit"),
+    ):
+        gp = gateway_sub.add_parser(gw_cmd, help=help_text)
+        gp.add_argument(
+            "--connect", default=os.environ.get("T1000_GATEWAY")
+            or "127.0.0.1:7080",
+            metavar="HOST:PORT",
+            help="gateway address (default 127.0.0.1:7080 / "
+            "$T1000_GATEWAY)",
+        )
+        gp.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request client timeout in seconds")
+
     client_p = sub.add_parser(
         "client", help="talk to a running 't1000 serve' instance"
     )
@@ -593,6 +647,8 @@ def _dispatch(args) -> int:
         print(render_metrics_report(datasets, top=args.top))
     elif args.command == "serve":
         return _serve_command(args)
+    elif args.command == "gateway":
+        return _gateway_command(args)
     elif args.command == "client":
         return _client_command(args)
     elif args.command == "explore":
@@ -643,6 +699,65 @@ def _serve_command(args) -> int:
     )
     serve_forever(config)
     return 0
+
+
+def _gateway_command(args) -> int:
+    """``t1000 gateway run|status|drain``."""
+    if args.gateway_command == "run":
+        return _gateway_run(args)
+
+    import json
+
+    from repro.serve import protocol
+    from repro.serve.client import ServeClient
+
+    try:
+        with ServeClient(args.connect, timeout=args.timeout) as client:
+            if args.gateway_command == "status":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True,
+                                 default=str))
+            else:   # drain
+                print(json.dumps(client.call("drain"), indent=2,
+                                 sort_keys=True))
+    except protocol.ServeError as exc:
+        print(f"t1000 gateway: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _gateway_run(args) -> int:
+    """Spawn the backend fleet (unless ``--attach``), then serve."""
+    from repro.gateway import FleetController, Gateway, GatewayConfig
+    from repro.gateway.server import gateway_forever
+
+    attached = tuple(
+        address for address in (args.attach or "").split(",") if address
+    )
+    fleet = None
+    spawned: tuple[str, ...] = ()
+    if not attached:
+        cache_dir = (os.path.expanduser(args.cache_dir)
+                     if args.cache_dir else None)
+        fleet = FleetController(
+            workers=args.workers, cache_dir=cache_dir,
+            sim_jobs=args.sim_jobs, host=args.host,
+        )
+        spawned = tuple(fleet.spawn() for _ in range(args.backends))
+    config = GatewayConfig(
+        host=args.host, port=args.port,
+        backends=spawned + attached,
+        default_timeout_ms=args.timeout_ms,
+        min_backends=args.backends,
+        max_backends=max(args.backends, args.max_backends),
+    )
+    gateway = Gateway(config)
+    gateway.fleet = fleet
+    gateway.autoscale = fleet is not None and not args.no_autoscale
+    try:
+        return gateway_forever(gateway)
+    finally:
+        if fleet is not None:
+            fleet.drain_all()
 
 
 def _client_command(args) -> int:
@@ -742,7 +857,9 @@ def _explore_command(args) -> int:
         if args.connect:
             from repro.serve.client import ServeClient
 
-            client = ServeClient(args.connect)
+            # Sweep traffic through a gateway yields to interactive
+            # callers; plain backends ignore the class tag.
+            client = ServeClient(args.connect, admission_class="sweep")
         try:
             outcome = run_sweep(
                 spec, engine,

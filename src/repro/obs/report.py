@@ -225,6 +225,78 @@ def render_metrics_report(datasets: list[dict], top: int = 6) -> str:
                 f"  {sweep}: {_fmt_count(total)} point(s) — {parts}{saved}"
             )
 
+    # ------------------------------------------------------- gateway
+    gw_requests: dict[str, float] = defaultdict(float)
+    gw_outcomes: dict[str, float] = defaultdict(float)
+    gw_classes: dict[str, dict[str, float]] = defaultdict(
+        lambda: {"count": 0, "sum": 0}
+    )
+    gw_failovers: dict[str, float] = defaultdict(float)
+    gw_imbalance = None
+    gw_rejected: dict[str, float] = defaultdict(float)
+    for row in rows:
+        name = row["name"]
+        if not name.startswith("gateway."):
+            continue
+        labels = row.get("labels", {})
+        if name == "gateway.requests" and row["kind"] == "counter":
+            gw_requests[str(labels.get("backend", "(none)"))] += row["value"]
+            gw_outcomes[str(labels.get("outcome", "?"))] += row["value"]
+        elif name == "gateway.failover" and row["kind"] == "counter":
+            gw_failovers[str(labels.get("backend", "?"))] += row["value"]
+        elif name == "gateway.rejected" and row["kind"] == "counter":
+            key = (f"{labels.get('klass', '?')}"
+                   f"[{labels.get('reason', '?')}]")
+            gw_rejected[key] += row["value"]
+        elif name == "gateway.ring.imbalance" and row["kind"] == "gauge":
+            gw_imbalance = row["value"]
+        elif name == "gateway.latency.ms" and row["kind"] == "histogram":
+            klass = str(labels.get("klass", "?"))
+            gw_classes[klass]["count"] += row.get("count", 0)
+            gw_classes[klass]["sum"] += row.get("sum", 0)
+    if gw_requests or gw_classes:
+        lines.append("")
+        lines.append("gateway (fleet routing)")
+        total = sum(gw_requests.values())
+        parts = ", ".join(
+            f"{outcome}={_fmt_count(n)}"
+            for outcome, n in sorted(gw_outcomes.items())
+        )
+        lines.append(
+            f"  requests routed: {_fmt_count(total)}"
+            + (f" — {parts}" if parts else "")
+        )
+        for backend, n in sorted(gw_requests.items(), key=lambda kv: -kv[1]):
+            share = n / total if total else 0.0
+            lines.append(
+                f"    {backend:<24} {_fmt_count(n):>10}  ({share:.1%})"
+            )
+        if gw_imbalance is not None:
+            lines.append(
+                f"  ring imbalance: {gw_imbalance:.2f}x "
+                f"(busiest backend vs even split; 1.00 = perfectly even)"
+            )
+        for klass in sorted(gw_classes):
+            data = gw_classes[klass]
+            if data["count"]:
+                lines.append(
+                    f"  {klass} latency: "
+                    f"{data['sum'] / data['count']:.1f} ms mean "
+                    f"over {_fmt_count(data['count'])} request(s)"
+                )
+        if gw_failovers:
+            parts = ", ".join(
+                f"{backend}={_fmt_count(n)}"
+                for backend, n in sorted(gw_failovers.items())
+            )
+            lines.append(f"  failovers (replayed in-flight): {parts}")
+        if gw_rejected:
+            parts = ", ".join(
+                f"{klass}={_fmt_count(n)}"
+                for klass, n in sorted(gw_rejected.items())
+            )
+            lines.append(f"  admission rejections: {parts}")
+
     # ------------------------------------------------------- engine
     engine = [
         row for row in rows

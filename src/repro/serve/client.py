@@ -19,8 +19,11 @@ Semantics:
 
 - **connect/retry** — the client lazily connects and transparently
   reconnects; connection-level failures are retried ``retries`` times
-  with linear backoff.  Toolflow ops are pure functions of their
-  payload, so re-sending after an ambiguous failure is safe.
+  with decorrelated-jitter backoff (each delay drawn uniformly from
+  ``[base, 3 * previous]``, capped), so a fleet of clients does not
+  reconnect in lockstep when a backend restarts.  Toolflow ops are
+  pure functions of their payload, so re-sending after an ambiguous
+  failure is safe.
 - **timeouts** — ``timeout`` bounds the socket wait client-side and is
   shipped as the request's server-side deadline (``timeout_ms``), so a
   request that would miss its deadline is dropped by the broker rather
@@ -40,6 +43,7 @@ Semantics:
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
 from typing import Any, Mapping, Sequence
@@ -51,6 +55,20 @@ from repro.serve import protocol
 _UNSET = object()
 
 _CONNECT_ERRORS = (ConnectionError, socket.timeout, TimeoutError, OSError)
+
+#: Ceiling for one reconnect delay, seconds.
+_BACKOFF_CAP = 5.0
+
+
+def _jittered_backoff(base: float, prev: float,
+                      cap: float = _BACKOFF_CAP) -> float:
+    """Next decorrelated-jitter reconnect delay.
+
+    Draws uniformly from ``[base, 3 * prev]`` and caps the result: the
+    window widens with each failure (exponential-ish growth) while the
+    randomness decorrelates clients, so a backend restart is not met by
+    every waiting client reconnecting on the same tick."""
+    return min(cap, random.uniform(base, max(base, prev * 3.0)))
 
 
 class PendingCall:
@@ -93,11 +111,17 @@ class ServeClient:
         timeout: float = 30.0,
         retries: int = 2,
         retry_backoff: float = 0.05,
+        admission_class: str | None = None,
     ):
         self.address = _parse_address(address)
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        #: Tag every request with a gateway admission class
+        #: (``"interactive"`` or ``"sweep"``).  Plain backends ignore
+        #: the field; a :mod:`repro.gateway` uses it to prioritise
+        #: interactive traffic over bulk sweeps.
+        self.admission_class = admission_class
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count(1)
@@ -153,8 +177,11 @@ class ServeClient:
             timeout_ms if timeout_ms is not None
             else int(self.timeout * 1000)
         )
+        if self.admission_class is not None:
+            request["class"] = self.admission_class
         line = protocol.dump_line(request)
         last_exc: Exception | None = None
+        delay = self.retry_backoff
         for attempt in range(self.retries + 1):
             try:
                 self.connect()
@@ -165,7 +192,8 @@ class ServeClient:
                 last_exc = exc
                 self.close()
                 if attempt < self.retries:
-                    time.sleep(self.retry_backoff * (attempt + 1))
+                    delay = _jittered_backoff(self.retry_backoff, delay)
+                    time.sleep(delay)
         else:
             raise protocol.ServerClosedError(
                 f"cannot reach server at {self.address[0]}:"
@@ -189,6 +217,8 @@ class ServeClient:
             timeout_ms if timeout_ms is not None
             else int(self.timeout * 1000)
         )
+        if self.admission_class is not None:
+            request["class"] = self.admission_class
         self.connect()
         self._sock.sendall(protocol.dump_line(request))
         return PendingCall(self, request_id, op)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 from typing import Any
 
 from repro import api
@@ -207,3 +208,96 @@ def run_smoke(
         thread.join()
     report.dropped += report.issued - report.answered - report.dropped
     return report
+
+
+# ----------------------------------------------------------------------
+# throughput (multi-node curves)
+
+
+@dataclasses.dataclass
+class ThroughputPoint:
+    """One measured (clients, requests) -> requests/second point."""
+
+    clients: int
+    requests: int
+    seconds: float
+    ok: int
+    errors: int
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.seconds if self.seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.clients} client(s): {self.requests} request(s) in "
+            f"{self.seconds:.2f}s = {self.rps:.1f} req/s "
+            f"({self.ok} ok, {self.errors} error(s))"
+        )
+
+
+def run_throughput(
+    address: "str | tuple[str, int]",
+    clients: int = 4,
+    requests: int = 64,
+    distinct_programs: int = 8,
+    timeout: float = 60.0,
+    admission_class: str | None = None,
+) -> ThroughputPoint:
+    """Measure simulate throughput against one endpoint.
+
+    Each client thread pipelines its share of the requests on one
+    connection (the sweep driver's pattern).  Requests cycle over
+    ``distinct_programs`` distinct payloads, so against a gateway the
+    consistent-hash ring spreads them across the fleet — running this
+    with 1 and N backends gives the multi-node scaling curve.
+    """
+    source = _SMOKE_SOURCES["smoke_mac"]
+    programs = [
+        api.compile(source=source, name=f"throughput_{i}")
+        for i in range(distinct_programs)
+    ]
+    counts = {"ok": 0, "errors": 0}
+    lock = threading.Lock()
+    shares = [
+        range(worker, requests, clients) for worker in range(clients)
+    ]
+
+    def drive(share) -> None:
+        ok = errors = 0
+        try:
+            with ServeClient(address, timeout=timeout,
+                             admission_class=admission_class) as client:
+                pending = [
+                    client.simulate_submit(
+                        program=programs[ticket % len(programs)]
+                    )
+                    for ticket in share
+                ]
+                for call in pending:
+                    try:
+                        call.result()
+                        ok += 1
+                    except protocol.ServeError:
+                        errors += 1
+        except protocol.ServeError:
+            errors += len(share) - ok - errors
+        with lock:
+            counts["ok"] += ok
+            counts["errors"] += errors
+
+    threads = [
+        threading.Thread(target=drive, args=(share,),
+                         name=f"throughput-{i}", daemon=True)
+        for i, share in enumerate(shares)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return ThroughputPoint(
+        clients=clients, requests=requests, seconds=elapsed,
+        ok=counts["ok"], errors=counts["errors"],
+    )

@@ -84,7 +84,7 @@ from repro.sim.ooo.pipeline import (
     _fast_loop,
 )
 from repro.sim.ooo.stats import SimStats
-from repro.sim.trace import DynTrace
+from repro.sim.trace import ColumnView, DynTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.extinst.extdef import ExtInstDef
@@ -274,26 +274,32 @@ def _prepare(sim: OoOSimulator, trace: DynTrace, plan: ShardPlan,
              obs_live: bool):
     """Boundary pass: slice payloads (picklable) plus the parent-side
     data the stitch step needs."""
-    indices, addrs = trace.indices, trace.addrs
     fextra, taken, mlat, cache_snapshot = sim._dense_pass(trace)
     fcyc = _fcyc_array(sim, trace, fextra, taken)
     seeds = _bank_seeds(sim, trace, plan)
     counts = _class_counts(sim, trace)
     payloads = []
     ext_defs = sim.ext_defs or None
+    # Zero-copy slicing: every slice's four columns are ColumnView
+    # windows over the shared buffers — a million-instruction trace is
+    # no longer copied once per slice.  Views materialise as plain
+    # arrays only when pickled to a pool worker.
+    fcyc_view = ColumnView(fcyc)
+    mlat_view = ColumnView(mlat)
     for p in range(plan.n_slices):
         b0, b1 = plan.boundaries[p], plan.boundaries[p + 1]
         w0 = plan.warm_start(p)
+        idx_view, addr_view = trace.column_views(w0, b1)
         payloads.append({
             "program": sim.program,
             "config": sim.config,
             "ext_defs": ext_defs,
             "obs": obs_live,
             "k_stats": b0 - w0,
-            "indices": indices[w0:b1],
-            "addrs": addrs[w0:b1],
-            "fcyc": fcyc[w0:b1],
-            "mlat": mlat[w0:b1],
+            "indices": idx_view,
+            "addrs": addr_view,
+            "fcyc": fcyc_view[w0:b1],
+            "mlat": mlat_view[w0:b1],
             "bank_seed": seeds[p] if seeds else None,
         })
     aux = {
@@ -583,13 +589,21 @@ def _attempt_slice(sim: OoOSimulator, loop, per_k, indices, addrs, fcyc,
     }
 
 
+def _column_data(column):
+    """The raw sliceable buffer behind a payload column: the
+    ``memoryview`` inside a :class:`ColumnView` (inline replay — index
+    access and re-slicing at C speed, still zero-copy) or the plain
+    array a pool worker unpickled."""
+    return column.raw if isinstance(column, ColumnView) else column
+
+
 def _replay_slice(payload: dict) -> dict:
     """Module-level slice runner (picklable for the process pool)."""
     sim = OoOSimulator(
         payload["program"], payload["config"],
         ext_defs=payload["ext_defs"],
     )
-    indices = payload["indices"]
+    indices = _column_data(payload["indices"])
     per_k = list(map(sim._static_tab.__getitem__, indices))
     present = sim._present
     has_mul = _C_MUL in present
@@ -606,8 +620,10 @@ def _replay_slice(payload: dict) -> dict:
         horizon = max(horizon, exact_seed["horizon"])
     while horizon <= _MAX_HORIZON:
         out = _attempt_slice(
-            sim, loop, per_k, indices, payload["addrs"], payload["fcyc"],
-            payload["mlat"], payload["k_stats"], payload["bank_seed"],
+            sim, loop, per_k, indices,
+            _column_data(payload["addrs"]), _column_data(payload["fcyc"]),
+            _column_data(payload["mlat"]),
+            payload["k_stats"], payload["bank_seed"],
             horizon, obs_live, has_mul, has_div, has_mem, has_ext, multi,
             exact_seed=exact_seed,
         )

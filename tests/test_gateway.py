@@ -1,0 +1,371 @@
+"""End-to-end gateway tests (:mod:`repro.gateway`).
+
+A real :class:`Gateway` in front of real in-process
+:class:`ToolflowServer` backends, driven by the ordinary
+:class:`ServeClient`: responses must be byte-identical to direct
+backend (and local :mod:`repro.api`) execution, routing must be
+cache-affine and deterministic per the hash ring, backend loss must be
+absorbed by failover, and overload/deadline answers must stay explicit
+through the extra hop.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.engine.store import stats_to_json
+from repro.gateway import Gateway, GatewayConfig
+from repro.gateway.server import routing_key
+from repro.serve import ServeConfig, ToolflowServer, protocol
+from repro.serve.client import ServeClient
+
+SOURCE = """
+.text
+main:
+    li $s0, 90
+    li $t1, 5
+loop:
+    sll  $t2, $t1, 3
+    addu $t2, $t2, $t1
+    andi $t2, $t2, 511
+    xor  $t3, $t2, $t1
+    andi $t1, $t3, 127
+    addiu $t1, $t1, 1
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    halt
+"""
+
+
+def canonical(stats) -> str:
+    return json.dumps(stats_to_json(stats), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def backends():
+    with ToolflowServer(ServeConfig(workers=1, debug_ops=True,
+                                    linger=0.0)) as b1:
+        with ToolflowServer(ServeConfig(workers=1, debug_ops=True,
+                                        linger=0.0)) as b2:
+            yield (b1, b2)
+
+
+@pytest.fixture(scope="module")
+def gateway(backends):
+    names = tuple(f"{host}:{port}" for host, port in
+                  (b.address for b in backends))
+    config = GatewayConfig(backends=names, health_interval=0.2,
+                           debug_ops=True)
+    with Gateway(config) as gw:
+        yield gw
+
+
+@pytest.fixture(scope="module")
+def client(gateway):
+    with ServeClient(gateway.address, timeout=60.0) as c:
+        c.wait_ready()
+        yield c
+
+
+@pytest.fixture(scope="module")
+def program():
+    return api.compile(source=SOURCE, name="gateway_e2e")
+
+
+def _requests_by_backend(client) -> dict[str, int]:
+    return {b["name"]: b["requests"] for b in client.stats()["backends"]}
+
+
+class TestByteIdentical:
+    def test_five_op_toolflow_matches_local_api(self, client, program):
+        served_program = client.compile(source=SOURCE, name="gateway_e2e")
+        profile = client.profile(program=served_program)
+        selection = client.select(profile=profile, algorithm="greedy")
+        rewritten, defs = client.rewrite(program=served_program,
+                                         selection=selection)
+        served = client.simulate(program=rewritten, ext_defs=defs)
+
+        local_profile = api.profile(program=program)
+        local_selection = api.select(profile=local_profile,
+                                     algorithm="greedy")
+        local_rewritten, local_defs = api.rewrite(
+            program=program, selection=local_selection
+        )
+        local = api.simulate(program=local_rewritten, ext_defs=local_defs)
+        assert canonical(served) == canonical(local)
+
+    def test_micro_batched_sweep_matches_local(self, client, program):
+        machines = [api.MachineConfig(),
+                    api.MachineConfig(issue_width=2),
+                    api.MachineConfig(n_pfus=4, reconfig_latency=0)]
+        served = client.simulate(program=program, machine=machines)
+        local = api.simulate(program=program, machine=machines)
+        assert [canonical(s) for s in served] == \
+            [canonical(s) for s in local]
+
+    def test_gateway_equals_direct_backend_bytes(self, client, backends,
+                                                 program):
+        """The relay really is verbatim: the gateway's response result
+        equals a direct backend call's result, as JSON text."""
+        with ServeClient(backends[0].address, timeout=60.0) as direct:
+            direct_stats = direct.simulate(program=program)
+        via_gateway = client.simulate(program=program)
+        assert canonical(via_gateway) == canonical(direct_stats)
+
+    def test_pipelined_submits_through_gateway(self, client, program):
+        machines = [api.MachineConfig(n_pfus=n, reconfig_latency=lat)
+                    for n in (1, 2) for lat in (0, 50)]
+        pending = [client.simulate_submit(program=program, machine=m)
+                   for m in machines]
+        served = [p.result() for p in pending]
+        local = [api.simulate(program=program, machine=m)
+                 for m in machines]
+        assert [canonical(s) for s in served] == \
+            [canonical(s) for s in local]
+
+
+class TestInlineEndpoints:
+    def test_health_shape(self, client, gateway):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["role"] == "gateway"
+        assert health["backends"] == 2
+        assert health["healthy_backends"] == 2
+        assert set(health["queues"]) == {"interactive", "sweep"}
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["gateway"]["role"] == "gateway"
+        assert len(stats["backends"]) == 2
+        assert all(b["healthy"] for b in stats["backends"])
+        names = {row["name"] for row in stats["metrics"]}
+        assert "gateway.requests" in names
+        assert "gateway.ring.imbalance" in names
+        assert "gateway.backends" in names
+
+    def test_unknown_op_is_bad_request(self, client):
+        with pytest.raises(protocol.BadRequestError):
+            client.call("transmogrify", {})
+
+    def test_unknown_admission_class_is_bad_request(self, gateway):
+        with ServeClient(gateway.address, timeout=30.0,
+                         admission_class="bulk") as c:
+            with pytest.raises(protocol.BadRequestError) as info:
+                c.call("simulate", {"program": None})
+        assert "admission class" in str(info.value)
+
+    def test_backend_op_error_passes_through(self, client):
+        with pytest.raises(protocol.RemoteOpError):
+            client.call("compile", {})    # neither source nor workload
+
+    def test_metrics_report_renders_gateway_section(self, client,
+                                                    program):
+        from repro.obs import render_metrics_report
+
+        client.simulate(program=program)  # ensure routed traffic exists
+        report = render_metrics_report(
+            [{"metrics": client.stats()["metrics"]}]
+        )
+        assert "gateway (fleet routing)" in report
+        assert "requests routed:" in report
+        assert "ring imbalance:" in report
+        assert "interactive latency:" in report
+
+    def test_ambient_recorder_is_adopted_when_enabled(self):
+        import repro.obs as obs
+
+        recorder = obs.enable()
+        try:
+            adopted = Gateway(GatewayConfig())
+            assert adopted.recorder is recorder
+        finally:
+            obs.disable()
+        private = Gateway(GatewayConfig())
+        assert private.recorder is not recorder
+        assert private.recorder.enabled
+
+
+class TestRoutingAffinity:
+    def test_repeat_payloads_stick_to_the_ring_owner(self, client,
+                                                     gateway, program):
+        params = {"program": protocol.encode_value(program),
+                  "ext_defs": protocol.encode_value(None)}
+        owner = gateway.ring.node_for(routing_key("simulate", params))
+        before = _requests_by_backend(client)
+        for _ in range(5):
+            client.simulate(program=program)
+        after = _requests_by_backend(client)
+        deltas = {name: after[name] - before[name] for name in after}
+        assert deltas[owner] >= 5
+        other = next(n for n in deltas if n != owner)
+        assert deltas[other] == 0
+
+    def test_distinct_payloads_follow_their_own_owners(self, client,
+                                                       gateway):
+        programs = [api.compile(source=SOURCE, name=f"affinity_{i}")
+                    for i in range(8)]
+        expected: dict[str, int] = {}
+        for prog in programs:
+            params = {"program": protocol.encode_value(prog),
+                      "ext_defs": protocol.encode_value(None)}
+            owner = gateway.ring.node_for(routing_key("simulate", params))
+            expected[owner] = expected.get(owner, 0) + 1
+        before = _requests_by_backend(client)
+        for prog in programs:
+            client.simulate(program=prog)
+        after = _requests_by_backend(client)
+        deltas = {name: after[name] - before[name] for name in after}
+        assert deltas == {name: expected.get(name, 0) for name in deltas}
+
+    def test_imbalance_gauge_exported(self, client):
+        stats = client.stats()
+        gauges = [row for row in stats["metrics"]
+                  if row["name"] == "gateway.ring.imbalance"]
+        assert gauges and gauges[0]["value"] >= 1.0
+
+
+class TestOverloadThroughGateway:
+    def test_backend_overload_propagates_with_hint(self, program):
+        """A saturated backend's explicit ``overloaded`` answer (with
+        its ``retry_after_ms`` hint) survives the gateway hop."""
+        config = ServeConfig(workers=1, max_queue=2, debug_ops=True,
+                             linger=0.0)
+        with ToolflowServer(config) as backend:
+            name = f"{backend.address[0]}:{backend.address[1]}"
+            with Gateway(GatewayConfig(backends=(name,),
+                                       debug_ops=True)) as gw:
+                outcomes: list = []
+                lock = threading.Lock()
+
+                def flood():
+                    with ServeClient(gw.address, timeout=30.0,
+                                     retries=0) as c:
+                        try:
+                            c.call("_sleep", {"seconds": 0.15})
+                            verdict = "ok"
+                        except protocol.OverloadedError as exc:
+                            assert exc.retry_after_ms > 0
+                            verdict = "overloaded"
+                    with lock:
+                        outcomes.append(verdict)
+
+                threads = [threading.Thread(target=flood)
+                           for _ in range(8)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        assert len(outcomes) == 8, "some requests were never answered"
+        assert outcomes.count("overloaded") >= 1
+        assert outcomes.count("ok") >= 1
+
+    def test_gateway_admission_queue_rejects_sweep_class(self, backends):
+        names = tuple(f"{host}:{port}" for host, port in
+                      (b.address for b in backends))
+        config = GatewayConfig(backends=names, sweep_queue=0,
+                               debug_ops=True)
+        with Gateway(config) as gw:
+            with ServeClient(gw.address, timeout=30.0, retries=0,
+                             admission_class="sweep") as c:
+                with pytest.raises(protocol.OverloadedError) as info:
+                    c.call("simulate", {"program": None})
+            assert "sweep queue full" in str(info.value)
+            # interactive admission is a separate budget: still served
+            with ServeClient(gw.address, timeout=30.0) as c:
+                assert c.health()["status"] == "ok"
+
+
+class TestDeadlineBehindPriority:
+    def test_sweep_deadline_expires_behind_interactive_stream(self):
+        """One dispatcher, one worker: a short-deadline sweep request
+        parked behind interactive work must get ``deadline_exceeded``
+        from the gateway queue, not silence."""
+        config = ServeConfig(workers=1, debug_ops=True, linger=0.0)
+        with ToolflowServer(config) as backend:
+            name = f"{backend.address[0]}:{backend.address[1]}"
+            gw_config = GatewayConfig(backends=(name,), max_inflight=1,
+                                      debug_ops=True)
+            with Gateway(gw_config) as gw:
+                inter = ServeClient(gw.address, timeout=30.0).connect()
+                sweep = ServeClient(gw.address, timeout=30.0,
+                                    admission_class="sweep").connect()
+                try:
+                    # occupy the dispatcher, then queue more
+                    # interactive work behind it
+                    first = inter.submit("_sleep", {"seconds": 0.3})
+                    time.sleep(0.05)
+                    second = inter.submit("_sleep", {"seconds": 0.3})
+                    expired = sweep.submit("_sleep", {"seconds": 0.01},
+                                           timeout_ms=150)
+                    assert first.result() == "slept"
+                    assert second.result() == "slept"
+                    with pytest.raises(
+                        protocol.DeadlineExceededError
+                    ) as info:
+                        expired.result()
+                    assert "gateway queue" in str(info.value)
+                finally:
+                    inter.close()
+                    sweep.close()
+
+
+class TestDrainAndMembership:
+    def test_drain_op_stops_the_gateway(self, backends):
+        names = tuple(f"{host}:{port}" for host, port in
+                      (b.address for b in backends))
+        gw = Gateway(GatewayConfig(backends=names)).start()
+        with ServeClient(gw.address, timeout=30.0, retries=0) as c:
+            assert c.call("drain") == {"draining": True}
+        gw._stopped.wait(timeout=30.0)
+        assert gw._stopped.is_set()
+        # the listener is gone: a fresh connection is refused outright
+        with pytest.raises((protocol.ServeError, OSError)):
+            with ServeClient(gw.address, timeout=5.0, retries=0) as c:
+                c.health()
+
+    def test_remove_backend_reroutes_new_traffic(self, backends,
+                                                 program):
+        names = tuple(f"{host}:{port}" for host, port in
+                      (b.address for b in backends))
+        with Gateway(GatewayConfig(backends=names)) as gw:
+            params = {"program": protocol.encode_value(program),
+                      "ext_defs": protocol.encode_value(None)}
+            owner = gw.ring.node_for(routing_key("simulate", params))
+            gw.remove_backend(owner)
+            deadline = time.monotonic() + 5.0
+            while owner in gw.backends and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert owner not in gw.backends
+            with ServeClient(gw.address, timeout=60.0) as c:
+                served = c.simulate(program=program)
+            assert canonical(served) == \
+                canonical(api.simulate(program=program))
+            survivor = next(n for n in names if n != owner)
+            assert gw.backends[survivor].requests > 0
+
+
+class TestCliParsing:
+    def test_gateway_subcommands_parse(self):
+        from repro.harness.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "gateway", "run", "--backends", "3", "--max-backends", "5",
+            "--workers", "1", "--no-autoscale",
+        ])
+        assert (args.gateway_command, args.backends,
+                args.max_backends) == ("run", 3, 5)
+        assert args.no_autoscale
+        args = parser.parse_args(
+            ["gateway", "run", "--attach", "h:1,h:2"]
+        )
+        assert args.attach == "h:1,h:2"
+        args = parser.parse_args(["gateway", "status",
+                                  "--connect", "h:9"])
+        assert (args.gateway_command, args.connect) == ("status", "h:9")
+        args = parser.parse_args(["gateway", "drain"])
+        assert args.gateway_command == "drain"

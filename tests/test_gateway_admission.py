@@ -1,0 +1,190 @@
+"""Priority admission classes (:mod:`repro.gateway.admission`).
+
+Broker-compatible semantics: per-class bounded queues with explicit
+``overloaded`` verdicts, strict interactive-before-sweep dequeue, lazy
+deadline expiry at dequeue time, and clean close/drain behaviour.
+"""
+
+import asyncio
+import time
+
+from repro.serve import protocol
+from repro.gateway.admission import (
+    ADMISSION_CLASSES,
+    INTERACTIVE,
+    SWEEP,
+    Admitted,
+    AdmissionQueue,
+)
+
+
+def _entry(klass=INTERACTIVE, request_id=None, timeout_s=30.0,
+           responses=None):
+    sink = responses if responses is not None else []
+    return Admitted(
+        request_id=request_id, op="simulate", params={}, klass=klass,
+        deadline=time.monotonic() + timeout_s,
+        respond=sink.append, route_key="k",
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestBounds:
+    def test_class_order_is_priority_order(self):
+        assert ADMISSION_CLASSES == (INTERACTIVE, SWEEP)
+
+    def test_per_class_limits_reject_that_class_only(self):
+        queue = AdmissionQueue(limits={INTERACTIVE: 2, SWEEP: 1})
+        assert queue.submit(_entry(INTERACTIVE)) is None
+        assert queue.submit(_entry(INTERACTIVE)) is None
+        assert queue.submit(_entry(INTERACTIVE)) == protocol.OVERLOADED
+        # the sweep budget is untouched by the full interactive queue
+        assert queue.submit(_entry(SWEEP)) is None
+        assert queue.submit(_entry(SWEEP)) == protocol.OVERLOADED
+        assert len(queue) == 3
+        assert queue.depth(INTERACTIVE) == 2
+        assert queue.depth(SWEEP) == 1
+
+    def test_closed_queue_says_shutting_down(self):
+        queue = AdmissionQueue()
+        queue.close()
+        assert queue.submit(_entry()) == protocol.SHUTTING_DOWN
+
+
+class TestPriority:
+    def test_interactive_dequeues_before_earlier_sweep(self):
+        async def run():
+            queue = AdmissionQueue()
+            sweep = _entry(SWEEP, request_id="s1")
+            inter = _entry(INTERACTIVE, request_id="i1")
+            queue.submit(sweep)           # arrives first
+            queue.submit(inter)           # still served first
+            assert (await queue.get()) is inter
+            assert (await queue.get()) is sweep
+
+        _run(run())
+
+    def test_requeue_goes_to_the_head_of_its_class(self):
+        async def run():
+            queue = AdmissionQueue()
+            first = _entry(SWEEP, request_id="a")
+            second = _entry(SWEEP, request_id="b")
+            queue.submit(first)
+            queue.submit(second)
+            taken = await queue.get()
+            assert taken is first
+            queue.requeue(taken)          # failover path: back to head
+            assert (await queue.get()) is first
+            assert (await queue.get()) is second
+
+        _run(run())
+
+    def test_requeue_bypasses_bound_and_close(self):
+        async def run():
+            queue = AdmissionQueue(limits={SWEEP: 1})
+            entry = _entry(SWEEP)
+            queue.submit(entry)
+            queue.close()
+            queue.requeue(_entry(SWEEP))  # in-flight work during drain
+            assert queue.depth(SWEEP) == 2
+
+        _run(run())
+
+
+class TestDeadlines:
+    def test_expired_entry_fails_at_dequeue_never_dispatches(self):
+        async def run():
+            queue = AdmissionQueue()
+            responses: list = []
+            dead = _entry(SWEEP, request_id=7, timeout_s=-0.001,
+                          responses=responses)
+            live = _entry(SWEEP, request_id=8)
+            queue.submit(dead)
+            queue.submit(live)
+            assert (await queue.get()) is live
+            assert responses and not responses[0]["ok"]
+            assert responses[0]["error"]["code"] == \
+                protocol.DEADLINE_EXCEEDED
+            assert responses[0]["id"] == 7
+
+        _run(run())
+
+    def test_sweep_expires_while_parked_behind_interactive(self):
+        # the satellite scenario: a sweep entry with a short deadline
+        # waits behind a stream of interactive work and is failed with
+        # deadline_exceeded when its turn finally comes
+        async def run():
+            queue = AdmissionQueue()
+            responses: list = []
+            sweep = _entry(SWEEP, request_id="slow-sweep",
+                           timeout_s=0.05, responses=responses)
+            queue.submit(sweep)
+            for i in range(3):
+                queue.submit(_entry(INTERACTIVE, request_id=i))
+            for _ in range(3):            # interactive drains first
+                entry = await queue.get()
+                assert entry.klass == INTERACTIVE
+            await asyncio.sleep(0.06)     # sweep's deadline passes
+            queue.close()
+            assert (await queue.get()) is None
+            assert responses[0]["error"]["code"] == \
+                protocol.DEADLINE_EXCEEDED
+            assert "gateway queue" in responses[0]["error"]["message"]
+
+        _run(run())
+
+
+class TestDrain:
+    def test_get_returns_none_once_closed_and_empty(self):
+        async def run():
+            queue = AdmissionQueue()
+            entry = _entry()
+            queue.submit(entry)
+            queue.close()
+            assert (await queue.get()) is entry   # drain finishes work
+            assert (await queue.get()) is None
+
+        _run(run())
+
+    def test_waiting_getters_wake_on_close(self):
+        async def run():
+            queue = AdmissionQueue()
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.01)
+            queue.close()
+            assert (await asyncio.wait_for(getter, timeout=1.0)) is None
+
+        _run(run())
+
+    def test_waiting_getters_wake_on_submit(self):
+        async def run():
+            queue = AdmissionQueue()
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.01)
+            entry = _entry()
+            queue.submit(entry)
+            assert (await asyncio.wait_for(getter, timeout=1.0)) is entry
+
+        _run(run())
+
+
+class TestGauges:
+    def test_depth_gauges_and_rejection_counters(self):
+        from repro.obs import Recorder
+
+        recorder = Recorder(enabled=True)
+        queue = AdmissionQueue(limits={SWEEP: 1}, recorder=recorder)
+        queue.submit(_entry(SWEEP))
+        queue.submit(_entry(SWEEP))       # rejected
+        rows = {(row["name"], tuple(sorted(row["labels"].items()))): row
+                for row in recorder.metrics.snapshot()}
+        depth = rows[("gateway.queue.depth", (("klass", SWEEP),))]
+        assert depth["value"] == 1
+        rejected = rows[(
+            "gateway.rejected",
+            (("klass", SWEEP), ("reason", "overloaded")),
+        )]
+        assert rejected["value"] == 1

@@ -1,0 +1,176 @@
+"""Fleet controller and failover (:mod:`repro.gateway.fleet`).
+
+Real backend subprocesses: spawn/announce/drain round trips, the pure
+autoscale decision function, and the headline failover guarantee — a
+backend hard-killed with requests in flight loses nothing, and every
+replayed response is byte-identical to local execution.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro import api
+from repro.engine.store import stats_to_json
+from repro.gateway import (
+    FleetController,
+    FleetError,
+    Gateway,
+    GatewayConfig,
+    autoscale_decision,
+)
+from repro.gateway.server import routing_key
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+
+def canonical(stats) -> str:
+    return json.dumps(stats_to_json(stats), sort_keys=True)
+
+
+class TestAutoscaleDecision:
+    CONFIG = GatewayConfig(min_backends=1, max_backends=4,
+                           scale_up_depth=8, scale_down_intervals=3)
+
+    def test_deep_queue_scales_up_immediately(self):
+        assert autoscale_decision(8, 2, self.CONFIG, 0) == ("up", 0)
+        assert autoscale_decision(50, 1, self.CONFIG, 2) == ("up", 0)
+
+    def test_no_scale_up_at_ceiling(self):
+        decision, streak = autoscale_decision(50, 4, self.CONFIG, 0)
+        assert decision is None
+
+    def test_scale_down_needs_consecutive_idle_checks(self):
+        streak = 0
+        for _ in range(2):
+            decision, streak = autoscale_decision(0, 2, self.CONFIG,
+                                                  streak)
+            assert decision is None
+        decision, streak = autoscale_decision(0, 2, self.CONFIG, streak)
+        assert (decision, streak) == ("down", 0)
+
+    def test_traffic_resets_the_idle_streak(self):
+        _, streak = autoscale_decision(0, 2, self.CONFIG, 0)
+        assert streak == 1
+        _, streak = autoscale_decision(3, 2, self.CONFIG, streak)
+        assert streak == 0
+
+    def test_never_drops_below_the_floor(self):
+        decision, _ = autoscale_decision(0, 1, self.CONFIG, 99)
+        assert decision is None
+
+    def test_shallow_queue_is_steady_state(self):
+        assert autoscale_decision(3, 2, self.CONFIG, 0) == (None, 0)
+
+
+class TestFleetController:
+    def test_spawn_announce_drain_roundtrip(self):
+        fleet = FleetController(workers=1)
+        name = fleet.spawn()
+        try:
+            host, port = name.rsplit(":", 1)
+            assert int(port) > 0
+            with ServeClient(name, timeout=30.0) as client:
+                health = client.wait_ready(timeout=30.0)
+            assert health["status"] == "ok"
+            assert fleet.names == [name]
+        finally:
+            fleet.drain_all()
+        assert fleet.procs == {}
+        assert (fleet.spawned, fleet.drained) == (1, 1)
+
+    def test_reap_collects_killed_backends(self):
+        fleet = FleetController(workers=1)
+        name = fleet.spawn()
+        proc = fleet.procs[name]
+        proc.kill()
+        proc.wait()
+        assert fleet.reap() == [name]
+        assert fleet.procs == {}
+
+    def test_bad_announce_raises_fleet_error(self):
+        class Silent(FleetController):
+            def _argv(self):
+                return [sys.executable, "-c", "print('no port here')"]
+
+        with pytest.raises(FleetError):
+            Silent().spawn()
+
+
+@pytest.fixture(scope="module")
+def fleet_gateway():
+    """Two real backend subprocesses behind one gateway."""
+    fleet = FleetController(workers=1, debug_ops=True)
+    names = (fleet.spawn(), fleet.spawn())
+    config = GatewayConfig(backends=names, health_interval=0.2,
+                           fail_after=1, debug_ops=True)
+    gateway = Gateway(config)
+    gateway.fleet = fleet
+    gateway.start()
+    try:
+        yield gateway, fleet
+    finally:
+        gateway.stop()
+        fleet.drain_all(timeout=10.0)
+
+
+class TestFailover:
+    def test_killed_owner_loses_zero_requests_byte_identical(
+        self, fleet_gateway
+    ):
+        gateway, fleet = fleet_gateway
+        with ServeClient(gateway.address, timeout=60.0) as client:
+            client.wait_ready(timeout=30.0)
+            program = client.compile(workload="gsm_encode")
+            sim_params = {"program": protocol.encode_value(program),
+                          "ext_defs": protocol.encode_value(None)}
+            owner = gateway.ring.node_for(
+                routing_key("simulate", sim_params)
+            )
+            assert owner in fleet.procs
+
+            # occupy the owner's single worker with a sleep routed to
+            # it, so the simulates behind it are in flight when it dies
+            nonce = next(
+                n for n in range(1000)
+                if gateway.ring.node_for(
+                    routing_key("_sleep", {"seconds": 1.0, "nonce": n})
+                ) == owner
+            )
+            sleeper = client.submit("_sleep",
+                                    {"seconds": 1.0, "nonce": nonce})
+            time.sleep(0.15)
+            machines = [api.MachineConfig(n_pfus=n, reconfig_latency=r)
+                        for n in (1, 2, 4) for r in (0, 20)]
+            pending = [client.simulate_submit(program=program, machine=m)
+                       for m in machines]
+            time.sleep(0.15)              # let dispatchers ship them
+            fleet.kill(owner)             # hard kill, mid-batch
+
+            served = [p.result() for p in pending]     # zero lost
+            assert sleeper.result() == "slept"         # replayed too
+            local = [api.simulate(program=program, machine=m)
+                     for m in machines]
+            assert [canonical(s) for s in served] == \
+                [canonical(s) for s in local]
+
+            stats = client.stats()
+            assert stats["failovers"] >= 1
+            failover_rows = [
+                row for row in stats["metrics"]
+                if row["name"] == "gateway.failover"
+            ]
+            assert failover_rows
+            assert failover_rows[0]["labels"]["backend"] == owner
+
+    def test_dead_backend_left_the_ring(self, fleet_gateway):
+        gateway, fleet = fleet_gateway
+        deadline = time.monotonic() + 10.0
+        while len(gateway.ring) != 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert len(gateway.ring) == 1
+        with ServeClient(gateway.address, timeout=30.0) as client:
+            health = client.health()
+        assert health["healthy_backends"] == 1

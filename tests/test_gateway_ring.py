@@ -1,0 +1,122 @@
+"""Consistent-hash ring (:mod:`repro.gateway.ring`).
+
+The properties the gateway leans on: deterministic ownership, bounded
+remapping on join/leave (only the moved arcs change owner), stable
+distinct-node failover order, and a reasonable spread over a small
+fleet.
+"""
+
+import pytest
+
+from repro.gateway.ring import DEFAULT_REPLICAS, HashRing
+
+NODES = [f"10.0.0.{i}:7077" for i in range(1, 5)]
+
+
+def _owners(ring, keys):
+    return {key: ring.node_for(key) for key in keys}
+
+
+class TestOwnership:
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.node_for("k") is None
+        assert list(ring.preference("k")) == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([NODES[0]])
+        assert all(ring.node_for(f"key-{i}") == NODES[0]
+                   for i in range(50))
+
+    def test_lookup_is_deterministic(self):
+        a = HashRing(NODES)
+        b = HashRing(reversed(NODES))     # insertion order must not matter
+        keys = [f"key-{i}" for i in range(200)]
+        assert _owners(a, keys) == _owners(b, keys)
+
+    def test_add_remove_membership(self):
+        ring = HashRing(NODES[:2])
+        assert NODES[0] in ring and NODES[2] not in ring
+        ring.add(NODES[2])
+        ring.add(NODES[2])                # idempotent
+        assert len(ring) == 3
+        ring.remove(NODES[2])
+        ring.remove(NODES[2])             # idempotent
+        assert len(ring) == 2
+        assert ring.nodes == frozenset(NODES[:2])
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestStableRemapping:
+    def test_node_join_only_steals_keys(self):
+        keys = [f"key-{i}" for i in range(500)]
+        before = _owners(HashRing(NODES[:3]), keys)
+        after = _owners(HashRing(NODES[:4]), keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        # every moved key moved TO the new node, none shuffled between
+        # the surviving nodes
+        assert all(after[k] == NODES[3] for k in moved)
+        # and the new node took roughly its fair share, not everything
+        assert 0 < len(moved) < len(keys) / 2
+
+    def test_node_leave_only_moves_its_keys(self):
+        keys = [f"key-{i}" for i in range(500)]
+        ring = HashRing(NODES)
+        before = _owners(ring, keys)
+        ring.remove(NODES[1])
+        after = _owners(ring, keys)
+        for key in keys:
+            if before[key] != NODES[1]:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != NODES[1]
+
+
+class TestPreference:
+    def test_distinct_nodes_in_stable_order(self):
+        ring = HashRing(NODES)
+        for i in range(50):
+            order = list(ring.preference(f"key-{i}"))
+            assert sorted(order) == sorted(NODES)       # all, once each
+            assert order[0] == ring.node_for(f"key-{i}")
+            assert order == list(ring.preference(f"key-{i}"))
+
+    def test_failover_choice_matches_ring_without_the_dead_node(self):
+        # the second preference is exactly where the key lands if the
+        # owner leaves the ring — failed-over traffic stays coherent
+        ring = HashRing(NODES)
+        for i in range(50):
+            key = f"key-{i}"
+            first, second = list(ring.preference(key))[:2]
+            survivor = HashRing(n for n in NODES if n != first)
+            assert survivor.node_for(key) == second
+
+
+class TestBalance:
+    def test_spread_over_small_fleet(self):
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        for i in range(4000):
+            counts[ring.node_for(f"key-{i}")] += 1
+        assert all(count > 0 for count in counts.values())
+        # virtual nodes keep the spread sane (paper-fleet sizes: 2-8)
+        assert HashRing.imbalance(counts) < 1.6
+
+    def test_default_replicas(self):
+        assert HashRing().replicas == DEFAULT_REPLICAS
+
+
+class TestImbalanceGauge:
+    def test_even_counts_are_one(self):
+        assert HashRing.imbalance({"a": 10, "b": 10}) == 1.0
+
+    def test_skew_is_max_over_mean(self):
+        assert HashRing.imbalance({"a": 30, "b": 10}) == 1.5
+
+    def test_empty_and_zero_are_one(self):
+        assert HashRing.imbalance({}) == 1.0
+        assert HashRing.imbalance({"a": 0, "b": 0}) == 1.0

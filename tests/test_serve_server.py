@@ -354,6 +354,85 @@ class TestApiConnect:
             client.close()
 
 
+class TestReconnectJitter:
+    def test_delays_stay_in_decorrelated_window(self):
+        import random
+
+        from repro.serve.client import _BACKOFF_CAP, _jittered_backoff
+
+        random.seed(1234)
+        base = 0.05
+        prev = base
+        for _ in range(200):
+            nxt = _jittered_backoff(base, prev)
+            assert base <= nxt <= min(_BACKOFF_CAP, max(base, prev * 3.0))
+            prev = nxt
+
+    def test_delays_are_capped(self):
+        from repro.serve.client import _jittered_backoff
+
+        for _ in range(50):
+            assert _jittered_backoff(0.05, 1e9, cap=2.5) <= 2.5
+
+    def test_two_clients_desynchronise(self):
+        import random
+
+        from repro.serve.client import _jittered_backoff
+
+        random.seed(99)
+        a = [0.05]
+        b = [0.05]
+        for _ in range(6):
+            a.append(_jittered_backoff(0.05, a[-1]))
+        for _ in range(6):
+            b.append(_jittered_backoff(0.05, b[-1]))
+        # with jitter, two clients retrying from the same failure time
+        # do not share a single deterministic schedule
+        assert a[1:] != b[1:]
+
+
+class TestAdmissionClassTag:
+    def test_class_field_rides_along_and_backend_ignores_it(self, server):
+        client = ServeClient(server.address, timeout=60.0,
+                             admission_class="sweep")
+        sent = []
+        original = protocol.dump_line
+
+        def capture(payload):
+            sent.append(payload)
+            return original(payload)
+
+        protocol_dump, protocol.dump_line = protocol.dump_line, capture
+        try:
+            with client:
+                assert client.health()["status"] == "ok"
+                pending = client.submit("health")
+                assert pending.result()["status"] == "ok"
+        finally:
+            protocol.dump_line = protocol_dump
+        # the in-process server shares dump_line: keep requests only
+        requests = [p for p in sent if "op" in p]
+        assert len(requests) == 2
+        assert all(req["class"] == "sweep" for req in requests)
+
+    def test_untagged_client_sends_no_class_field(self, server):
+        sent = []
+        original = protocol.dump_line
+
+        def capture(payload):
+            sent.append(payload)
+            return original(payload)
+
+        protocol_dump, protocol.dump_line = protocol.dump_line, capture
+        try:
+            with ServeClient(server.address, timeout=60.0) as client:
+                client.health()
+        finally:
+            protocol.dump_line = protocol_dump
+        requests = [p for p in sent if "op" in p]
+        assert requests and all("class" not in req for req in requests)
+
+
 class TestCliParsing:
     def test_serve_and_client_subcommands_parse(self):
         from repro.harness.cli import build_parser

@@ -84,6 +84,61 @@ class TestStaticCountsCache:
         assert not hasattr(clone, "_static_counts_cache")
 
 
+class TestZeroCopyViews:
+    """Regression: the shard planner must not copy trace columns.
+
+    Each slice payload's four columns are ``ColumnView`` windows whose
+    ``memoryview`` still points at the trace's own buffers — asserted
+    via ``memoryview.obj`` identity, which a copy cannot fake."""
+
+    def test_view_shares_buffer_and_reslices_without_copy(self):
+        from repro.sim.trace import ColumnView
+
+        col = array("q", range(100))
+        view = ColumnView(col, 10, 40)
+        assert view.raw.obj is col            # no copy at construction
+        assert len(view) == 30
+        assert view[0] == 10 and view[-1] == 39
+        sub = view[5:10]
+        assert isinstance(sub, ColumnView)
+        assert sub.raw.obj is col             # no copy on re-slice
+        assert sub.tolist() == [15, 16, 17, 18, 19]
+
+    def test_view_pickles_to_plain_array(self):
+        import pickle
+
+        from repro.sim.trace import ColumnView
+
+        col = array("i", [3, 1, 4, 1, 5, 9])
+        clone = pickle.loads(pickle.dumps(ColumnView(col, 1, 4)))
+        assert isinstance(clone, array)
+        assert clone.typecode == "i"
+        assert list(clone) == [1, 4, 1]
+
+    def test_prepare_payload_columns_alias_trace_buffers(self):
+        from repro.sim.shard import _prepare
+
+        program, trace = _kernel_trace(2000)
+        plan = plan_slices(len(trace), jobs=2, slices=4, warmup=64)
+        assert plan is not None
+        sim = OoOSimulator(program)
+        payloads, _ = _prepare(sim, trace, plan, False)
+        assert len(payloads) == 4
+        fcyc_obj = payloads[0]["fcyc"].raw.obj
+        mlat_obj = payloads[0]["mlat"].raw.obj
+        for p, payload in enumerate(payloads):
+            w0, b1 = plan.warm_start(p), plan.boundaries[p + 1]
+            # index/address windows alias the trace columns directly
+            assert payload["indices"].raw.obj is trace.indices
+            assert payload["addrs"].raw.obj is trace.addrs
+            assert len(payload["indices"]) == b1 - w0
+            # derived columns: every slice windows ONE shared buffer
+            assert payload["fcyc"].raw.obj is fcyc_obj
+            assert payload["mlat"].raw.obj is mlat_obj
+            assert payload["indices"].tolist() == \
+                trace.indices[w0:b1].tolist()
+
+
 # ----------------------------------------------------------------------
 # slice planning
 
