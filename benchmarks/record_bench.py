@@ -103,6 +103,7 @@ def measure() -> dict:
     benchmarks.update(_measure_sharded(program, trace))
     benchmarks.update(_measure_explore_pruning())
     benchmarks.update(_measure_selection())
+    benchmarks.update(_measure_wire_framing())
     return benchmarks
 
 
@@ -257,6 +258,85 @@ def _measure_selection() -> dict:
     return {"selector_runtime": entry}
 
 
+def _measure_wire_framing() -> dict:
+    """The serve wire-format entry: bytes per simulate request and sweep
+    throughput, digest-addressed frames vs the legacy pickle envelopes.
+
+    Mirrors ``bench_wire_framing``: one client pipelines a 16-point
+    machine-config sweep against an in-process server twice — once
+    through a :class:`~repro.serve.client.TraceRef` (the program bundle
+    ships once, every point is a by-reference request) and once inline
+    (``framed=False``, every request re-ships the pickled program).
+    Recording aborts unless the two legs are byte-identical and the
+    framed leg sends at least 3x fewer bytes per request.
+    """
+    import json as json_mod
+
+    from repro import api
+    from repro.engine.store import stats_to_json
+    from repro.serve import ServeConfig, ToolflowServer
+    from repro.serve.client import ServeClient
+
+    source = (
+        ".text\nmain: li $s0, 8000\n    li $t1, 3\nloop:\n"
+        "    sll $t2, $t1, 4\n    addu $t2, $t2, $t1\n"
+        "    andi $t2, $t2, 1023\n    xor $t3, $t2, $t1\n"
+        "    andi $t1, $t3, 255\n    addiu $t1, $t1, 1\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+    )
+    points = 16
+    grid = [api.MachineConfig(ruu_size=16 + 8 * i) for i in range(points)]
+    program = api.compile(source=source, name="wire_bench")
+
+    def canonical(stats):
+        return json_mod.dumps(stats_to_json(stats), sort_keys=True)
+
+    def sweep(client, payload):
+        sent = client.bytes_sent
+        t0 = time.perf_counter()
+        pending = [client.simulate_submit(program=payload, machine=machine)
+                   for machine in grid]
+        answers = [canonical(call.result()) for call in pending]
+        return answers, client.bytes_sent - sent, time.perf_counter() - t0
+
+    with ToolflowServer(ServeConfig(workers=2, max_queue=256)) as server:
+        with ServeClient(server.address, timeout=120.0) as client:
+            client.wait_ready()
+            ref = client.trace_ref(program=program)
+            client.simulate(program=ref, machine=grid[0])   # warmup
+            framed, framed_bytes, _ = sweep(client, ref)
+            framed_s = _median_seconds(
+                lambda: sweep(client, ref), repeats=3)
+        with ServeClient(server.address, timeout=120.0,
+                         framed=False) as client:
+            client.simulate(program=program, machine=grid[0])
+            inline, inline_bytes, _ = sweep(client, program)
+            inline_s = _median_seconds(
+                lambda: sweep(client, program), repeats=3)
+
+    if framed != inline:
+        raise SystemExit("framed sweep responses diverged from inline")
+    reduction = inline_bytes / framed_bytes
+    if reduction < 3.0:
+        raise SystemExit(
+            f"framed sweep sent only {reduction:.1f}x fewer bytes per "
+            f"request than the pickle path (expected >= 3x)"
+        )
+    return {
+        "wire_framing": {
+            "median_s": round(framed_s, 6),
+            "ops_per_s": round(points / framed_s, 2),
+            "pickle_median_s": round(inline_s, 6),
+            "pickle_ops_per_s": round(points / inline_s, 2),
+            "bytes_per_request": round(framed_bytes / points),
+            "pickle_bytes_per_request": round(inline_bytes / points),
+            "bytes_reduction": round(reduction, 2),
+            "points": points,
+            "cores": os.cpu_count() or 1,
+        },
+    }
+
+
 def _git_sha() -> str:
     try:
         return subprocess.run(
@@ -294,6 +374,11 @@ def write_baseline(path: Path) -> None:
                 f"{name} {sub['median_s'] * 1e3:.1f}ms"
                 for name, sub in row["algorithms"].items()
             )
+        elif "bytes_reduction" in row:
+            detail = (f"{row['bytes_per_request']} B/request framed vs "
+                      f"{row['pickle_bytes_per_request']} B pickle "
+                      f"({row['bytes_reduction']}x fewer bytes, "
+                      f"{row['points']} points)")
         else:
             detail = (f"{row['pruned_points']}/{row['points']} points "
                       f"pruned, {row['speedup_vs_unpruned']}x vs "

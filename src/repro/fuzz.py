@@ -12,7 +12,9 @@ functional interpreter must produce an :class:`ExecutionResult`
 identical to the reference loop's, the dense-window timing replay an
 identical :class:`SimStats`, and the sharded parallel replay
 (:mod:`repro.sim.shard`, run with deliberately tiny slices) an identical
-stitched :class:`SimStats` (see :func:`check_simulators`).
+stitched :class:`SimStats` (see :func:`check_simulators`).  Every
+generated trace is additionally round-tripped through the binary wire
+framing (:func:`check_wire_framing`) to pin the serve path's codec.
 
 All generation is seeded and reproducible; a failure report carries the
 seed and the full program text.
@@ -108,6 +110,27 @@ def random_minic_program(rng: random.Random) -> str:
     )
 
 
+def check_wire_framing(trace) -> None:
+    """Round-trip ``trace`` through the binary column framing
+    (:mod:`repro.wire`) and assert byte identity.
+
+    Every fuzz-generated trace exercises the zero-copy serve path's
+    codec: ``decode(encode(t))`` must reproduce both columns exactly,
+    and the frame's content digest must be deterministic.  Raises
+    ``AssertionError`` on any divergence."""
+    from repro import wire
+
+    chunks = wire.trace_chunks(trace)
+    decoded = wire.trace_from_bytes(b"".join(chunks))
+    assert decoded.indices.tobytes() == trace.indices.tobytes(), \
+        "framed trace indices diverged"
+    assert decoded.addrs.tobytes() == trace.addrs.tobytes(), \
+        "framed trace addresses diverged"
+    assert wire.chunks_digest(chunks) == \
+        wire.chunks_digest(wire.trace_chunks(decoded)), \
+        "trace frame digest not deterministic"
+
+
 def check_simulators(program: Program, ext_defs=None) -> None:
     """Differentially check the fast simulation paths on ``program``.
 
@@ -141,6 +164,7 @@ def check_simulators(program: Program, ext_defs=None) -> None:
         ref.bitwidths.max_operand_width, "operand widths diverged"
     assert fast.bitwidths.max_result_width == \
         ref.bitwidths.max_result_width, "result widths diverged"
+    check_wire_framing(fast.trace)
 
     config = MachineConfig(n_pfus=2, reconfig_latency=10)
     stats_fast = OoOSimulator(

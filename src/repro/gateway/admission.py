@@ -60,6 +60,9 @@ class Admitted:
     route_key: str = ""
     #: Backends already tried (failover bookkeeping).
     tried: set[str] = field(default_factory=set)
+    #: Binary attachments (``put_trace`` bundles), held until the entry
+    #: resolves so a failover replay re-ships them to the next node.
+    frames: tuple = ()
     enqueued_at: float = field(default_factory=time.monotonic)
 
     def expired(self, now: float | None = None) -> bool:

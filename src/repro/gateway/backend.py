@@ -98,8 +98,10 @@ class BackendLink:
             if not future.done():
                 future.set_exception(BackendDied(str(exc)))
 
-    async def request(self, payload: dict, timeout: float) -> dict:
-        """Ship one request object and await its response object.
+    async def request(self, payload: dict, timeout: float,
+                      frames: tuple = ()) -> dict:
+        """Ship one request object (plus any binary ``frames``, written
+        verbatim behind the JSON line) and await its response object.
 
         ``payload`` must already carry the gateway-assigned ``id``.
         Raises :class:`BackendDied` on any connection-level failure.
@@ -115,6 +117,8 @@ class BackendLink:
         self._inflight[payload["id"]] = future
         try:
             writer.write(protocol.dump_line(payload))
+            for frame in frames:
+                writer.write(frame)
             await writer.drain()
         except (ConnectionError, OSError) as exc:
             # A concurrent ``_fail_all`` (another sender hit the same
@@ -202,23 +206,27 @@ class Backend:
         return next(self._ids)
 
     async def execute(self, op: str, params: dict,
-                      timeout_ms: int, klass: str | None = None) -> dict:
+                      timeout_ms: int, klass: str | None = None,
+                      frames: tuple = ()) -> dict:
         """Forward one toolflow request; returns the backend's raw
         response object (``id`` still the gateway's wire id).  Raises
         :class:`BackendDied` on connection-level failure — the caller
-        decides where to fail over."""
+        decides where to fail over.  ``frames`` are the request's
+        binary attachments, relayed untouched."""
         payload: dict[str, Any] = {
             "id": self.next_id(), "op": op, "params": params,
             "timeout_ms": timeout_ms,
         }
         if klass is not None:
             payload["class"] = klass
+        if frames:
+            payload["frames"] = [len(frame) for frame in frames]
         self.requests += 1
         # Socket-level guard slightly beyond the server-side deadline so
         # a live backend always answers first (possibly with its own
         # deadline_exceeded), and only a dead one trips the guard.
         timeout = timeout_ms / 1000.0 + self.health_timeout
-        return await self._link().request(payload, timeout)
+        return await self._link().request(payload, timeout, frames=frames)
 
     # ------------------------------------------------------------------
     # health

@@ -103,11 +103,19 @@ def routing_key(op: str, params: dict) -> str:
     ``simulate`` keys on the trace-determining payload (program,
     ext_defs, max_steps) — deliberately the same components as the
     backend broker's batch key, so everything the ring sends to one
-    node is also coalescible there.  ``profile``/``rewrite`` key on
+    node is also coalescible there.  A by-ref simulate *is* that
+    digest already, and ``put_trace`` shares its key — the upload
+    lands on the exact backend the sweep routes to (and after a
+    failover, on the new ring owner).  ``profile``/``rewrite`` key on
     the program, ``select`` on the profile, ``compile`` on the source
     payload; all hit the same backend's warm artifact cache on repeats.
     """
+    if op == protocol.PUT_TRACE_OP:
+        return f"simulate|ref:{params.get('digest')}"
     if op == "simulate":
+        digest = params.get("trace_ref")
+        if digest is not None:
+            return f"simulate|ref:{digest}"
         return "|".join((
             "simulate",
             protocol.blob_digest(params.get("program")),
@@ -357,7 +365,28 @@ class Gateway:
                     respond(protocol.error_response(
                         None, protocol.BAD_REQUEST, str(exc)))
                     continue
-                self._handle_request(request, respond)
+                declared = request.pop("frames", None)
+                frames: tuple = ()
+                if declared is not None:
+                    # The frame bytes follow on the stream regardless,
+                    # so a bad declaration cannot be resynchronised —
+                    # answer and drop the connection.
+                    if (not isinstance(declared, list) or not all(
+                            isinstance(n, int) and n >= 0
+                            for n in declared)
+                            or sum(declared) > protocol.MAX_FRAME_BYTES):
+                        respond(protocol.error_response(
+                            request.get("id"), protocol.BAD_REQUEST,
+                            "bad frames declaration"))
+                        return
+                    try:
+                        frames = tuple([
+                            await reader.readexactly(n) for n in declared
+                        ])
+                    except (asyncio.IncompleteReadError, ConnectionError,
+                            OSError):
+                        return
+                self._handle_request(request, respond, frames)
                 # Let queued response bytes flush under backpressure.
                 try:
                     await writer.drain()
@@ -373,7 +402,8 @@ class Gateway:
             except (ConnectionError, OSError, RuntimeError):
                 pass
 
-    def _handle_request(self, request: dict, respond) -> None:
+    def _handle_request(self, request: dict, respond,
+                        frames: tuple = ()) -> None:
         request_id = request.get("id")
         op = request.get("op")
         if op in _GATEWAY_OPS:
@@ -383,7 +413,11 @@ class Gateway:
             else:
                 respond(protocol.ok_response(request_id, self._inline(op)))
             return
-        allowed = protocol.TOOLFLOW_OPS + (
+        # ``put_trace`` is relayed like a toolflow op, not answered
+        # inline: the cache lives on the backends (the gateway stays
+        # stateless) and the routing key lands the bundle exactly where
+        # its sweep is routed.
+        allowed = protocol.TOOLFLOW_OPS + (protocol.PUT_TRACE_OP,) + (
             ("_crash", "_sleep") if self.config.debug_ops else ()
         )
         if op not in allowed:
@@ -412,6 +446,7 @@ class Gateway:
             request_id=request_id, op=op, params=params, klass=klass,
             deadline=time.monotonic() + timeout_ms / 1000.0,
             respond=respond, route_key=routing_key(op, params),
+            frames=frames,
         )
         verdict = self.admission.submit(entry)
         if verdict == protocol.OVERLOADED:
@@ -514,7 +549,7 @@ class Gateway:
             try:
                 response = await backend.execute(
                     entry.op, entry.params, entry.remaining_ms(),
-                    klass=entry.klass,
+                    klass=entry.klass, frames=entry.frames,
                 )
             except BackendDied as exc:
                 backend.mark_dead()

@@ -336,6 +336,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("stats", "metric series from the server's repro.obs registry"),
         ("run", "run the five-op toolflow for one workload via the service"),
         ("smoke", "concurrent mixed-load smoke test (CI gate)"),
+        ("sweep", "digest-addressed trace-ref config sweep (CI gate "
+                  "for the binary wire framing)"),
     ):
         cp = client_sub.add_parser(client_cmd, help=help_text)
         cp.add_argument(
@@ -361,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="concurrent client threads (default 8)")
             cp.add_argument("--requests", type=int, default=50,
                             help="total requests to issue (default 50)")
+        elif client_cmd == "sweep":
+            cp.add_argument("--points", type=int, default=16,
+                            help="machine configs in the sweep "
+                                 "(default 16)")
 
     explore_p = sub.add_parser(
         "explore",
@@ -761,7 +767,7 @@ def _gateway_run(args) -> int:
 
 
 def _client_command(args) -> int:
-    """``t1000 client health|stats|run|smoke``."""
+    """``t1000 client health|stats|run|smoke|sweep``."""
     import json
 
     from repro.serve import protocol
@@ -785,6 +791,15 @@ def _client_command(args) -> int:
                 for line in report.mismatches:
                     print(f"  {line}", file=sys.stderr)
                 return 0 if report.passed else 1
+            elif args.client_command == "sweep":
+                from repro.serve.loadtest import run_sweep
+
+                sweep = run_sweep(args.connect, points=args.points,
+                                  timeout=args.timeout)
+                print(sweep.summary())
+                for line in sweep.mismatches:
+                    print(f"  {line}", file=sys.stderr)
+                return 0 if sweep.passed else 1
     except protocol.ServeError as exc:
         print(f"t1000 client: {exc}", file=sys.stderr)
         return 2

@@ -225,6 +225,40 @@ def render_metrics_report(datasets: list[dict], top: int = 6) -> str:
                 f"  {sweep}: {_fmt_count(total)} point(s) — {parts}{saved}"
             )
 
+    # --------------------------------------------- serve wire framing
+    wire_bytes: dict[str, float] = defaultdict(float)
+    cache_counts: dict[str, float] = defaultdict(float)
+    for row in rows:
+        name = row["name"]
+        if row["kind"] != "counter":
+            continue
+        if name in ("serve.wire.rx_bytes", "serve.wire.tx_bytes"):
+            wire_bytes[name] += row["value"]
+        elif name.startswith("serve.trace_cache."):
+            cache_counts[name.rsplit(".", 1)[1]] += row["value"]
+    if wire_bytes or cache_counts:
+        lines.append("")
+        lines.append("serve (wire + trace cache)")
+        if wire_bytes:
+            lines.append(
+                f"  wire traffic: "
+                f"{_fmt_count(wire_bytes['serve.wire.rx_bytes'])} B in, "
+                f"{_fmt_count(wire_bytes['serve.wire.tx_bytes'])} B out"
+            )
+        if cache_counts:
+            hits = cache_counts.get("hits", 0)
+            misses = cache_counts.get("misses", 0)
+            looked = hits + misses
+            rate = f" ({hits / looked:.1%} hit rate)" if looked else ""
+            lines.append(
+                f"  trace cache: {_fmt_count(hits)} hit(s), "
+                f"{_fmt_count(misses)} miss(es){rate}, "
+                f"{_fmt_count(cache_counts.get('evictions', 0))} "
+                f"eviction(s), "
+                f"{_fmt_count(cache_counts.get('need_trace', 0))} "
+                f"need_trace round trip(s)"
+            )
+
     # ------------------------------------------------------- gateway
     gw_requests: dict[str, float] = defaultdict(float)
     gw_outcomes: dict[str, float] = defaultdict(float)

@@ -38,16 +38,27 @@ Semantics:
   responses are stashed by id until their owner asks).  The design
   space explorer (:mod:`repro.explore`) uses this to batch a sweep's
   simulate calls against a fleet.
+- **send-once traces** — :meth:`ServeClient.trace_ref` wraps a
+  simulate payload as a digest-addressed :class:`TraceRef`; passing it
+  as ``program=`` makes every request carry a 16-hex-char digest
+  instead of the pickled program, with the binary bundle uploaded at
+  most once per backend (a ``need_trace`` miss triggers one
+  ``put_trace`` upload and a retry, transparently).  Setting
+  ``REPRO_SERVE_PICKLE=1`` makes refs *inline* — requests degrade to
+  the legacy pickled-params wire — and responses are byte-identical
+  either way.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import random
 import socket
 import time
 from typing import Any, Mapping, Sequence
 
+from repro import wire
 from repro.serve import protocol
 
 #: Distinguishes "argument not given" from an explicit ``None`` in
@@ -71,24 +82,82 @@ def _jittered_backoff(base: float, prev: float,
     return min(cap, random.uniform(base, max(base, prev * 3.0)))
 
 
+class TraceRef:
+    """A digest-addressed simulate payload (program + ``ext_defs`` +
+    ``max_steps`` + optionally the precomputed trace).
+
+    Build one with :meth:`ServeClient.trace_ref` and pass it as the
+    ``program=`` argument of :meth:`ServeClient.simulate` /
+    :meth:`~ServeClient.simulate_submit`.  Encoding and digesting are
+    lazy and cached, so a 400-point sweep hashes the bundle once.  An
+    *inline* ref (the ``REPRO_SERVE_PICKLE=1`` escape hatch) never
+    touches the binary wire: requests carry the legacy pickled params.
+    """
+
+    def __init__(self, program, ext_defs=None, max_steps: int | None = None,
+                 trace=None, inline: bool = False):
+        self.program = program
+        self.ext_defs = ext_defs
+        self.max_steps = max_steps
+        self.trace = trace
+        self.inline = inline
+        self._chunks: list | None = None
+        self._digest: str | None = None
+
+    def chunks(self) -> list:
+        """The encoded bundle as a zero-copy chunk list."""
+        if self._chunks is None:
+            self._chunks = wire.bundle_chunks(
+                self.program, self.ext_defs, self.max_steps,
+                trace=self.trace,
+            )
+        return self._chunks
+
+    @property
+    def digest(self) -> str:
+        if self._digest is None:
+            self._digest = wire.chunks_digest(self.chunks())
+        return self._digest
+
+    @property
+    def nbytes(self) -> int:
+        return sum(len(c) for c in self.chunks())
+
+
 class PendingCall:
     """Handle for a pipelined request sent with :meth:`ServeClient.submit`.
 
     ``result()`` blocks until the response arrives (draining and
     stashing any other pipelined responses it passes on the way) and
-    raises the same typed errors as :meth:`ServeClient.call`.
+    raises the same typed errors as :meth:`ServeClient.call`.  A
+    pending by-ref simulate additionally recovers from ``need_trace``:
+    upload the bundle, re-issue synchronously.
     """
 
-    def __init__(self, client: "ServeClient", request_id: int, op: str):
+    def __init__(self, client: "ServeClient", request_id: int, op: str,
+                 retry: tuple | None = None):
         self._client = client
         self.request_id = request_id
         self.op = op
         self._response: dict | None = None
+        self._retry = retry
 
     def result(self) -> Any:
         if self._response is None:
             self._response = self._client._read_response(self.request_id)
-        return self._client._decode_response(self._response)
+        try:
+            return self._client._decode_response(self._response)
+        except protocol.NeedTraceError:
+            if self._retry is None:
+                raise
+            params, timeout_ms, ref = self._retry
+            # Re-issue synchronously; call() itself recovers a repeat
+            # miss with one upload.  Re-issuing first (rather than
+            # uploading first) means a batch of pipelined misses — a
+            # failover lands the whole sweep's responses at once —
+            # uploads exactly once, not once per pending call.
+            return self._client.call(self.op, params,
+                                     timeout_ms=timeout_ms, trace_ref=ref)
 
 
 def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
@@ -112,6 +181,7 @@ class ServeClient:
         retries: int = 2,
         retry_backoff: float = 0.05,
         admission_class: str | None = None,
+        framed: bool | None = None,
     ):
         self.address = _parse_address(address)
         self.timeout = timeout
@@ -122,6 +192,16 @@ class ServeClient:
         #: the field; a :mod:`repro.gateway` uses it to prioritise
         #: interactive traffic over bulk sweeps.
         self.admission_class = admission_class
+        #: Whether :meth:`trace_ref` produces digest-addressed refs
+        #: (the default) or inline ones (``REPRO_SERVE_PICKLE=1``, or
+        #: an explicit ``framed=False`` — the benchmark's pickle leg).
+        self.framed = (os.environ.get("REPRO_SERVE_PICKLE") != "1"
+                       if framed is None else framed)
+        #: Wire accounting, visible to loadtest/benchmark reporting.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.need_trace_retries = 0
+        self.trace_uploads = 0
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count(1)
@@ -165,44 +245,97 @@ class ServeClient:
     # ------------------------------------------------------------------
     # the request loop
 
-    def call(self, op: str, params: dict | None = None,
-             timeout_ms: int | None = None) -> Any:
-        """Send one request and return its decoded result.
+    def _request_payload(self, op: str, params: dict | None,
+                         timeout_ms: int | None,
+                         frame_chunks: list | None) -> tuple[int, list]:
+        """Fresh (request_id, send buffers) for one request.
 
-        Raises the typed :class:`~repro.serve.protocol.ServeError`
-        subclass matching the server's error code."""
+        ``frame_chunks`` is a zero-copy chunk list forming one binary
+        attachment; its total size is declared on the JSON line and the
+        chunks ride behind the newline untouched."""
         request_id = next(self._ids)
-        request = {"id": request_id, "op": op, "params": params or {}}
+        request: dict[str, Any] = {
+            "id": request_id, "op": op, "params": params or {},
+        }
         request["timeout_ms"] = (
             timeout_ms if timeout_ms is not None
             else int(self.timeout * 1000)
         )
         if self.admission_class is not None:
             request["class"] = self.admission_class
-        line = protocol.dump_line(request)
+        buffers: list = []
+        if frame_chunks is not None:
+            request["frames"] = [sum(len(c) for c in frame_chunks)]
+            buffers.extend(frame_chunks)
+        return request_id, [protocol.dump_line(request), *buffers]
+
+    def _send_buffers(self, buffers: list) -> None:
+        """Vectored send: every buffer (header line, bundle chunks)
+        goes to the kernel as-is — ``sendmsg`` when available, a
+        single joined ``sendall`` otherwise."""
+        views = [memoryview(b).cast("B") for b in buffers]
+        self.bytes_sent += sum(len(v) for v in views)
+        sendmsg = getattr(self._sock, "sendmsg", None)
+        if sendmsg is None:  # pragma: no cover - exotic platforms
+            self._sock.sendall(b"".join(views))
+            return
+        while views:
+            sent = sendmsg(views)
+            if sent <= 0:
+                raise ConnectionError("socket send made no progress")
+            while views and sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            if views and sent:
+                views[0] = views[0][sent:]
+
+    def _roundtrip(self, op: str, params: dict | None,
+                   timeout_ms: int | None,
+                   frame_chunks: list | None = None) -> dict:
+        """One request/response exchange with reconnect retries."""
         last_exc: Exception | None = None
         delay = self.retry_backoff
         for attempt in range(self.retries + 1):
+            request_id, buffers = self._request_payload(
+                op, params, timeout_ms, frame_chunks)
             try:
                 self.connect()
-                self._sock.sendall(line)
-                response = self._read_response(request_id)
-                break
+                self._send_buffers(buffers)
+                return self._read_response(request_id)
             except _CONNECT_ERRORS as exc:
                 last_exc = exc
                 self.close()
                 if attempt < self.retries:
                     delay = _jittered_backoff(self.retry_backoff, delay)
                     time.sleep(delay)
-        else:
-            raise protocol.ServerClosedError(
-                f"cannot reach server at {self.address[0]}:"
-                f"{self.address[1]}: {last_exc}"
-            ) from last_exc
-        return self._decode_response(response)
+        raise protocol.ServerClosedError(
+            f"cannot reach server at {self.address[0]}:"
+            f"{self.address[1]}: {last_exc}"
+        ) from last_exc
+
+    def call(self, op: str, params: dict | None = None,
+             timeout_ms: int | None = None, *,
+             frame_chunks: list | None = None,
+             trace_ref: "TraceRef | None" = None) -> Any:
+        """Send one request and return its decoded result.
+
+        Raises the typed :class:`~repro.serve.protocol.ServeError`
+        subclass matching the server's error code — except
+        ``need_trace`` when ``trace_ref`` is given, which is recovered
+        by uploading the bundle and retrying."""
+        try:
+            return self._decode_response(
+                self._roundtrip(op, params, timeout_ms, frame_chunks))
+        except protocol.NeedTraceError:
+            if trace_ref is None or trace_ref.inline:
+                raise
+            self._recover_need_trace(trace_ref)
+            return self._decode_response(
+                self._roundtrip(op, params, timeout_ms, frame_chunks))
 
     def submit(self, op: str, params: dict | None = None,
-               timeout_ms: int | None = None) -> PendingCall:
+               timeout_ms: int | None = None, *,
+               trace_ref: "TraceRef | None" = None) -> PendingCall:
         """Send one request without waiting; resolve via the returned
         :class:`PendingCall`.
 
@@ -211,17 +344,19 @@ class ServeClient:
         connection, so connection failures surface to the caller (who
         can safely resubmit the whole batch — toolflow ops are pure).
         """
-        request_id = next(self._ids)
-        request = {"id": request_id, "op": op, "params": params or {}}
-        request["timeout_ms"] = (
-            timeout_ms if timeout_ms is not None
-            else int(self.timeout * 1000)
-        )
-        if self.admission_class is not None:
-            request["class"] = self.admission_class
+        request_id, buffers = self._request_payload(
+            op, params, timeout_ms, None)
         self.connect()
-        self._sock.sendall(protocol.dump_line(request))
-        return PendingCall(self, request_id, op)
+        self._send_buffers(buffers)
+        retry = (None if trace_ref is None or trace_ref.inline
+                 else (params, timeout_ms, trace_ref))
+        return PendingCall(self, request_id, op, retry=retry)
+
+    def _recover_need_trace(self, ref: "TraceRef") -> None:
+        """The miss path of the send-once protocol: count the retry,
+        upload the bundle, let the caller re-issue."""
+        self.need_trace_retries += 1
+        self.put_trace(ref)
 
     def _decode_response(self, response: dict) -> Any:
         if response.get("ok"):
@@ -241,6 +376,7 @@ class ServeClient:
             line = self._rfile.readline()
             if not line:
                 raise ConnectionError("server closed the connection")
+            self.bytes_received += len(line)
             response = protocol.parse_line(line)
             rid = response.get("id")
             if rid in (request_id, None):
@@ -309,22 +445,77 @@ class ServeClient:
         rewritten, ext_defs = result
         return rewritten, ext_defs
 
-    def simulate(self, *, program, machine=None, ext_defs=None,
-                 max_steps: int | None = None,
-                 timeout_ms: int | None = None):
-        """Simulate ``program``; pass a sequence of machines for a sweep
-        (returns a list of :class:`~repro.sim.ooo.SimStats` in order)."""
-        params: dict[str, Any] = {
+    def trace_ref(self, *, program, ext_defs=None,
+                  max_steps: int | None = None, trace=None) -> TraceRef:
+        """A digest-addressed handle for the simulate payload.
+
+        Pass the result as ``program=`` to :meth:`simulate` /
+        :meth:`simulate_submit`; the bundle ships at most once per
+        backend.  ``trace`` may carry a locally computed
+        :class:`~repro.sim.trace.DynTrace` to spare the backend its
+        functional run.  On a non-framed client (the
+        ``REPRO_SERVE_PICKLE=1`` escape hatch) the ref is *inline* and
+        requests degrade to the legacy wire transparently."""
+        return TraceRef(program, ext_defs=ext_defs, max_steps=max_steps,
+                        trace=trace, inline=not self.framed)
+
+    def put_trace(self, ref: TraceRef) -> dict:
+        """Upload ``ref``'s bundle into the backend trace cache.
+
+        Usually implicit (the ``need_trace`` recovery inside
+        :meth:`call`); explicit warmup avoids even the first miss."""
+        if ref.inline:
+            raise protocol.BadRequestError(
+                "cannot put_trace an inline TraceRef")
+        self.trace_uploads += 1
+        return self.call(protocol.PUT_TRACE_OP, {"digest": ref.digest},
+                         frame_chunks=ref.chunks())
+
+    def _simulate_params(self, program, machine, ext_defs, max_steps
+                         ) -> "tuple[dict, TraceRef | None]":
+        """Wire params for a simulate — by-ref when ``program`` is a
+        framed :class:`TraceRef`, legacy otherwise."""
+        ref: TraceRef | None = None
+        if isinstance(program, TraceRef):
+            ref = program
+            if ext_defs is not None or max_steps is not None:
+                raise protocol.BadRequestError(
+                    "ext_defs/max_steps are fixed by the TraceRef; pass "
+                    "them to trace_ref() instead")
+            if ref.inline:
+                program, ext_defs, max_steps = (
+                    ref.program, ref.ext_defs, ref.max_steps)
+                ref = None
+            else:
+                params: dict[str, Any] = {"trace_ref": ref.digest}
+                self._add_machines(params, machine)
+                return params, ref
+        params = {
             "program": protocol.encode_value(program),
             "ext_defs": protocol.encode_value(ext_defs),
         }
         if max_steps is not None:
             params["max_steps"] = max_steps
+        self._add_machines(params, machine)
+        return params, None
+
+    @staticmethod
+    def _add_machines(params: dict, machine) -> None:
         if isinstance(machine, (list, tuple)):
             params["machines"] = [protocol.encode_value(m) for m in machine]
         else:
             params["machine"] = protocol.encode_value(machine)
-        return self.call("simulate", params, timeout_ms=timeout_ms)
+
+    def simulate(self, *, program, machine=None, ext_defs=None,
+                 max_steps: int | None = None,
+                 timeout_ms: int | None = None):
+        """Simulate ``program`` (a ``Program`` or a :class:`TraceRef`);
+        pass a sequence of machines for a sweep (returns a list of
+        :class:`~repro.sim.ooo.SimStats` in order)."""
+        params, ref = self._simulate_params(
+            program, machine, ext_defs, max_steps)
+        return self.call("simulate", params, timeout_ms=timeout_ms,
+                         trace_ref=ref)
 
     def simulate_submit(self, *, program, machine=None, ext_defs=None,
                         max_steps: int | None = None,
@@ -335,17 +526,10 @@ class ServeClient:
         driver's pattern for fanning one rewritten program across many
         machine configurations without a round trip per point.
         """
-        params: dict[str, Any] = {
-            "program": protocol.encode_value(program),
-            "ext_defs": protocol.encode_value(ext_defs),
-        }
-        if max_steps is not None:
-            params["max_steps"] = max_steps
-        if isinstance(machine, (list, tuple)):
-            params["machines"] = [protocol.encode_value(m) for m in machine]
-        else:
-            params["machine"] = protocol.encode_value(machine)
-        return self.submit("simulate", params, timeout_ms=timeout_ms)
+        params, ref = self._simulate_params(
+            program, machine, ext_defs, max_steps)
+        return self.submit("simulate", params, timeout_ms=timeout_ms,
+                           trace_ref=ref)
 
     # ------------------------------------------------------------------
     # service endpoints

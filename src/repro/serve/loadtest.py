@@ -81,6 +81,10 @@ class SmokeReport:
     overloaded: int = 0
     mismatches: list[str] = dataclasses.field(default_factory=list)
     dropped: int = 0
+    #: Wire traffic, summed over every client thread's socket counters.
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    need_trace_retries: int = 0
 
     @property
     def passed(self) -> bool:
@@ -88,13 +92,17 @@ class SmokeReport:
 
     def summary(self) -> str:
         status = "OK" if self.passed else "FAILED"
+        per_request = (
+            f", wire {self.bytes_sent}B out / {self.bytes_received}B in"
+            f" ({self.bytes_sent // max(1, self.issued)}B sent/request)"
+        )
         return (
             f"serve smoke: {self.issued} request(s) issued, "
             f"{self.answered} answered ({self.ok} ok, "
             f"{self.server_errors} explicit error(s), "
             f"{self.overloaded} overloaded), "
             f"{self.dropped} dropped, {len(self.mismatches)} "
-            f"mismatch(es) — {status}"
+            f"mismatch(es){per_request} — {status}"
         )
 
 
@@ -172,31 +180,40 @@ def run_smoke(
 
     def drive() -> None:
         with ServeClient(address, timeout=timeout) as client:
-            while True:
-                ticket = next_ticket()
-                if ticket is None:
-                    return
-                try:
-                    one_request(client, ticket)
-                except protocol.OverloadedError:
-                    # An explicit 429-style answer IS an answer: the
-                    # no-drops guarantee is about silence, not success.
-                    record("overloaded")
-                    record("answered")
-                    record("server_errors")
-                except protocol.ServeError as exc:
-                    if isinstance(exc, protocol.ServerClosedError):
-                        record("dropped")
-                        with lock:
-                            report.mismatches.append(
-                                f"ticket {ticket}: no response ({exc})"
-                            )
-                    else:
-                        record("answered")
-                        record("server_errors")
+            try:
+                _drive_tickets(client)
+            finally:
+                with lock:
+                    report.bytes_sent += client.bytes_sent
+                    report.bytes_received += client.bytes_received
+                    report.need_trace_retries += client.need_trace_retries
+
+    def _drive_tickets(client: ServeClient) -> None:
+        while True:
+            ticket = next_ticket()
+            if ticket is None:
+                return
+            try:
+                one_request(client, ticket)
+            except protocol.OverloadedError:
+                # An explicit 429-style answer IS an answer: the
+                # no-drops guarantee is about silence, not success.
+                record("overloaded")
+                record("answered")
+                record("server_errors")
+            except protocol.ServeError as exc:
+                if isinstance(exc, protocol.ServerClosedError):
+                    record("dropped")
+                    with lock:
+                        report.mismatches.append(
+                            f"ticket {ticket}: no response ({exc})"
+                        )
                 else:
                     record("answered")
-                    record("ok")
+                    record("server_errors")
+            else:
+                record("answered")
+                record("ok")
 
     threads = [
         threading.Thread(target=drive, name=f"smoke-{i}", daemon=True)
@@ -223,6 +240,8 @@ class ThroughputPoint:
     seconds: float
     ok: int
     errors: int
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     @property
     def rps(self) -> float:
@@ -232,7 +251,9 @@ class ThroughputPoint:
         return (
             f"{self.clients} client(s): {self.requests} request(s) in "
             f"{self.seconds:.2f}s = {self.rps:.1f} req/s "
-            f"({self.ok} ok, {self.errors} error(s))"
+            f"({self.ok} ok, {self.errors} error(s), "
+            f"{self.bytes_sent // max(1, self.requests)}B sent/request, "
+            f"{self.bytes_received // max(1, self.requests)}B recv/request)"
         )
 
 
@@ -257,34 +278,40 @@ def run_throughput(
         api.compile(source=source, name=f"throughput_{i}")
         for i in range(distinct_programs)
     ]
-    counts = {"ok": 0, "errors": 0}
+    counts = {"ok": 0, "errors": 0, "bytes_sent": 0, "bytes_received": 0}
     lock = threading.Lock()
     shares = [
         range(worker, requests, clients) for worker in range(clients)
     ]
 
     def drive(share) -> None:
-        ok = errors = 0
+        ok = errors = sent = received = 0
         try:
             with ServeClient(address, timeout=timeout,
                              admission_class=admission_class) as client:
-                pending = [
-                    client.simulate_submit(
-                        program=programs[ticket % len(programs)]
-                    )
-                    for ticket in share
-                ]
-                for call in pending:
-                    try:
-                        call.result()
-                        ok += 1
-                    except protocol.ServeError:
-                        errors += 1
+                try:
+                    pending = [
+                        client.simulate_submit(
+                            program=programs[ticket % len(programs)]
+                        )
+                        for ticket in share
+                    ]
+                    for call in pending:
+                        try:
+                            call.result()
+                            ok += 1
+                        except protocol.ServeError:
+                            errors += 1
+                finally:
+                    sent = client.bytes_sent
+                    received = client.bytes_received
         except protocol.ServeError:
             errors += len(share) - ok - errors
         with lock:
             counts["ok"] += ok
             counts["errors"] += errors
+            counts["bytes_sent"] += sent
+            counts["bytes_received"] += received
 
     threads = [
         threading.Thread(target=drive, args=(share,),
@@ -300,4 +327,128 @@ def run_throughput(
     return ThroughputPoint(
         clients=clients, requests=requests, seconds=elapsed,
         ok=counts["ok"], errors=counts["errors"],
+        bytes_sent=counts["bytes_sent"],
+        bytes_received=counts["bytes_received"],
     )
+
+
+# ----------------------------------------------------------------------
+# trace-ref sweep (the zero-copy framing's acceptance check)
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Outcome of one digest-addressed config sweep."""
+
+    points: int
+    ok: int = 0
+    mismatches: list[str] = dataclasses.field(default_factory=list)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: ``need_trace`` recoveries during warmup (at most one expected —
+    #: the first by-ref simulate against a cold cache).
+    warmup_retries: int = 0
+    #: ``need_trace`` recoveries *after* warmup; any nonzero value means
+    #: the cache dropped the bundle mid-sweep and the pass fails.
+    sweep_retries: int = 0
+    trace_uploads: int = 0
+    #: Server-side ``serve.trace_cache`` stats, when the endpoint
+    #: exposes them (a direct backend does; a gateway's ``stats`` is
+    #: fleet-level, so the fields stay ``None`` there and the hit-rate
+    #: assertion is skipped).
+    cache_hits: "int | None" = None
+    cache_misses: "int | None" = None
+    framed: bool = True
+
+    @property
+    def passed(self) -> bool:
+        if self.ok != self.points or self.mismatches:
+            return False
+        if self.sweep_retries != 0:
+            return False
+        if self.framed and self.cache_hits is not None:
+            return self.cache_hits > 0
+        return True
+
+    def summary(self) -> str:
+        status = "OK" if self.passed else "FAILED"
+        cache = (
+            f"cache hits {self.cache_hits} / misses {self.cache_misses}"
+            if self.cache_hits is not None else "cache stats n/a"
+        )
+        return (
+            f"trace-ref sweep: {self.ok}/{self.points} point(s) "
+            f"byte-identical, {len(self.mismatches)} mismatch(es), "
+            f"{self.warmup_retries} warmup / {self.sweep_retries} sweep "
+            f"need_trace retr(ies), {self.trace_uploads} upload(s), "
+            f"{cache}, wire {self.bytes_sent}B out "
+            f"({self.bytes_sent // max(1, self.points)}B sent/point) "
+            f"— {status}"
+        )
+
+
+def run_sweep(
+    address: "str | tuple[str, int]",
+    points: int = 16,
+    timeout: float = 120.0,
+    admission_class: str | None = None,
+) -> SweepReport:
+    """Pipeline a ``points``-config sweep through one digest-addressed
+    :class:`~repro.serve.client.TraceRef` and verify the framing's
+    promises: every answer byte-identical to a serial in-process run,
+    the bundle shipped at most once (zero ``need_trace`` retries after
+    warmup), and the server's trace cache actually hit.
+    """
+    program = api.compile(source=_SMOKE_SOURCES["smoke_mac"],
+                          name="sweep_mac")
+    machines = [
+        api.MachineConfig(ruu_size=16 + 8 * i) for i in range(points)
+    ]
+    expected = [
+        _canonical(api.simulate(program=program, machine=machine))
+        for machine in machines
+    ]
+
+    report = SweepReport(points=points)
+    with ServeClient(address, timeout=timeout,
+                     admission_class=admission_class) as client:
+        report.framed = client.framed
+        ref = client.trace_ref(program=program)
+        # Warmup: the first by-ref simulate pays the one need_trace
+        # round trip (miss -> upload -> retry) against a cold cache.
+        warm = client.simulate(program=ref, machine=machines[0])
+        if _canonical(warm) != expected[0]:
+            report.mismatches.append("warmup point diverged")
+        report.warmup_retries = client.need_trace_retries
+
+        pending = [
+            client.simulate_submit(program=ref, machine=machine)
+            for machine in machines
+        ]
+        for i, call in enumerate(pending):
+            try:
+                stats = call.result()
+            except protocol.ServeError as exc:
+                report.mismatches.append(f"point {i}: {exc}")
+                continue
+            if _canonical(stats) != expected[i]:
+                report.mismatches.append(
+                    f"point {i} (ruu_size={machines[i].ruu_size}) diverged"
+                )
+            else:
+                report.ok += 1
+
+        report.sweep_retries = (
+            client.need_trace_retries - report.warmup_retries
+        )
+        report.trace_uploads = client.trace_uploads
+        report.bytes_sent = client.bytes_sent
+        report.bytes_received = client.bytes_received
+        try:
+            cache = client.stats().get("trace_cache")
+        except protocol.ServeError:
+            cache = None
+        if isinstance(cache, dict):
+            report.cache_hits = cache.get("hits")
+            report.cache_misses = cache.get("misses")
+    return report

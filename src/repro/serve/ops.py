@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from typing import Any
 
 from repro.engine.pipeline import ArtifactPipeline
@@ -75,6 +76,12 @@ def _coerce_machine(machine: Any) -> MachineConfig:
 class OpRunner:
     """Executes op batches against a (possibly store-backed) pipeline."""
 
+    #: Decoded simulate bundles kept per worker process.  Small on
+    #: purpose — the authoritative cache is the server's byte-blob
+    #: :class:`~repro.serve.trace_cache.TraceCache`; this only saves
+    #: re-decoding across consecutive batches of the same sweep.
+    BUNDLE_CACHE_ENTRIES = 8
+
     def __init__(self, cache_dir: str | None = None, sim_jobs: int = 1):
         store = ArtifactStore(cache_dir) if cache_dir else None
         self.pipeline = ArtifactPipeline(store=store, sim_jobs=sim_jobs)
@@ -82,6 +89,7 @@ class OpRunner:
         # in a coalesced batch stay serial regardless, so passing jobs
         # through unconditionally is safe.
         self.sim_jobs = sim_jobs
+        self._bundles: OrderedDict[str, Any] = OrderedDict()
 
     # ------------------------------------------------------------------
     # store plumbing (serve artefacts are keyed by program fingerprint,
@@ -103,12 +111,26 @@ class OpRunner:
 
     def run_job(self, job: dict) -> dict:
         """Execute one job; returns per-item results plus the telemetry
-        counter delta (bridged into the server's metrics)."""
+        counter delta (bridged into the server's metrics).
+
+        A by-ref simulate job (``trace_ref`` digest) resolves its
+        bundle from the in-process decode cache or the job's attached
+        ``trace_blob``; when neither is available the reply is
+        ``{"need_blob": digest}`` and the server re-sends the job with
+        the blob attached — the worker-side half of the
+        digest-addressed protocol."""
         snapshot = self.pipeline.telemetry.snapshot()
         op = job["op"]
         items = job["items"]
         if op == "simulate":
-            results = self._simulate_batch(items)
+            bundle = None
+            digest = job.get("trace_ref")
+            if digest is not None:
+                bundle = self._bundle_for(digest, job.get("trace_blob"))
+                if bundle is None:
+                    return {"need_blob": digest, "results": [],
+                            "telemetry": {}}
+            results = self._simulate_batch(items, bundle=bundle)
         else:
             results = [self._run_single(op, item) for item in items]
         self.pipeline.flush()
@@ -116,6 +138,29 @@ class OpRunner:
             "results": results,
             "telemetry": self.pipeline.telemetry.delta_since(snapshot),
         }
+
+    def _bundle_for(self, digest: str, blob: bytes | None):
+        """The decoded bundle for ``digest`` — from the LRU, or decoded
+        (and digest-verified) from ``blob``; ``None`` when unknown."""
+        from repro import wire
+
+        cached = self._bundles.get(digest)
+        if cached is not None:
+            self._bundles.move_to_end(digest)
+            return cached
+        if blob is None:
+            return None
+        actual = wire.chunks_digest([blob])
+        if actual != digest:
+            raise protocol.BadRequestError(
+                f"trace bundle digest mismatch: job says {digest!r}, "
+                f"blob hashes to {actual!r}"
+            )
+        bundle = wire.decode_bundle(blob)
+        self._bundles[digest] = bundle
+        while len(self._bundles) > self.BUNDLE_CACHE_ENTRIES:
+            self._bundles.popitem(last=False)
+        return bundle
 
     def _run_single(self, op: str, params: dict) -> dict:
         try:
@@ -200,10 +245,16 @@ class OpRunner:
             extdefs=_ext_defs_digest(ext_defs), max_steps=max_steps,
         )
 
-    def _simulate_batch(self, items: list[dict]) -> list[dict]:
+    def _simulate_batch(self, items: list[dict],
+                        bundle=None) -> list[dict]:
         """Simulate a coalesced batch: items share (program, ext_defs,
         max_steps) by construction (the broker groups on that key) but
-        each carries its own machine configuration.
+        each carries its own machine configuration.  With ``bundle``
+        (a decoded :class:`repro.wire.SimulateBundle` — the by-ref
+        path) the shared payload comes from the bundle instead of the
+        items, and a bundle-shipped trace skips the functional run
+        outright; results are identical either way, since the
+        functional simulator is deterministic.
 
         One functional execution produces the shared trace; duplicate
         machine configurations within the batch are deduplicated (one
@@ -224,13 +275,22 @@ class OpRunner:
                 "message": f"{type(exc).__name__}: {exc}",
             }}
 
-        # Decode the shared payload once (items carry identical blobs).
+        # Decode the shared payload once (items carry identical blobs,
+        # or none at all on the by-ref path).
         try:
-            first = items[0]
-            program = protocol.decode_value(first["program"])
-            ext_defs = protocol.decode_value(first.get("ext_defs"))
-            max_steps = first.get("max_steps", 50_000_000)
-            trace = self._trace_for(program, ext_defs, max_steps)
+            if bundle is not None:
+                program = bundle.program
+                ext_defs = bundle.ext_defs
+                max_steps = bundle.max_steps
+                trace = bundle.trace
+            else:
+                first = items[0]
+                program = protocol.decode_value(first["program"])
+                ext_defs = protocol.decode_value(first.get("ext_defs"))
+                max_steps = first.get("max_steps", 50_000_000)
+                trace = None
+            if trace is None:
+                trace = self._trace_for(program, ext_defs, max_steps)
         except (ReproError, AssertionError, TypeError, ValueError) as exc:
             for i in range(len(items)):
                 fail(i, exc)

@@ -12,11 +12,27 @@ Two framings share one value codec:
   The ``id`` is chosen by the client and echoed verbatim, so a client
   may pipeline requests and correlate out-of-order responses.
 
-- **server <-> worker**: length-prefixed pickle frames over the worker
-  subprocess's stdin/stdout pipes (``!I`` byte count, then the pickled
-  job or reply).  Pickle never crosses the network unparsed: the server
-  process forwards client payloads opaquely and only the sandboxed-ish
-  worker process decodes them.
+- **server <-> worker**: length-prefixed frames over the worker
+  subprocess's stdin/stdout pipes (``!I`` byte count, a one-byte kind
+  tag, then the payload).  Kind ``J`` is compact JSON with binary
+  chunks hoisted out-of-band — the hot path, since by-ref simulate
+  jobs carry their trace bundle as raw bytes that then ride the pipe
+  without a pickle copy; kind ``P`` is the legacy pickle frame, kept
+  as the fallback for non-JSON-safe jobs and forced by
+  ``REPRO_SERVE_PICKLE=1``.  Pickle never crosses the network
+  unparsed: the server process forwards client payloads opaquely and
+  only the sandboxed-ish worker process decodes them.
+
+A request line may also declare binary **attachments**: a top-level
+``"frames": [nbytes, ...]`` list means that many raw binary frames
+follow the newline, back to back.  Frame bytes are never JSON-escaped
+or base64'd — the ``put_trace`` op uses this to upload a
+:mod:`repro.wire` simulate bundle, and the digest-addressed
+``$trace_ref`` form of ``simulate`` then refers to it by content
+digest (a cache miss answers the typed :data:`NEED_TRACE` error and
+the client re-uploads once).  Responses stay pure JSON lines, so they
+remain byte-identical across the framed and legacy paths and the
+gateway can relay them verbatim.
 
 Rich toolflow values travel inside the JSON as tagged envelopes
 (:func:`encode_value` / :func:`decode_value`): :class:`SimStats` and
@@ -35,11 +51,13 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import pickle
 import struct
 from typing import Any, BinaryIO
 
 from repro.errors import ReproError
+from repro.wire import DEFAULT_MAX_STEPS  # noqa: F401  (re-export)
 
 #: Protocol version, echoed by the ``health`` endpoint.
 PROTOCOL_VERSION = 1
@@ -47,6 +65,10 @@ PROTOCOL_VERSION = 1
 #: Hard cap on one JSON line (64 MiB) — guards the server against a
 #: runaway or malicious client stream.
 MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Hard cap on the total binary attachment bytes one request may
+#: declare via ``"frames"`` (256 MiB).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 # ----------------------------------------------------------------------
 # error codes
@@ -66,16 +88,22 @@ OP_FAILED = "op_failed"
 WORKER_CRASHED = "worker_crashed"
 #: The server is draining and no longer admits new work.
 SHUTTING_DOWN = "shutting_down"
+#: A ``$trace_ref`` digest is not (or no longer) in this backend's
+#: trace cache; the client should ``put_trace`` the bundle and retry.
+NEED_TRACE = "need_trace"
 
 ERROR_CODES = frozenset({
     OVERLOADED, DEADLINE_EXCEEDED, BAD_REQUEST, OP_FAILED,
-    WORKER_CRASHED, SHUTTING_DOWN,
+    WORKER_CRASHED, SHUTTING_DOWN, NEED_TRACE,
 })
 
 #: The five toolflow operations (mirroring :mod:`repro.api`) plus the
 #: two inline endpoints answered by the server itself.
 TOOLFLOW_OPS = ("compile", "profile", "select", "rewrite", "simulate")
 INLINE_OPS = ("health", "stats")
+#: Uploads a :mod:`repro.wire` simulate bundle (the request's first
+#: binary attachment) into the backend's digest-addressed trace cache.
+PUT_TRACE_OP = "put_trace"
 
 
 class ServeError(ReproError):
@@ -120,6 +148,20 @@ class ServerClosedError(ServeError):
     code = SHUTTING_DOWN
 
 
+class NeedTraceError(ServeError):
+    """The referenced trace bundle is not cached on this backend.
+
+    :class:`~repro.serve.client.ServeClient` treats this as a
+    self-healing miss: upload the bundle with ``put_trace``, retry the
+    request once."""
+
+    code = NEED_TRACE
+
+    @property
+    def digest(self) -> str:
+        return str(self.details.get("digest", ""))
+
+
 _ERROR_CLASSES: dict[str, type[ServeError]] = {
     OVERLOADED: OverloadedError,
     DEADLINE_EXCEEDED: DeadlineExceededError,
@@ -127,6 +169,7 @@ _ERROR_CLASSES: dict[str, type[ServeError]] = {
     OP_FAILED: RemoteOpError,
     WORKER_CRASHED: WorkerCrashedError,
     SHUTTING_DOWN: ServerClosedError,
+    NEED_TRACE: NeedTraceError,
 }
 
 
@@ -162,6 +205,10 @@ def encode_value(value: Any) -> Any:
         return {"$stats": stats_to_json(value)}
     if isinstance(value, Selection):
         return {"$selection": selection_to_json(value)}
+    from repro.sim.ooo import MachineConfig
+
+    if type(value) is MachineConfig:
+        return {"$machine": _machine_to_json(value)}
     if isinstance(value, (list, tuple)):
         return {"$list": [encode_value(item) for item in value]}
     if isinstance(value, dict) and all(isinstance(k, str) for k in value):
@@ -191,15 +238,69 @@ def decode_value(value: Any) -> Any:
             return selection_from_json(value["$selection"])
         if "$list" in value:
             return [decode_value(item) for item in value["$list"]]
+        if "$machine" in value:
+            return _machine_from_json(value["$machine"])
         return {k: decode_value(v) for k, v in value.items()}
     raise BadRequestError(f"cannot decode wire value of type {type(value)!r}")
 
 
+def _machine_to_json(config) -> dict:
+    """A ``MachineConfig`` as the sparse dict of non-default fields.
+
+    Sweep requests carry one of these per point; most points differ
+    from the default machine in one or two fields, so the sparse form
+    keeps by-reference simulate requests at ~100 bytes where the pickle
+    envelope costs ~1 KiB."""
+    import dataclasses
+
+    doc = dataclasses.asdict(config)
+    defaults = dataclasses.asdict(type(config)())
+    return {k: v for k, v in doc.items() if v != defaults[k]}
+
+
+def _machine_from_json(doc: Any) -> Any:
+    """Inverse of :func:`_machine_to_json`."""
+    from repro.sim.cache.cache import CacheConfig
+    from repro.sim.cache.hierarchy import HierarchyConfig
+    from repro.sim.cache.tlb import TLBConfig
+    from repro.sim.ooo import MachineConfig
+
+    if not isinstance(doc, dict):
+        raise BadRequestError("$machine envelope must carry an object")
+    try:
+        kwargs = dict(doc)
+        if "hierarchy" in kwargs:
+            tree = kwargs["hierarchy"]
+            kwargs["hierarchy"] = HierarchyConfig(
+                il1=CacheConfig(**tree["il1"]),
+                dl1=CacheConfig(**tree["dl1"]),
+                ul2=CacheConfig(**tree["ul2"]),
+                itlb=TLBConfig(**tree["itlb"]),
+                dtlb=TLBConfig(**tree["dtlb"]),
+                mem_latency=tree["mem_latency"],
+            )
+        return MachineConfig(**kwargs)
+    except (TypeError, KeyError, ReproError) as exc:
+        raise BadRequestError(f"bad $machine envelope: {exc}") from exc
+
+
 def blob_digest(value: Any) -> str:
-    """Stable digest of an *encoded* wire value (micro-batch grouping)."""
+    """Stable digest of an *encoded* wire value (micro-batch grouping,
+    gateway routing).
+
+    The input must already be JSON-safe (i.e. have passed through
+    :func:`encode_value`); a raw object raises a typed
+    :class:`BadRequestError` rather than being silently ``repr``-ed
+    into the digest, which would make "equal" payloads digest unequal
+    across processes."""
     import hashlib
 
-    blob = json.dumps(value, sort_keys=True, default=repr)
+    try:
+        blob = json.dumps(value, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(
+            f"cannot digest non-JSON-safe wire value: {exc}"
+        ) from None
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -208,8 +309,18 @@ def blob_digest(value: Any) -> str:
 
 
 def dump_line(obj: dict) -> bytes:
-    """One wire line for ``obj`` (compact JSON + newline)."""
-    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+    """One wire line for ``obj`` (compact JSON + newline).
+
+    Raises a typed :class:`BadRequestError` if ``obj`` holds a value
+    JSON cannot represent — a payload that was never routed through
+    :func:`encode_value` must fail loudly, not get ``repr``-stringified
+    into a response the client would happily decode."""
+    try:
+        return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(
+            f"payload is not JSON-safe (missing encode_value?): {exc}"
+        ) from None
 
 
 def parse_line(line: bytes) -> dict:
@@ -237,32 +348,114 @@ def error_response(
 
 
 # ----------------------------------------------------------------------
-# length-prefixed pickle framing (server <-> worker pipes)
+# length-prefixed framing (server <-> worker pipes)
+#
+# Frame layout: ``!I`` total byte count, one kind byte, payload.
+#
+# - kind ``J``: ``!I`` json length, compact-JSON doc, then raw binary
+#   chunks back to back.  The doc is ``{"body": ..., "chunks":
+#   [nbytes, ...]}`` where every ``bytes``-like value in the original
+#   object was hoisted into the chunk tail and replaced by a
+#   ``{"$bin": i}`` marker — so a by-ref simulate job's trace bundle
+#   crosses the pipe without a pickle copy.
+# - kind ``P``: a pickled object — the fallback for payloads JSON
+#   cannot carry, and the only kind when ``REPRO_SERVE_PICKLE=1``.
 
 _FRAME_HEADER = struct.Struct("!I")
+_FRAME_PICKLE = b"P"
+_FRAME_JSON = b"J"
+
+
+def _hoist_binary(value: Any, chunks: list) -> Any:
+    """``value`` with bytes-likes swapped for ``{"$bin": i}`` markers
+    (chunks appended in marker order).  Raises :class:`TypeError` for
+    shapes JSON can't carry, triggering the pickle fallback."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        chunks.append(value)
+        return {"$bin": len(chunks) - 1}
+    if isinstance(value, (list, tuple)):
+        return [_hoist_binary(item, chunks) for item in value]
+    if isinstance(value, dict):
+        if "$bin" in value:
+            raise TypeError("payload already carries a $bin marker")
+        return {k: _hoist_binary(v, chunks) for k, v in value.items()}
+    return value
+
+
+def _lower_binary(value: Any, chunks: list) -> Any:
+    """Inverse of :func:`_hoist_binary`."""
+    if isinstance(value, list):
+        return [_lower_binary(item, chunks) for item in value]
+    if isinstance(value, dict):
+        if set(value) == {"$bin"}:
+            return chunks[value["$bin"]]
+        return {k: _lower_binary(v, chunks) for k, v in value.items()}
+    return value
 
 
 def write_frame(stream: BinaryIO, obj: Any) -> None:
-    """Write one pickled frame and flush."""
+    """Write one tagged frame and flush.
+
+    Prefers the ``J`` kind (JSON body + out-of-band binary chunks,
+    written without re-copying the chunks); falls back to pickle for
+    non-JSON-safe payloads, or always when ``REPRO_SERVE_PICKLE=1``
+    (checked per call, so tests and operators can flip it live)."""
+    if os.environ.get("REPRO_SERVE_PICKLE") != "1":
+        chunks: list = []
+        try:
+            doc = json.dumps(
+                {"body": _hoist_binary(obj, chunks),
+                 "chunks": [len(c) for c in chunks]},
+                separators=(",", ":"),
+            ).encode()
+        except (TypeError, ValueError):
+            pass
+        else:
+            total = 1 + _FRAME_HEADER.size + len(doc) + sum(
+                len(c) for c in chunks
+            )
+            stream.write(_FRAME_HEADER.pack(total) + _FRAME_JSON
+                         + _FRAME_HEADER.pack(len(doc)) + doc)
+            for chunk in chunks:
+                stream.write(chunk)
+            stream.flush()
+            return
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    stream.write(_FRAME_HEADER.pack(len(payload)))
+    stream.write(_FRAME_HEADER.pack(len(payload) + 1) + _FRAME_PICKLE)
     stream.write(payload)
     stream.flush()
 
 
-def read_frame(stream: BinaryIO) -> Any | None:
-    """Read one pickled frame; ``None`` on a clean EOF at a frame
-    boundary, :class:`EOFError` on a truncated frame."""
-    header = stream.read(_FRAME_HEADER.size)
-    if not header:
-        return None
-    if len(header) < _FRAME_HEADER.size:
-        raise EOFError("truncated frame header")
-    (length,) = _FRAME_HEADER.unpack(header)
+def _read_exact(stream: BinaryIO, length: int) -> bytes:
     payload = b""
     while len(payload) < length:
         chunk = stream.read(length - len(payload))
         if not chunk:
             raise EOFError("truncated frame payload")
         payload += chunk
-    return pickle.loads(payload)
+    return payload
+
+
+def read_frame(stream: BinaryIO) -> Any | None:
+    """Read one tagged frame (either kind — the reader always speaks
+    both); ``None`` on a clean EOF at a frame boundary,
+    :class:`EOFError` on a truncated frame."""
+    header = stream.read(_FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _FRAME_HEADER.size:
+        raise EOFError("truncated frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    payload = _read_exact(stream, length)
+    kind, payload = payload[:1], payload[1:]
+    if kind == _FRAME_PICKLE:
+        return pickle.loads(payload)
+    if kind != _FRAME_JSON:
+        raise EOFError(f"unknown pipe frame kind {kind!r}")
+    (doc_len,) = _FRAME_HEADER.unpack_from(payload)
+    doc = json.loads(payload[_FRAME_HEADER.size:_FRAME_HEADER.size + doc_len])
+    chunks, offset = [], _FRAME_HEADER.size + doc_len
+    for nbytes in doc["chunks"]:
+        chunks.append(payload[offset:offset + nbytes])
+        offset += nbytes
+    return _lower_binary(doc["body"], chunks)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.obs import Recorder
 from repro.serve import protocol
 from repro.serve.broker import _UNBATCHED, PendingRequest, RequestBroker
+from repro.serve.trace_cache import TraceCache
 from repro.serve.workers import PooledWorker, WorkerCrashed
 
 #: Histogram buckets for request latencies in milliseconds.
@@ -66,6 +67,8 @@ class ServeConfig:
     drain_grace: float = 30.0          # close(): max wait for in-flight
     debug_ops: bool = False            # _crash/_sleep test hooks
     sim_jobs: int = 1                  # shard large replays per worker
+    trace_cache_entries: int = 64      # digest-addressed bundle LRU
+    trace_cache_bytes: int = 256 * 1024 * 1024
 
 
 class _Listener(socketserver.ThreadingTCPServer):
@@ -92,6 +95,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
 
     def respond(self, payload: dict) -> None:
         line = protocol.dump_line(payload)
+        self.server.toolflow.recorder.counter(
+            "serve.wire.tx_bytes").inc(len(line))
         try:
             with self.write_lock:
                 self.wfile.write(line)
@@ -99,8 +104,36 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         except (BrokenPipeError, ConnectionResetError, OSError, ValueError):
             pass  # client went away; results are simply dropped
 
+    def _read_frames(self, declared) -> list[bytes]:
+        """Read the binary attachments a request line declared.
+
+        Raises :class:`~repro.serve.protocol.BadRequestError` on a bad
+        declaration — after which the caller must drop the connection,
+        since the stream can no longer be resynchronised."""
+        if (not isinstance(declared, list)
+                or not all(isinstance(n, int) and n >= 0 for n in declared)):
+            raise protocol.BadRequestError(
+                "frames must be a list of non-negative byte counts")
+        if sum(declared) > protocol.MAX_FRAME_BYTES:
+            raise protocol.BadRequestError(
+                f"frames declare {sum(declared)} bytes, cap is "
+                f"{protocol.MAX_FRAME_BYTES}")
+        frames = []
+        for nbytes in declared:
+            chunks, remaining = [], nbytes
+            while remaining:
+                chunk = self.rfile.read(remaining)
+                if not chunk:
+                    raise protocol.BadRequestError(
+                        "connection closed mid-frame")
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            frames.append(b"".join(chunks))
+        return frames
+
     def handle(self) -> None:
         server: ToolflowServer = self.server.toolflow
+        rx_bytes = server.recorder.counter("serve.wire.rx_bytes")
         while True:
             try:
                 line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
@@ -114,12 +147,24 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 self.respond(protocol.error_response(
                     None, protocol.BAD_REQUEST, "request line too large"))
                 return
+            rx_bytes.inc(len(line))
             try:
                 request = protocol.parse_line(line)
             except protocol.BadRequestError as exc:
                 self.respond(protocol.error_response(
                     None, protocol.BAD_REQUEST, str(exc)))
                 continue
+            declared = request.pop("frames", None)
+            if declared is not None:
+                try:
+                    frames = self._read_frames(declared)
+                except (protocol.BadRequestError, ConnectionResetError,
+                        OSError) as exc:
+                    self.respond(protocol.error_response(
+                        request.get("id"), protocol.BAD_REQUEST, str(exc)))
+                    return  # cannot resync a half-read frame stream
+                rx_bytes.inc(sum(len(f) for f in frames))
+                request["_frames"] = frames
             server.handle_request(request, self.respond)
 
 
@@ -129,6 +174,11 @@ class ToolflowServer:
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.recorder = Recorder(enabled=True)
+        self.trace_cache = TraceCache(
+            max_entries=self.config.trace_cache_entries,
+            max_bytes=self.config.trace_cache_bytes,
+            recorder=self.recorder,
+        )
         self.broker = RequestBroker(
             max_queue=self.config.max_queue,
             max_batch=self.config.max_batch,
@@ -231,6 +281,9 @@ class ToolflowServer:
         if op in protocol.INLINE_OPS:
             respond(protocol.ok_response(request_id, self._inline(op)))
             return
+        if op == protocol.PUT_TRACE_OP:
+            self._put_trace(request, respond)
+            return
         allowed = protocol.TOOLFLOW_OPS + (
             ("_crash", "_sleep") if self.config.debug_ops else ()
         )
@@ -243,6 +296,24 @@ class ToolflowServer:
             respond(protocol.error_response(
                 request_id, protocol.BAD_REQUEST, "params must be an object"))
             return
+        digest = params.get("trace_ref")
+        if digest is not None:
+            # By-ref simulate: answer the miss at admission, before the
+            # request burns a queue slot it cannot use.  A miss that
+            # develops *after* admission (evicted while queued) fails
+            # the batch with the same code at dispatch time.
+            if op != "simulate" or not isinstance(digest, str):
+                respond(protocol.error_response(
+                    request_id, protocol.BAD_REQUEST,
+                    "trace_ref is only valid as a string simulate param"))
+                return
+            if not self.trace_cache.contains(digest):
+                self.recorder.counter("serve.trace_cache.need_trace").inc()
+                respond(protocol.error_response(
+                    request_id, protocol.NEED_TRACE,
+                    f"trace bundle {digest} is not cached here",
+                    digest=digest))
+                return
         timeout_ms = request.get("timeout_ms", self.config.default_timeout_ms)
         if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
             respond(protocol.error_response(
@@ -267,14 +338,41 @@ class ToolflowServer:
         else:
             self.recorder.counter("serve.admitted", op=op).inc()
 
+    def _put_trace(self, request: dict, respond) -> None:
+        """Inline handler for ``put_trace``: store the request's first
+        binary attachment under its claimed digest."""
+        request_id = request.get("id")
+        params = request.get("params") or {}
+        digest = params.get("digest") if isinstance(params, dict) else None
+        frames = request.get("_frames") or []
+        if not isinstance(digest, str) or not frames:
+            respond(protocol.error_response(
+                request_id, protocol.BAD_REQUEST,
+                "put_trace needs a string digest param and one binary "
+                "frame attachment"))
+            return
+        try:
+            nbytes = self.trace_cache.put(digest, frames[0])
+        except protocol.BadRequestError as exc:
+            respond(protocol.error_response(
+                request_id, protocol.BAD_REQUEST, str(exc)))
+            return
+        respond(protocol.ok_response(
+            request_id, {"stored": True, "bytes": nbytes}))
+
     @staticmethod
     def _batch_key(op: str, params: dict):
         """Coalescing key: simulate requests batch when they share the
         trace-determining payload (program, ext_defs, max_steps); the
         machine config deliberately stays out of the key — differing
-        configs are exactly what one sweep amortises."""
+        configs are exactly what one sweep amortises.  A by-ref request
+        already *is* that digest, so it is its own key (and coalesces
+        with every other request naming the same bundle)."""
         if op != "simulate":
             return _UNBATCHED
+        digest = params.get("trace_ref")
+        if digest is not None:
+            return ("simulate", digest)
         return (
             "simulate",
             protocol.blob_digest(params.get("program")),
@@ -303,6 +401,7 @@ class ToolflowServer:
                 "recycles": sum(w.recycles for w in self._workers),
                 "pids": [w.pid for w in self._workers],
             },
+            "trace_cache": self.trace_cache.stats(),
             "metrics": self.recorder.metrics.snapshot(),
         }
 
@@ -338,8 +437,35 @@ class ToolflowServer:
         self.recorder.histogram(
             "serve.batch.size", bounds=_BATCH_BOUNDS, op=op
         ).observe(len(items))
+        job: dict = {"op": op, "items": items}
+        digest = (batch[0].params.get("trace_ref")
+                  if op == "simulate" else None)
+        blob = None
+        if digest is not None:
+            blob = self.trace_cache.get(digest)
+            if blob is None:
+                # Evicted between admission and dispatch: same typed
+                # miss as at admission; the client re-uploads.
+                for request in batch:
+                    request.fail(
+                        protocol.NEED_TRACE,
+                        f"trace bundle {digest} is no longer cached here",
+                        digest=digest,
+                    )
+                    self._count_outcome(request.op, "need_trace", started)
+                return
+            job["trace_ref"] = digest
+            if worker.needs_blob(digest):
+                job["trace_blob"] = blob
         try:
-            reply = worker.execute({"op": op, "items": items})
+            reply = worker.execute(job)
+            if digest is not None and reply.get("need_blob") == digest:
+                # The worker's decode cache dropped it (or a respawned
+                # process answered): one bounded resend with the bytes.
+                reply = worker.execute(dict(job, trace_blob=blob))
+                if reply.get("need_blob"):
+                    raise WorkerCrashed(
+                        "worker still reports need_blob after resend")
         except WorkerCrashed as exc:
             for request in batch:
                 request.fail(

@@ -1,0 +1,109 @@
+"""Bounded, digest-addressed cache of encoded simulate bundles.
+
+One :class:`TraceCache` lives in each backend server process (not the
+gateway — it stays stateless) and holds the raw :mod:`repro.wire`
+bundle blobs that clients upload with ``put_trace``.  A by-ref
+``simulate`` request names its bundle by content digest; a miss is
+answered with the typed ``need_trace`` error and the client re-uploads
+— see ``docs/serving.md``, "Digest-addressed traces".
+
+Entries are evicted LRU under two independent bounds (entry count and
+total bytes), and every ``put`` re-hashes the blob so a cache entry is
+self-certifying: a client can never poison digest ``d`` with bytes
+that don't hash to ``d``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro import wire
+from repro.serve import protocol
+
+__all__ = ["TraceCache"]
+
+
+class TraceCache:
+    """Thread-safe LRU of ``digest -> encoded bundle bytes``.
+
+    ``recorder`` (an :class:`repro.obs.Recorder`, optional) receives
+    the ``serve.trace_cache.{hits,misses,evictions}`` counters."""
+
+    def __init__(self, max_entries: int = 64,
+                 max_bytes: int = 256 * 1024 * 1024,
+                 recorder=None):
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._recorder = recorder
+        self._lock = threading.Lock()
+        self._blobs: OrderedDict[str, bytes] = OrderedDict()
+        self._nbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self._recorder is not None:
+            self._recorder.counter(f"serve.trace_cache.{name}").inc(value)
+
+    def put(self, digest: str, blob: bytes) -> int:
+        """Store ``blob`` under ``digest``; returns the stored size.
+
+        Raises :class:`~repro.serve.protocol.BadRequestError` when the
+        blob does not hash to the claimed digest, and when one blob
+        alone exceeds the byte bound (it could never be retained)."""
+        blob = bytes(blob)
+        actual = wire.chunks_digest([blob])
+        if actual != digest:
+            raise protocol.BadRequestError(
+                f"trace bundle digest mismatch: claimed {digest!r}, "
+                f"content hashes to {actual!r}"
+            )
+        if len(blob) > self.max_bytes:
+            raise protocol.BadRequestError(
+                f"trace bundle of {len(blob)} bytes exceeds the cache "
+                f"bound of {self.max_bytes}"
+            )
+        with self._lock:
+            if digest in self._blobs:
+                self._nbytes -= len(self._blobs.pop(digest))
+            self._blobs[digest] = blob
+            self._nbytes += len(blob)
+            while (len(self._blobs) > self.max_entries
+                   or self._nbytes > self.max_bytes):
+                _, evicted = self._blobs.popitem(last=False)
+                self._nbytes -= len(evicted)
+                self._evictions += 1
+                self._count("evictions")
+        return len(blob)
+
+    def get(self, digest: str) -> bytes | None:
+        """The blob for ``digest`` (freshened to most-recently-used),
+        or ``None`` — counted as a hit or miss."""
+        with self._lock:
+            blob = self._blobs.get(digest)
+            if blob is None:
+                self._misses += 1
+                self._count("misses")
+                return None
+            self._blobs.move_to_end(digest)
+            self._hits += 1
+            self._count("hits")
+            return blob
+
+    def contains(self, digest: str) -> bool:
+        """Admission-time presence probe — deliberately *not* counted
+        as a hit/miss (the dispatch-time :meth:`get` is)."""
+        with self._lock:
+            return digest in self._blobs
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._blobs),
+                "bytes": self._nbytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -46,6 +46,17 @@ def main(argv: list[str] | None = None) -> int:
     sys.stdout = sys.stderr
 
     runner = OpRunner(cache_dir=args.cache_dir, sim_jobs=args.sim_jobs)
+    try:
+        return _serve(args, runner, frames_in, frames_out)
+    except BrokenPipeError:
+        # The server vanished (e.g. SIGKILLed during a failover drill)
+        # while we were mid-write.  There is nobody left to report to —
+        # exit quietly instead of spraying a traceback into the log the
+        # supervising terminal inherited.
+        return 1
+
+
+def _serve(args, runner, frames_in, frames_out) -> int:
     while True:
         job = protocol.read_frame(frames_in)
         if job is None:      # clean EOF: drain or recycle

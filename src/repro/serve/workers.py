@@ -56,6 +56,12 @@ class WorkerHandle:
             stderr=None, env=_worker_env(),
         )
         self.requests_served = 0
+        #: Trace-bundle digests this *process* has decoded — purely an
+        #: optimisation hint for the dispatcher's "attach the blob
+        #: up-front?" decision.  A stale entry (the worker's small
+        #: decode LRU evicted it) self-heals via the ``need_blob``
+        #: reply; a respawn starts empty, which is exactly right.
+        self.seen_digests: set[str] = set()
 
     @property
     def pid(self) -> int:
@@ -77,6 +83,9 @@ class WorkerHandle:
                 f"(code {self.proc.poll()})"
             )
         self.requests_served += 1
+        digest = job.get("trace_ref")
+        if digest and not reply.get("need_blob"):
+            self.seen_digests.add(digest)
         return reply
 
     def close(self, timeout: float = 5.0) -> None:
@@ -133,6 +142,16 @@ class PooledWorker:
 
     def alive(self) -> bool:
         return not self._closed and self._handle.alive()
+
+    def needs_blob(self, digest: str) -> bool:
+        """Should the dispatcher attach the bundle bytes up-front?
+
+        Optimistic: ``False`` once this slot's current process has
+        decoded ``digest`` (skipping the pipe copy on every later
+        batch of the sweep); wrong guesses cost one ``need_blob``
+        round trip, never a wrong answer."""
+        with self._lock:
+            return digest not in self._handle.seen_digests
 
     def execute(self, job: dict) -> dict:
         """Run one job, surviving worker crashes up to the retry budget."""

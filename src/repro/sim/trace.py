@@ -17,8 +17,9 @@ from typing import Iterable
 
 
 def _column_from_bytes(typecode: str, raw: bytes) -> array:
-    """Rebuild a plain column array from pickled :class:`ColumnView`
-    bytes (module-level so worker processes can unpickle it)."""
+    """Rebuild a plain column array from legacy pickled
+    :class:`ColumnView` bytes (kept so payloads pickled by older
+    builds still unpickle)."""
     column = array(typecode)
     column.frombytes(raw)
     return column
@@ -30,9 +31,11 @@ class ColumnView:
     Wraps a ``memoryview`` slice of the column, so building a view —
     and re-slicing it — never copies the column data.  Supports the
     read-only sequence protocol the replay loops use (``len``, index,
-    slice, iterate).  Pickling materialises the window as a plain
-    :class:`array.array` (the one unavoidable copy, paid only at the
-    process boundary), so a worker process receives an ordinary array.
+    slice, iterate).  Pickling materialises the window as a
+    :mod:`repro.wire` single-column frame (the one unavoidable copy,
+    paid only at the process boundary — this is how ``sim.shard``
+    process-pool payloads ride the same binary framing as the serve
+    wire), so a worker process receives an ordinary array.
     """
 
     __slots__ = ("raw",)
@@ -63,7 +66,9 @@ class ColumnView:
         return self.raw.tolist()
 
     def __reduce__(self):
-        return _column_from_bytes, (self.raw.format, self.raw.tobytes())
+        from repro import wire
+
+        return wire.column_from_bytes, (wire.column_to_bytes(self),)
 
 
 @dataclass

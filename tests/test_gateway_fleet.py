@@ -174,3 +174,103 @@ class TestFailover:
         with ServeClient(gateway.address, timeout=30.0) as client:
             health = client.health()
         assert health["healthy_backends"] == 1
+
+
+@pytest.fixture()
+def traceref_fleet():
+    """A fresh two-backend fleet per test (the trace-ref failover kills
+    the ring owner, so it cannot share the module-scoped fixture)."""
+    fleet = FleetController(workers=1, debug_ops=True)
+    names = (fleet.spawn(), fleet.spawn())
+    config = GatewayConfig(backends=names, health_interval=0.2,
+                           fail_after=1, debug_ops=True)
+    gateway = Gateway(config)
+    gateway.fleet = fleet
+    gateway.start()
+    try:
+        yield gateway, fleet
+    finally:
+        gateway.stop()
+        fleet.drain_all(timeout=10.0)
+
+
+class TestTraceRefThroughGateway:
+    """The digest-addressed path is gateway-transparent: the gateway
+    relays ``put_trace`` bundles verbatim to the ring owner of the
+    digest, and a hard-killed owner costs exactly one re-upload to the
+    replacement — with zero lost requests and byte-identical answers.
+    """
+
+    SOURCE = (
+        ".text\nmain: li $s0, 400\n    li $t1, 3\nloop:\n"
+        "    sll $t2, $t1, 4\n    addu $t2, $t2, $t1\n"
+        "    andi $t2, $t2, 1023\n    xor $t3, $t2, $t1\n"
+        "    andi $t1, $t3, 255\n    addiu $t1, $t1, 1\n"
+        "    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    halt\n"
+    )
+
+    def test_by_ref_sweep_relays_bundle_once(self, traceref_fleet):
+        gateway, fleet = traceref_fleet
+        program = api.compile(source=self.SOURCE, name="gw_traceref")
+        machines = [api.MachineConfig(ruu_size=r)
+                    for r in (16, 32, 48, 64)]
+        local = [canonical(api.simulate(program=program, machine=m))
+                 for m in machines]
+        with ServeClient(gateway.address, timeout=60.0) as client:
+            client.wait_ready(timeout=30.0)
+            ref = client.trace_ref(program=program)
+            served = [
+                canonical(client.simulate(program=ref, machine=m))
+                for m in machines
+            ]
+            assert served == local
+            assert client.trace_uploads == 1
+            assert client.need_trace_retries == 1
+
+    def test_killed_owner_with_ref_in_flight_reuploads_once(
+        self, traceref_fleet
+    ):
+        gateway, fleet = traceref_fleet
+        program = api.compile(source=self.SOURCE, name="gw_traceref_kill")
+        machines = [api.MachineConfig(ruu_size=16 + 8 * i)
+                    for i in range(6)]
+        local = [canonical(api.simulate(program=program, machine=m))
+                 for m in machines]
+        with ServeClient(gateway.address, timeout=60.0) as client:
+            client.wait_ready(timeout=30.0)
+            ref = client.trace_ref(program=program)
+            # Warm the owner's cache (one need_trace round trip).
+            assert canonical(
+                client.simulate(program=ref, machine=machines[0])
+            ) == local[0]
+            uploads_before = client.trace_uploads
+            owner = gateway.ring.node_for(
+                routing_key("simulate", {"trace_ref": ref.digest})
+            )
+            assert owner in fleet.procs
+
+            # Occupy the owner's single worker so the by-ref sweep is
+            # genuinely in flight behind it when the owner dies.
+            nonce = next(
+                n for n in range(1000)
+                if gateway.ring.node_for(
+                    routing_key("_sleep", {"seconds": 1.0, "nonce": n})
+                ) == owner
+            )
+            sleeper = client.submit("_sleep",
+                                    {"seconds": 1.0, "nonce": nonce})
+            time.sleep(0.15)
+            pending = [
+                client.simulate_submit(program=ref, machine=m)
+                for m in machines
+            ]
+            time.sleep(0.15)              # let dispatchers ship them
+            fleet.kill(owner)             # hard kill, refs in flight
+
+            served = [canonical(p.result()) for p in pending]
+            assert served == local        # zero lost, byte-identical
+            assert sleeper.result() == "slept"
+            # Failover cost: exactly one re-upload, to the new owner —
+            # the first recovered call re-ships the bundle, the rest of
+            # the sweep hits the replacement's warm cache.
+            assert client.trace_uploads == uploads_before + 1

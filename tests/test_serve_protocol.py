@@ -78,6 +78,31 @@ class TestValueCodec:
         decoded = protocol.decode_value(protocol.encode_value(machine))
         assert decoded == machine
 
+    def test_machine_envelope_is_sparse_json(self):
+        """Sweep requests carry one machine per point, so the envelope
+        holds only the non-default fields — no pickle, no base64."""
+        wire = protocol.encode_value(api.MachineConfig(ruu_size=40))
+        assert wire == {"$machine": {"ruu_size": 40}}
+        assert protocol.encode_value(api.MachineConfig()) == \
+            {"$machine": {}}
+
+    def test_machine_envelope_rejects_unknown_fields(self):
+        with pytest.raises(protocol.BadRequestError, match="machine"):
+            protocol.decode_value({"$machine": {"rob_size": 32}})
+
+    def test_non_json_safe_value_raises_typed_error(self):
+        """An unencoded rich object reaching the JSON layer must fail
+        as an explicit ``bad_request``, never via a silent repr
+        fallback that would produce undecodable (and digest-unstable)
+        payloads."""
+        stats_like = object()
+        with pytest.raises(protocol.BadRequestError,
+                           match="not JSON-safe"):
+            protocol.dump_line({"id": 1, "result": {"$stats": stats_like}})
+        with pytest.raises(protocol.BadRequestError,
+                           match="non-JSON-safe"):
+            protocol.blob_digest({"$stats": stats_like})
+
     def test_blob_digest_stable_and_discriminating(self, program):
         wire = protocol.encode_value(program)
         assert protocol.blob_digest(wire) == protocol.blob_digest(wire)
@@ -129,6 +154,51 @@ class TestPickleFraming:
         with pytest.raises(EOFError):
             protocol.read_frame(truncated)
 
+    def test_json_safe_payload_uses_json_kind(self):
+        buf = io.BytesIO()
+        protocol.write_frame(buf, {"op": "simulate", "items": [{"n": 1}]})
+        raw = buf.getvalue()
+        assert raw[4:5] == b"J"     # tagged JSON frame, not pickle
+
+    def test_binary_chunks_ride_outside_the_json_doc(self):
+        """``bytes`` values are hoisted out of the JSON body and written
+        raw behind it — a trace blob crosses the worker pipe without a
+        pickle or base64 detour."""
+        blob = bytes(range(256)) * 4
+        payload = {"op": "simulate", "trace_blob": blob,
+                   "items": [{"machine": None}]}
+        buf = io.BytesIO()
+        protocol.write_frame(buf, payload)
+        raw = buf.getvalue()
+        assert raw[4:5] == b"J"
+        assert blob in raw          # raw chunk tail, not base64
+        buf.seek(0)
+        assert protocol.read_frame(buf) == payload
+
+    def test_non_json_safe_payload_falls_back_to_pickle_kind(self, program):
+        buf = io.BytesIO()
+        payload = {"op": "profile", "program": program}
+        protocol.write_frame(buf, payload)
+        assert buf.getvalue()[4:5] == b"P"
+        buf.seek(0)
+        assert protocol.read_frame(buf)["program"].name == program.name
+
+    def test_env_escape_hatch_forces_pickle_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PICKLE", "1")
+        buf = io.BytesIO()
+        protocol.write_frame(buf, {"op": "simulate", "items": []})
+        assert buf.getvalue()[4:5] == b"P"
+        buf.seek(0)
+        assert protocol.read_frame(buf) == {"op": "simulate", "items": []}
+
+    def test_unknown_frame_kind_raises(self):
+        buf = io.BytesIO()
+        protocol.write_frame(buf, {"x": 1})
+        raw = bytearray(buf.getvalue())
+        raw[4:5] = b"Z"
+        with pytest.raises(EOFError):
+            protocol.read_frame(io.BytesIO(bytes(raw)))
+
 
 class TestErrorMapping:
     def test_every_code_maps_to_a_typed_error(self):
@@ -146,3 +216,9 @@ class TestErrorMapping:
                                  retry_after_ms=250)
         assert isinstance(exc, protocol.OverloadedError)
         assert exc.retry_after_ms == 250
+
+    def test_need_trace_carries_the_missing_digest(self):
+        exc = protocol.error_for(protocol.NEED_TRACE, "not cached",
+                                 digest="ab12" * 4)
+        assert isinstance(exc, protocol.NeedTraceError)
+        assert exc.digest == "ab12" * 4

@@ -1,0 +1,108 @@
+"""The digest-addressed trace cache (:mod:`repro.serve.trace_cache`).
+
+Bounded-LRU behaviour under both the entry and byte limits, digest
+verification on ``put``, and the hit/miss/eviction counters the CI
+sweep gate reads back.
+"""
+
+import pytest
+
+from repro import wire
+from repro.obs import Recorder
+from repro.serve import protocol
+from repro.serve.trace_cache import TraceCache
+
+
+def _blob(tag: bytes, size: int = 64) -> tuple[str, bytes]:
+    blob = tag * (size // len(tag) + 1)
+    blob = blob[:size]
+    return wire.chunks_digest([blob]), blob
+
+
+class TestPutGet:
+    def test_round_trip(self):
+        cache = TraceCache()
+        digest, blob = _blob(b"a")
+        cache.put(digest, blob)
+        assert cache.contains(digest)
+        assert cache.get(digest) == blob
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["bytes"] == len(blob)
+
+    def test_put_is_idempotent(self):
+        cache = TraceCache()
+        digest, blob = _blob(b"a")
+        cache.put(digest, blob)
+        cache.put(digest, blob)
+        assert cache.stats()["entries"] == 1
+
+    def test_digest_mismatch_rejected(self):
+        cache = TraceCache()
+        digest, _ = _blob(b"a")
+        _, other = _blob(b"b")
+        with pytest.raises(protocol.BadRequestError, match="digest"):
+            cache.put(digest, other)
+        assert not cache.contains(digest)
+
+    def test_oversized_blob_rejected(self):
+        cache = TraceCache(max_bytes=128)
+        digest, blob = _blob(b"a", size=256)
+        with pytest.raises(protocol.BadRequestError):
+            cache.put(digest, blob)
+
+    def test_miss_returns_none(self):
+        cache = TraceCache()
+        assert cache.get("0" * 16) is None
+        assert not cache.contains("0" * 16)
+
+
+class TestEviction:
+    def test_entry_limit_evicts_lru(self):
+        cache = TraceCache(max_entries=2)
+        first, blob_a = _blob(b"a")
+        second, blob_b = _blob(b"b")
+        third, blob_c = _blob(b"c")
+        cache.put(first, blob_a)
+        cache.put(second, blob_b)
+        assert cache.get(first) == blob_a       # first is now MRU
+        cache.put(third, blob_c)
+        assert not cache.contains(second)       # LRU went
+        assert cache.contains(first) and cache.contains(third)
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_limit_evicts_until_it_fits(self):
+        cache = TraceCache(max_bytes=200)
+        first, blob_a = _blob(b"a", size=90)
+        second, blob_b = _blob(b"b", size=90)
+        third, blob_c = _blob(b"c", size=90)
+        cache.put(first, blob_a)
+        cache.put(second, blob_b)
+        cache.put(third, blob_c)
+        assert not cache.contains(first)
+        assert cache.stats()["bytes"] <= 200
+        assert cache.stats()["evictions"] == 1
+
+
+class TestCounters:
+    def test_hits_misses_and_recorder_series(self):
+        recorder = Recorder()
+        cache = TraceCache(recorder=recorder)
+        digest, blob = _blob(b"a")
+        cache.put(digest, blob)
+        cache.get(digest)
+        cache.get(digest)
+        cache.get("f" * 16)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (2, 1)
+        names = {row["name"] for row in recorder.metrics.snapshot()}
+        assert "serve.trace_cache.hits" in names
+        assert "serve.trace_cache.misses" in names
+
+    def test_contains_does_not_count(self):
+        cache = TraceCache()
+        digest, blob = _blob(b"a")
+        cache.put(digest, blob)
+        cache.contains(digest)
+        cache.contains("f" * 16)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (0, 0)
